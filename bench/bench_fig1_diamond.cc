@@ -1,0 +1,154 @@
+// Reproduces Fig 1: the diamond experiment. Diamonds are drug pairs
+// (e1, e2) both connected to a common drug e0 (via a compound-compound
+// edge) and to a common gene e3 via relations r1, r2. A balanced pool of
+// "Same" (r1 == r2) and "Not-Same" diamonds is sampled; conditioning the
+// selection on molecular-feature similarity of (e1, e2) should raise the
+// "Same" rate well above the 50% base rate (the paper reports 66.98%).
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "tensor/tensor_ops.h"
+
+namespace came {
+namespace {
+
+struct Diamond {
+  int64_t drug1;
+  int64_t drug2;
+  int64_t gene;
+  bool same;
+};
+
+double Similarity(const tensor::Tensor& feats, int64_t a, int64_t b) {
+  const int64_t d = feats.dim(1);
+  const float* pa = feats.data() + a * d;
+  const float* pb = feats.data() + b * d;
+  double dot = 0;
+  for (int64_t j = 0; j < d; ++j) dot += static_cast<double>(pa[j]) * pb[j];
+  return dot;
+}
+
+}  // namespace
+}  // namespace came
+
+int main(int argc, char** argv) {
+  using namespace came;
+  const auto args = bench::BenchArgs::Parse(argc, argv, 1.0, 0);
+  bench::BenchEnv env = bench::MakeDrkgEnv(args.scale);
+  bench::PrintBenchHeader("Fig 1: diamond structures and molecular similarity",
+                          env, args);
+  const kg::Dataset& ds = env.bkg.dataset;
+
+  // Index drug->gene edges and drug-drug adjacency over the whole KG.
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, int64_t>>>
+      gene_to_drugs;  // gene -> (drug, rel)
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> drug_adjacent;
+  for (const kg::Triple& t : ds.AllTriples()) {
+    const bool head_compound =
+        ds.vocab.entity_type(t.head) == kg::EntityType::kCompound;
+    const bool tail_gene =
+        ds.vocab.entity_type(t.tail) == kg::EntityType::kGene;
+    const bool tail_compound =
+        ds.vocab.entity_type(t.tail) == kg::EntityType::kCompound;
+    if (head_compound && tail_gene) {
+      gene_to_drugs[t.tail].emplace_back(t.head, t.rel);
+    }
+    if (head_compound && tail_compound) {
+      drug_adjacent[t.head].insert(t.tail);
+      drug_adjacent[t.tail].insert(t.head);
+    }
+  }
+
+  // Enumerate diamonds: drugs d1 != d2 sharing gene g and a common drug
+  // neighbour e0.
+  std::vector<Diamond> same_pool;
+  std::vector<Diamond> diff_pool;
+  for (const auto& [gene, drugs] : gene_to_drugs) {
+    for (size_t i = 0; i < drugs.size(); ++i) {
+      for (size_t j = i + 1; j < drugs.size(); ++j) {
+        const auto& [d1, r1] = drugs[i];
+        const auto& [d2, r2] = drugs[j];
+        if (d1 == d2) continue;
+        // Require the shared e0 neighbour that closes the diamond.
+        const auto it1 = drug_adjacent.find(d1);
+        const auto it2 = drug_adjacent.find(d2);
+        if (it1 == drug_adjacent.end() || it2 == drug_adjacent.end()) {
+          continue;
+        }
+        bool has_common = false;
+        const auto& smaller =
+            it1->second.size() < it2->second.size() ? it1->second
+                                                    : it2->second;
+        const auto& larger =
+            it1->second.size() < it2->second.size() ? it2->second
+                                                    : it1->second;
+        for (int64_t n : smaller) {
+          if (larger.count(n)) {
+            has_common = true;
+            break;
+          }
+        }
+        if (!has_common) continue;
+        Diamond dia{d1, d2, gene, r1 == r2};
+        (dia.same ? same_pool : diff_pool).push_back(dia);
+      }
+    }
+  }
+  std::printf("diamond pool: Same=%zu Not-Same=%zu\n", same_pool.size(),
+              diff_pool.size());
+  if (same_pool.empty() || diff_pool.empty()) {
+    std::printf("not enough diamonds at this scale; raise the scale arg\n");
+    return 0;
+  }
+
+  // Balanced 50/50 sample (paper: 5,000 + 5,000).
+  Rng rng(7);
+  const size_t per_class =
+      std::min({same_pool.size(), diff_pool.size(), size_t{5000}});
+  rng.Shuffle(&same_pool);
+  rng.Shuffle(&diff_pool);
+  std::vector<Diamond> pool(same_pool.begin(),
+                            same_pool.begin() + static_cast<long>(per_class));
+  pool.insert(pool.end(), diff_pool.begin(),
+              diff_pool.begin() + static_cast<long>(per_class));
+
+  // 100 repeats: random candidate subset -> top-100 by molecule
+  // similarity -> fraction Same.
+  const tensor::Tensor& feats = env.bank.molecule_features();
+  double conditioned_acc = 0.0;
+  double random_acc = 0.0;
+  const int repeats = 100;
+  const size_t top_k = std::min<size_t>(100, per_class);
+  for (int rep = 0; rep < repeats; ++rep) {
+    rng.Shuffle(&pool);
+    const size_t candidates = pool.size();  // threshold = top-100 of pool
+    std::vector<std::pair<double, bool>> scored;
+    for (size_t i = 0; i < candidates; ++i) {
+      scored.emplace_back(Similarity(feats, pool[i].drug1, pool[i].drug2),
+                          pool[i].same);
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    int same_top = 0;
+    for (size_t i = 0; i < top_k; ++i) same_top += scored[i].second;
+    conditioned_acc += static_cast<double>(same_top) / top_k;
+    int same_rand = 0;
+    for (size_t i = 0; i < top_k; ++i) same_rand += pool[i].same;
+    random_acc += static_cast<double>(same_rand) / top_k;
+  }
+  conditioned_acc = 100.0 * conditioned_acc / repeats;
+  random_acc = 100.0 * random_acc / repeats;
+
+  std::printf("\nFig 1(b):\n");
+  std::printf("  random sampling:                Same = %.2f%% (expected ~50%%)\n",
+              random_acc);
+  std::printf("  molecule-similarity conditioned: Same = %.2f%% (paper: 66.98%%)\n",
+              conditioned_acc);
+  std::printf("  lift over base rate: +%.2f points\n",
+              conditioned_acc - random_acc);
+  return 0;
+}

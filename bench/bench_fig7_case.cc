@@ -1,0 +1,101 @@
+// Reproduces Fig 7: the case study. CamE is trained on DRKG-MM-Synth;
+// for drug-drug-interaction test queries we print the top-3 predicted
+// tail drugs with their names, drug families, molecular scaffolds, and
+// whether their name affix matches the head's family — the cross-modal
+// regularity ("-cillin" names <-> beta-lactam scaffolds) the paper
+// highlights.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/textgen.h"
+
+namespace came {
+namespace {
+
+std::vector<int64_t> TopK(const float* scores, int64_t n, int64_t k,
+                          int64_t skip) {
+  std::vector<int64_t> ids(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+  std::partial_sort(ids.begin(), ids.begin() + k + 1, ids.end(),
+                    [scores](int64_t a, int64_t b) {
+                      return scores[a] > scores[b];
+                    });
+  std::vector<int64_t> out;
+  for (int64_t id : ids) {
+    if (id == skip) continue;
+    out.push_back(id);
+    if (static_cast<int64_t>(out.size()) == k) break;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace came
+
+int main(int argc, char** argv) {
+  using namespace came;
+  const auto args = bench::BenchArgs::Parse(argc, argv, 0.12, 15);
+  bench::BenchEnv env = bench::MakeDrkgEnv(args.scale);
+  bench::PrintBenchHeader("Fig 7: case study (drug-drug interaction)", env,
+                          args);
+  const kg::Dataset& ds = env.bkg.dataset;
+
+  eval::Evaluator evaluator(ds);
+  bench::TrainedModel trained = bench::TrainAndEval(
+      "CamE", env, evaluator, args.epochs, bench::DefaultZoo());
+  std::printf("CamE test metrics: %s\n\n",
+              trained.test_metrics.ToString().c_str());
+
+  const int64_t ddi = ds.vocab.RelationId("ddi_CC");
+  int shown = 0;
+  ag::NoGradGuard guard;
+  trained.model->SetTraining(false);
+  for (const kg::Triple& t : ds.test) {
+    if (t.rel != ddi || shown >= 4) continue;
+    ++shown;
+    const auto head_family =
+        static_cast<datagen::DrugFamily>(env.bkg.cluster[t.head]);
+    std::printf("query: (%s [%s], Drug-drug_Interaction, ?)\n",
+                ds.vocab.EntityName(t.head).c_str(),
+                datagen::DrugFamilyName(head_family));
+    std::printf("  ground-truth tail: %s\n",
+                ds.vocab.EntityName(t.tail).c_str());
+
+    const tensor::Tensor scores =
+        trained.model->ScoreAllTails({t.head}, {t.rel}).value();
+    const auto top = TopK(scores.data(), ds.num_entities(), 3, t.head);
+    for (size_t rank = 0; rank < top.size(); ++rank) {
+      const int64_t e = top[rank];
+      const bool is_compound =
+          ds.vocab.entity_type(e) == kg::EntityType::kCompound;
+      const char* family =
+          is_compound ? datagen::DrugFamilyName(static_cast<datagen::DrugFamily>(
+                            env.bkg.cluster[e]))
+                      : kg::EntityTypeName(ds.vocab.entity_type(e));
+      const char* affix_match =
+          is_compound && env.bkg.cluster[e] == env.bkg.cluster[t.head]
+              ? "  <-- shares family affix & scaffold with head"
+              : "";
+      std::printf("  top-%zu: %-18s family=%-14s score=%.2f%s\n", rank + 1,
+                  ds.vocab.EntityName(e).c_str(), family,
+                  scores.data()[e], affix_match);
+      if (is_compound) {
+        const auto& mol = env.bkg.molecules[static_cast<size_t>(e)];
+        std::printf("          molecule: %lld atoms, %lld bonds, "
+                    "%s scaffold; text: \"%s\"\n",
+                    static_cast<long long>(mol.num_atoms()),
+                    static_cast<long long>(mol.num_bonds()), family,
+                    env.bkg.texts[static_cast<size_t>(e)]
+                        .description.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: top-ranked tails share the head's pharmacological "
+      "family, visible simultaneously in the name affix (e.g. \"-cillin\") "
+      "and the molecular scaffold.\n");
+  return 0;
+}

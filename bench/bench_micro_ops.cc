@@ -1,0 +1,166 @@
+// Operator-level microbenchmarks (google-benchmark): the kernels that
+// dominate CamE training per the RQ7 scalability analysis — GEMM, batched
+// attention, the fused co-attention kernel, the TCA/MMF modules, and the
+// convolutional decoder.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/mmf.h"
+#include "core/tca.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "tensor/tensor_ops.h"
+
+namespace came {
+namespace {
+
+namespace ts = tensor;
+
+ts::Tensor RandomTensor(ts::Shape shape, uint64_t seed) {
+  Rng rng(seed);
+  return nn::NormalInit(std::move(shape), &rng, 1.0);
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ts::Tensor a = RandomTensor({n, n}, 1);
+  ts::Tensor b = RandomTensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchMatMul(benchmark::State& state) {
+  const int64_t b = state.range(0);
+  ts::Tensor x = RandomTensor({b, 32, 32}, 3);
+  ts::Tensor y = RandomTensor({b, 32, 32}, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::BatchMatMul(x, y));
+  }
+}
+BENCHMARK(BM_BatchMatMul)->Arg(64)->Arg(256);
+
+void BM_SoftmaxAlong(benchmark::State& state) {
+  ts::Tensor x = RandomTensor({256, 64, 64}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::SoftmaxAlong(x, 1));
+  }
+}
+BENCHMARK(BM_SoftmaxAlong);
+
+void BM_CoAttentionFused(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  const int64_t d = state.range(1);
+  ag::Var x(RandomTensor({batch, d}, 6), true);
+  ag::Var a(RandomTensor({batch, d}, 7), true);
+  ag::Var b(RandomTensor({batch, d}, 8), true);
+  ag::Var u(ts::Tensor::Scalar(0.2f), true);
+  for (auto _ : state) {
+    ag::Var out = ag::CoAttentionApply(x, a, b, u);
+    ag::SumAll(out).Backward();
+    x.ZeroGrad();
+    a.ZeroGrad();
+    b.ZeroGrad();
+    u.ZeroGrad();
+  }
+}
+BENCHMARK(BM_CoAttentionFused)->Args({128, 32})->Args({256, 32})->Args({256, 64});
+
+void BM_CoAttentionUnfused(benchmark::State& state) {
+  // The composed BatchMatMul/Softmax pipeline the fused kernel replaced;
+  // the ratio to BM_CoAttentionFused is the ablation of that design choice.
+  const int64_t batch = state.range(0);
+  const int64_t d = state.range(1);
+  ag::Var x(RandomTensor({batch, d}, 6), true);
+  ag::Var a(RandomTensor({batch, d}, 7), true);
+  ag::Var b(RandomTensor({batch, d}, 8), true);
+  for (auto _ : state) {
+    ag::Var m = ag::Scale(
+        ag::BatchMatMul(ag::Reshape(a, {batch, d, 1}),
+                        ag::Reshape(b, {batch, 1, d})),
+        0.2f);
+    ag::Var s = ag::SoftmaxAlong(m, 1);
+    ag::Var out =
+        ag::Reshape(ag::BatchMatMul(ag::Reshape(x, {batch, 1, d}), s),
+                    {batch, d});
+    ag::SumAll(out).Backward();
+    x.ZeroGrad();
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+}
+BENCHMARK(BM_CoAttentionUnfused)->Args({128, 32})->Args({256, 32});
+
+void BM_TcaForward(benchmark::State& state) {
+  Rng rng(9);
+  core::TcaConfig cfg;
+  cfg.dim = state.range(1);
+  cfg.num_heads = 2;
+  core::Tca tca(cfg, &rng);
+  ag::Var q(RandomTensor({state.range(0), cfg.dim}, 10), true);
+  ag::Var d(RandomTensor({state.range(0), cfg.dim}, 11), true);
+  for (auto _ : state) {
+    auto [qt, dt] = tca.Forward(q, d);
+    ag::SumAll(ag::Add(qt, dt)).Backward();
+    tca.ZeroGrad();
+    q.ZeroGrad();
+    d.ZeroGrad();
+  }
+}
+BENCHMARK(BM_TcaForward)->Args({256, 32})->Args({256, 64});
+
+void BM_MmfForward(benchmark::State& state) {
+  Rng rng(12);
+  core::MmfConfig cfg;
+  cfg.fusion_dim = 32;
+  cfg.input_dims = {32, 32, 32};
+  core::Mmf mmf(cfg, &rng);
+  std::vector<ag::Var> inputs = {ag::Var(RandomTensor({256, 32}, 13), true),
+                                 ag::Var(RandomTensor({256, 32}, 14), true),
+                                 ag::Var(RandomTensor({256, 32}, 15), true)};
+  for (auto _ : state) {
+    ag::SumAll(mmf.Forward(inputs)).Backward();
+    mmf.ZeroGrad();
+    for (auto& v : inputs) v.ZeroGrad();
+  }
+}
+BENCHMARK(BM_MmfForward);
+
+void BM_Conv2dDecoder(benchmark::State& state) {
+  Rng rng(16);
+  nn::Conv2d conv(3, 32, 3, 1, &rng);
+  ag::Var img(RandomTensor({256, 3, 4, 8}, 17), true);
+  for (auto _ : state) {
+    ag::SumAll(conv.Forward(img)).Backward();
+    conv.ZeroGrad();
+    img.ZeroGrad();
+  }
+}
+BENCHMARK(BM_Conv2dDecoder);
+
+void BM_Im2Col(benchmark::State& state) {
+  ts::Tensor img = RandomTensor({256, 3, 4, 8}, 18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::Im2Col(img, 3, 3, 1));
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_GatherScatter(benchmark::State& state) {
+  ts::Tensor table = RandomTensor({2000, 32}, 19);
+  Rng rng(20);
+  std::vector<int64_t> idx(512);
+  for (auto& i : idx) i = static_cast<int64_t>(rng.UniformU64(2000));
+  for (auto _ : state) {
+    ts::Tensor rows = ts::GatherRows(table, idx);
+    benchmark::DoNotOptimize(ts::ScatterAddRows(rows, idx, 2000));
+  }
+}
+BENCHMARK(BM_GatherScatter);
+
+}  // namespace
+}  // namespace came
+
+BENCHMARK_MAIN();

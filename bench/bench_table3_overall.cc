@@ -1,0 +1,82 @@
+// Reproduces Table III: link prediction results for all nine unimodal and
+// four multimodal baselines plus CamE, on both synthetic datasets, under
+// the filtered ranking protocol (MRR / MR / Hits@1/3/10, head and tail
+// direction averaged).
+//
+// Absolute numbers differ from the paper (synthetic data, CPU-scale
+// hyperparameters); the reproduced *shape* is the ordering: CamE first on
+// MRR/Hits, conv-decoder baselines strongest among the rest, TransE-based
+// multimodal baselines weak.
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table_writer.h"
+
+namespace came {
+namespace {
+
+// Optional 3rd CLI arg: comma-separated model subset; 4th: "drkg" or
+// "omaha" to run a single dataset (used for the full-budget headline
+// addendum).
+std::vector<std::string> SelectedModels(int argc, char** argv) {
+  if (argc <= 3) return baselines::AllModelNames();
+  std::vector<std::string> out;
+  std::stringstream ss(argv[3]);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  return out;
+}
+
+void RunDataset(const char* title, const bench::BenchEnv& env,
+                const bench::BenchArgs& args,
+                const std::vector<std::string>& models) {
+  bench::PrintBenchHeader(title, env, args);
+  eval::Evaluator evaluator(env.bkg.dataset);
+  const auto zoo = bench::DefaultZoo();
+
+  TableWriter table(
+      {"Model", "MRR", "MR", "Hits@1", "Hits@3", "Hits@10", "train[s]"});
+  for (const std::string& name : models) {
+    if (name == "IKRL" && models.size() > 1) {
+      table.AddRow({"--- multimodal ---", "", "", "", "", "", ""});
+    }
+    bench::TrainedModel result =
+        bench::TrainAndEval(name, env, evaluator, args.epochs, zoo);
+    const eval::Metrics& m = result.test_metrics;
+    table.AddRow({name, TableWriter::Num(m.Mrr()), TableWriter::Num(m.Mr(), 0),
+                  TableWriter::Num(m.Hits1()), TableWriter::Num(m.Hits3()),
+                  TableWriter::Num(m.Hits10()),
+                  TableWriter::Num(result.train_seconds, 0)});
+    std::printf("  %-10s %s\n", name.c_str(), m.ToString().c_str());
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+}
+
+}  // namespace
+}  // namespace came
+
+int main(int argc, char** argv) {
+  using namespace came;
+  const auto args = bench::BenchArgs::Parse(argc, argv, 0.15, 20);
+  const auto models = SelectedModels(argc, argv);
+  const bool drkg_only = argc > 4 && std::strcmp(argv[4], "drkg") == 0;
+  const bool omaha_only = argc > 4 && std::strcmp(argv[4], "omaha") == 0;
+  if (!omaha_only) {
+    bench::BenchEnv drkg = bench::MakeDrkgEnv(args.scale);
+    RunDataset("Table III (DRKG-MM-Synth)", drkg, args, models);
+  }
+  if (!drkg_only) {
+    bench::BenchEnv omaha = bench::MakeOmahaEnv(args.scale * 1.3);
+    RunDataset("Table III (OMAHA-MM-Synth)", omaha, args, models);
+  }
+  std::printf(
+      "paper reference (DRKG-MM): CamE MRR=50.4 H@1=40.2 H@10=67.7; best "
+      "baselines MKGformer MRR=45.4, DualE 45.7, ConvE 44.1; weakest "
+      "multimodal TransAE MRR=6.8.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Table IV (per-relation-type MRR / Hits@1 / Hits@10 for ConvE,
+// a-RotatE, PairRE, DualE and CamE) and Table V (triple counts per
+// relation type) on DRKG-MM-Synth. Models are trained on the whole KG and
+// evaluated on test slices grouped by (head type, tail type).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table_writer.h"
+
+namespace came {
+namespace {
+
+std::string GroupName(const kg::Vocab& vocab, const kg::Triple& t) {
+  auto short_name = [](kg::EntityType type) -> std::string {
+    switch (type) {
+      case kg::EntityType::kGene:
+        return "Gene";
+      case kg::EntityType::kCompound:
+        return "Compound";
+      case kg::EntityType::kDisease:
+        return "Disease";
+      case kg::EntityType::kSideEffect:
+        return "Side-Effect";
+      default:
+        return kg::EntityTypeName(type);
+    }
+  };
+  return short_name(vocab.entity_type(t.head)) + "-" +
+         short_name(vocab.entity_type(t.tail));
+}
+
+}  // namespace
+}  // namespace came
+
+int main(int argc, char** argv) {
+  using namespace came;
+  const auto args = bench::BenchArgs::Parse(argc, argv, 0.1, 12);
+  bench::BenchEnv env = bench::MakeDrkgEnv(args.scale);
+  bench::PrintBenchHeader("Table IV/V: per-relation-type results", env, args);
+  const kg::Dataset& ds = env.bkg.dataset;
+
+  // Table V: triple counts per relation type over the whole KG.
+  std::map<std::string, int64_t> counts;
+  for (const kg::Triple& t : ds.AllTriples()) {
+    ++counts[GroupName(ds.vocab, t)];
+  }
+  TableWriter table5({"Relations", "Number of Triples"});
+  for (const auto& [group, n] : counts) {
+    table5.AddRow({group, std::to_string(n)});
+  }
+  std::printf("Table V:\n%s\n", table5.ToAscii().c_str());
+
+  // Group the test triples.
+  std::map<std::string, std::vector<kg::Triple>> test_groups;
+  for (const kg::Triple& t : ds.test) {
+    test_groups[GroupName(ds.vocab, t)].push_back(t);
+  }
+
+  eval::Evaluator evaluator(ds);
+  const auto zoo = bench::DefaultZoo();
+  const std::vector<std::string> models = {"ConvE", "a-RotatE", "PairRE",
+                                           "DualE", "CamE"};
+
+  std::vector<std::string> header = {"Relations"};
+  for (const auto& m : models) {
+    header.push_back(m + ":MRR");
+    header.push_back(m + ":H1");
+    header.push_back(m + ":H10");
+  }
+  TableWriter table4(header);
+  std::map<std::string, std::vector<std::string>> rows;
+  for (const auto& [group, _] : test_groups) {
+    rows[group] = {group};
+  }
+
+  for (const std::string& name : models) {
+    bench::TrainedModel result =
+        bench::TrainAndEval(name, env, evaluator, args.epochs, zoo);
+    std::printf("  %-10s overall %s\n", name.c_str(),
+                result.test_metrics.ToString().c_str());
+    std::fflush(stdout);
+    for (const auto& [group, triples] : test_groups) {
+      const eval::Metrics m =
+          evaluator.Evaluate(result.model.get(), triples);
+      rows[group].push_back(TableWriter::Num(m.Mrr()));
+      rows[group].push_back(TableWriter::Num(m.Hits1()));
+      rows[group].push_back(TableWriter::Num(m.Hits10()));
+    }
+  }
+  for (auto& [_, row] : rows) table4.AddRow(row);
+  std::printf("\nTable IV:\n%s", table4.ToAscii().c_str());
+  std::printf(
+      "\npaper shape: CamE leads most relation types, with the largest "
+      "margins on compound-related relations (Compound-Compound paper MRR "
+      "68.3 vs ConvE 59.0); Gene-Gene is the exception (DualE best).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Drug-drug interaction screening: the Compound-Compound application
+// (paper Section V-G). Trains CamE and MKGformer-lite side by side on the
+// same KG, screens a drug against all other drugs for interaction risk,
+// and contrasts the two models' hit rates on held-out interactions —
+// showing how to run an A/B comparison through the shared KgcModel API.
+//
+// Run:  ./ddi_screening [scale=0.25] [epochs=25]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baselines/model_zoo.h"
+#include "datagen/bkg_generator.h"
+#include "encoders/feature_bank.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace came;
+
+std::unique_ptr<baselines::KgcModel> Train(
+    const std::string& name, const baselines::ModelContext& ctx,
+    const baselines::ZooOptions& zoo, const kg::Dataset& ds, int epochs) {
+  auto model = baselines::CreateModel(name, ctx, zoo);
+  train::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg = baselines::RecommendedTrainConfig(name, cfg);
+  train::Trainer trainer(model.get(), ds, cfg);
+  std::printf("training %s...\n", name.c_str());
+  trainer.Train();
+  return model;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 25;
+
+  datagen::GeneratedBkg bkg =
+      datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(scale));
+  const kg::Dataset& ds = bkg.dataset;
+  encoders::FeatureBankConfig fb;
+  encoders::FeatureBank bank = BuildFeatureBank(bkg, fb);
+
+  baselines::ModelContext ctx;
+  ctx.num_entities = ds.num_entities();
+  ctx.num_relations = ds.num_relations_with_inverses();
+  ctx.features = &bank;
+  ctx.train_triples = &ds.train;
+  baselines::ZooOptions zoo;
+  zoo.dim = 32;
+  zoo.conv.reshape_h = 4;
+  zoo.came.fusion_dim = 32;
+  zoo.came.reshape_h = 4;
+
+  auto came_model = Train("CamE", ctx, zoo, ds, epochs);
+  auto mkg_model = Train("MKGformer", ctx, zoo, ds, epochs);
+
+  // Held-out interactions to screen for.
+  const int64_t ddi = ds.vocab.RelationId("ddi_CC");
+  std::vector<kg::Triple> held_out;
+  for (const kg::Triple& t : ds.test) {
+    if (t.rel == ddi) held_out.push_back(t);
+  }
+  std::printf("held-out interactions: %zu\n", held_out.size());
+
+  eval::Evaluator evaluator(ds);
+  std::printf("CamE       DDI ranking: %s\n",
+              evaluator.Evaluate(came_model.get(), held_out).ToString().c_str());
+  std::printf("MKGformer  DDI ranking: %s\n",
+              evaluator.Evaluate(mkg_model.get(), held_out).ToString().c_str());
+
+  // Screening report for one drug: top-10 interaction candidates among
+  // compounds, with the known (training) interactions marked.
+  if (held_out.empty()) return 0;
+  const int64_t drug = held_out.front().head;
+  kg::FilterIndex known(ds.num_entities(), ds.num_relations());
+  known.AddTriples(ds.train);
+
+  ag::NoGradGuard guard;
+  came_model->SetTraining(false);
+  tensor::Tensor scores = came_model->ScoreAllTails({drug}, {ddi}).value();
+  auto compounds = ds.vocab.EntitiesOfType(kg::EntityType::kCompound);
+  std::sort(compounds.begin(), compounds.end(), [&](int64_t a, int64_t b) {
+    return scores.data()[a] > scores.data()[b];
+  });
+  std::printf("\nscreening report for %s (%s family):\n",
+              ds.vocab.EntityName(drug).c_str(),
+              datagen::DrugFamilyName(
+                  static_cast<datagen::DrugFamily>(bkg.cluster[drug])));
+  int printed = 0;
+  for (int64_t candidate : compounds) {
+    if (candidate == drug) continue;
+    if (printed++ >= 10) break;
+    const char* status = known.Contains(drug, ddi, candidate)
+                             ? "known interaction (train)"
+                             : "novel prediction";
+    std::printf("  %-20s score %6.2f  %s\n",
+                ds.vocab.EntityName(candidate).c_str(),
+                scores.data()[candidate], status);
+  }
+  return 0;
+}

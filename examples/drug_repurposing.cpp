@@ -1,0 +1,92 @@
+// Drug repurposing: the Compound-Disease application the paper motivates
+// (Section V-G: "Compound-Disease relation is relevant to drug
+// repurposing"). CamE is trained on the full KG with `treats` edges for
+// some compounds held out (the test split), then asked to rank diseases
+// for those compounds; we report where the held-out disease lands and
+// show the supporting multimodal evidence.
+//
+// Run:  ./drug_repurposing [scale=0.25] [epochs=25]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baselines/model_zoo.h"
+#include "datagen/bkg_generator.h"
+#include "encoders/feature_bank.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace came;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 25;
+
+  datagen::GeneratedBkg bkg =
+      datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(scale));
+  const kg::Dataset& ds = bkg.dataset;
+  encoders::FeatureBankConfig fb;
+  encoders::FeatureBank bank = BuildFeatureBank(bkg, fb);
+
+  baselines::ModelContext ctx;
+  ctx.num_entities = ds.num_entities();
+  ctx.num_relations = ds.num_relations_with_inverses();
+  ctx.features = &bank;
+  ctx.train_triples = &ds.train;
+  auto zoo = baselines::ZooOptions();
+  zoo.dim = 32;
+  zoo.came.fusion_dim = 32;
+  zoo.came.reshape_h = 4;
+  auto model = baselines::CreateModel("CamE", ctx, zoo);
+
+  train::TrainConfig cfg;
+  cfg.epochs = epochs;
+  train::Trainer trainer(model.get(), ds, cfg);
+  std::printf("training CamE for drug repurposing (%d epochs)...\n", epochs);
+  trainer.Train();
+
+  // Repurposing queries: held-out (compound, treats, disease) test edges.
+  const int64_t treats = ds.vocab.RelationId("treats_CD");
+  eval::Evaluator evaluator(ds);
+  std::vector<kg::Triple> queries;
+  for (const kg::Triple& t : ds.test) {
+    if (t.rel == treats) queries.push_back(t);
+  }
+  std::printf("held-out treats edges: %zu\n", queries.size());
+  if (queries.empty()) {
+    std::printf("none at this scale; raise the scale argument\n");
+    return 0;
+  }
+  std::printf("repurposing metrics: %s\n",
+              evaluator.Evaluate(model.get(), queries).ToString().c_str());
+
+  ag::NoGradGuard guard;
+  model->SetTraining(false);
+  const auto diseases = ds.vocab.EntitiesOfType(kg::EntityType::kDisease);
+  int shown = 0;
+  for (const kg::Triple& q : queries) {
+    if (shown++ >= 3) break;
+    tensor::Tensor scores = model->ScoreAllTails({q.head}, {q.rel}).value();
+    // Rank diseases only (type-aware shortlist, as a practitioner would).
+    std::vector<int64_t> ranked = diseases;
+    std::sort(ranked.begin(), ranked.end(), [&](int64_t a, int64_t b) {
+      return scores.data()[a] > scores.data()[b];
+    });
+    const auto family =
+        static_cast<datagen::DrugFamily>(bkg.cluster[q.head]);
+    std::printf("\ncandidate drug: %s (%s family)\n",
+                ds.vocab.EntityName(q.head).c_str(),
+                datagen::DrugFamilyName(family));
+    std::printf("  evidence: %s\n",
+                bkg.texts[static_cast<size_t>(q.head)].description.c_str());
+    for (int i = 0; i < 5 && i < static_cast<int>(ranked.size()); ++i) {
+      std::printf("  disease #%d: %-22s score %.2f%s\n", i + 1,
+                  ds.vocab.EntityName(ranked[static_cast<size_t>(i)]).c_str(),
+                  scores.data()[ranked[static_cast<size_t>(i)]],
+                  ranked[static_cast<size_t>(i)] == q.tail
+                      ? "  <- held-out indication"
+                      : "");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: the minimal end-to-end CamE pipeline.
+//   1. Generate a small synthetic multimodal biological KG.
+//   2. Build the frozen multimodal features (GIN molecules + text).
+//   3. Train CamE with the 1-to-N objective.
+//   4. Evaluate with filtered ranking and answer one link query.
+//
+// Run:  ./quickstart [scale=0.1] [epochs=10]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baselines/model_zoo.h"
+#include "datagen/bkg_generator.h"
+#include "encoders/feature_bank.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace came;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  // 1. Data: a DRKG-like multimodal BKG (drugs carry molecular graphs,
+  //    every entity carries a textual description).
+  datagen::GeneratedBkg bkg =
+      datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(scale));
+  const kg::Dataset& ds = bkg.dataset;
+  std::printf("dataset: %lld entities, %lld relations, %zu train triples\n",
+              static_cast<long long>(ds.num_entities()),
+              static_cast<long long>(ds.num_relations()), ds.train.size());
+
+  // 2. Frozen modality features (the paper's pre-trained GIN and
+  //    CharacterBERT stand-ins).
+  encoders::FeatureBankConfig fb;
+  encoders::FeatureBank bank = BuildFeatureBank(bkg, fb);
+
+  // 3. Model + training.
+  baselines::ModelContext ctx;
+  ctx.num_entities = ds.num_entities();
+  ctx.num_relations = ds.num_relations_with_inverses();
+  ctx.features = &bank;
+  ctx.train_triples = &ds.train;
+  baselines::ZooOptions zoo;
+  zoo.dim = 32;
+  zoo.came.fusion_dim = 32;
+  zoo.came.reshape_h = 4;
+  auto model = baselines::CreateModel("CamE", ctx, zoo);
+  std::printf("CamE: %lld parameters\n",
+              static_cast<long long>(model->NumParameters()));
+
+  train::TrainConfig cfg;
+  cfg.epochs = epochs;
+  train::Trainer trainer(model.get(), ds, cfg);
+  trainer.Train([](const train::EpochStats& s) {
+    std::printf("epoch %2d  loss %.4f  (%.1fs)\n", s.epoch, s.loss,
+                s.seconds_elapsed);
+  });
+
+  // 4. Evaluation + one query.
+  eval::Evaluator evaluator(ds);
+  eval::EvalConfig ec;
+  ec.max_triples = 300;
+  std::printf("test: %s\n",
+              evaluator.Evaluate(model.get(), ds.test, ec).ToString().c_str());
+
+  const kg::Triple& q = ds.test.front();
+  std::printf("\nquery (%s, %s, ?):\n", ds.vocab.EntityName(q.head).c_str(),
+              ds.vocab.RelationName(q.rel).c_str());
+  ag::NoGradGuard guard;
+  model->SetTraining(false);
+  tensor::Tensor scores = model->ScoreAllTails({q.head}, {q.rel}).value();
+  std::vector<int64_t> ids(static_cast<size_t>(ds.num_entities()));
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int64_t>(i);
+  std::partial_sort(ids.begin(), ids.begin() + 5, ids.end(),
+                    [&](int64_t a, int64_t b) {
+                      return scores.data()[a] > scores.data()[b];
+                    });
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  #%d %-20s score %.2f%s\n", i + 1,
+                ds.vocab.EntityName(ids[static_cast<size_t>(i)]).c_str(),
+                scores.data()[ids[static_cast<size_t>(i)]],
+                ids[static_cast<size_t>(i)] == q.tail ? "  <- ground truth"
+                                                      : "");
+  }
+  return 0;
+}

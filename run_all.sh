@@ -1,0 +1,14 @@
+#!/bin/sh
+# Full verification pass: build, tests, every bench. Outputs are captured
+# at the repository root (test_output.txt, bench_output.txt).
+set -e
+cd "$(dirname "$0")"
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "==== $b ====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

@@ -1,0 +1,41 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace came::ag {
+
+double GradCheck(const std::function<Var(const std::vector<Var>&)>& fn,
+                 std::vector<Var> leaves, double epsilon) {
+  // Analytic pass.
+  for (auto& leaf : leaves) leaf.ZeroGrad();
+  Var loss = fn(leaves);
+  CAME_CHECK_EQ(loss.numel(), 1);
+  loss.Backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (auto& leaf : leaves) analytic.push_back(leaf.grad().Clone());
+
+  double max_diff = 0.0;
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    if (!leaves[li].requires_grad()) continue;
+    Tensor& value = leaves[li].mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float original = value.data()[i];
+      value.data()[i] = original + static_cast<float>(epsilon);
+      const float plus = fn(leaves).value().data()[0];
+      value.data()[i] = original - static_cast<float>(epsilon);
+      const float minus = fn(leaves).value().data()[0];
+      value.data()[i] = original;
+      const double numeric =
+          (static_cast<double>(plus) - minus) / (2.0 * epsilon);
+      const double diff = std::fabs(numeric - analytic[li].data()[i]);
+      max_diff = std::max(max_diff, diff);
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace came::ag

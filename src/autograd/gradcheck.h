@@ -1,0 +1,22 @@
+#ifndef CAME_AUTOGRAD_GRADCHECK_H_
+#define CAME_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace came::ag {
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `fn` must map the given leaf Vars to a scalar Var, re-runnable with
+/// perturbed leaf values (the checker mutates leaf tensors in place and
+/// re-invokes `fn`). Returns the max absolute difference between the
+/// analytic and numeric gradients across all leaves.
+double GradCheck(const std::function<Var(const std::vector<Var>&)>& fn,
+                 std::vector<Var> leaves, double epsilon = 1e-3);
+
+}  // namespace came::ag
+
+#endif  // CAME_AUTOGRAD_GRADCHECK_H_

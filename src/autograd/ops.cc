@@ -1,0 +1,853 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/fast_math.h"
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::ag {
+
+namespace {
+
+namespace ts = came::tensor;
+using internal::Node;
+using internal::VarState;
+
+bool NeedsGrad(const Var& v) { return v.defined() && v.requires_grad(); }
+
+/// Creates the result Var, recording a tape node when needed. `backward`
+/// receives the output gradient; it must accumulate into the captured
+/// input states (guarding each on requires_grad).
+Var MakeResult(Tensor value, const std::vector<Var>& inputs,
+               std::function<void(const Tensor&)> backward) {
+  bool any = false;
+  if (GradModeEnabled()) {
+    for (const auto& v : inputs) any = any || NeedsGrad(v);
+  }
+  if (!any) return Const(std::move(value));
+  auto node = std::make_shared<Node>();
+  node->inputs.reserve(inputs.size());
+  for (const auto& v : inputs) node->inputs.push_back(v.state());
+  auto out = std::make_shared<VarState>();
+  out->value = std::move(value);
+  out->requires_grad = true;
+  out->producer = node;
+  node->output = out;
+  node->backward = std::move(backward);
+  return Var::FromState(out);
+}
+
+using StatePtr = std::shared_ptr<VarState>;
+
+void AccumReduced(const StatePtr& s, const Tensor& g) {
+  if (!s->requires_grad) return;
+  s->AccumulateGrad(ts::ReduceToShape(g, s->value.shape()));
+}
+
+void Accum(const StatePtr& s, const Tensor& g) {
+  if (!s->requires_grad) return;
+  s->AccumulateGrad(g);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Elementwise binary
+// ---------------------------------------------------------------------------
+
+Var Add(const Var& a, const Var& b) {
+  Tensor out = ts::Add(a.value(), b.value());
+  auto as = a.state();
+  auto bs = b.state();
+  return MakeResult(std::move(out), {a, b}, [as, bs](const Tensor& g) {
+    AccumReduced(as, g);
+    AccumReduced(bs, g);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tensor out = ts::Sub(a.value(), b.value());
+  auto as = a.state();
+  auto bs = b.state();
+  return MakeResult(std::move(out), {a, b}, [as, bs](const Tensor& g) {
+    AccumReduced(as, g);
+    AccumReduced(bs, ts::Neg(g));
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Tensor out = ts::Mul(a.value(), b.value());
+  auto as = a.state();
+  auto bs = b.state();
+  Tensor av = a.value();
+  Tensor bv = b.value();
+  return MakeResult(std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
+    AccumReduced(as, ts::Mul(g, bv));
+    AccumReduced(bs, ts::Mul(g, av));
+  });
+}
+
+Var Div(const Var& a, const Var& b) {
+  Tensor out = ts::Div(a.value(), b.value());
+  auto as = a.state();
+  auto bs = b.state();
+  Tensor av = a.value();
+  Tensor bv = b.value();
+  return MakeResult(std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
+    AccumReduced(as, ts::Div(g, bv));
+    // db = -g * a / b^2
+    AccumReduced(bs, ts::Neg(ts::Div(ts::Mul(g, av), ts::Square(bv))));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise unary
+// ---------------------------------------------------------------------------
+
+Var Neg(const Var& v) {
+  auto s = v.state();
+  return MakeResult(ts::Neg(v.value()), {v},
+                    [s](const Tensor& g) { Accum(s, ts::Neg(g)); });
+}
+
+Var Exp(const Var& v) {
+  Tensor out = ts::Exp(v.value());
+  auto s = v.state();
+  Tensor saved = out;
+  return MakeResult(std::move(out), {v}, [s, saved](const Tensor& g) {
+    Accum(s, ts::Mul(g, saved));
+  });
+}
+
+Var Log(const Var& v) {
+  auto s = v.state();
+  Tensor x = v.value();
+  return MakeResult(ts::Log(v.value()), {v}, [s, x](const Tensor& g) {
+    Accum(s, ts::Div(g, x));
+  });
+}
+
+Var Sqrt(const Var& v) {
+  Tensor out = ts::Sqrt(v.value());
+  auto s = v.state();
+  Tensor saved = out;
+  return MakeResult(std::move(out), {v}, [s, saved](const Tensor& g) {
+    // d sqrt(x) = 1 / (2 sqrt(x))
+    Accum(s, ts::Div(g, ts::Scale(saved, 2.0f)));
+  });
+}
+
+Var Square(const Var& v) {
+  auto s = v.state();
+  Tensor x = v.value();
+  return MakeResult(ts::Square(v.value()), {v}, [s, x](const Tensor& g) {
+    Accum(s, ts::Mul(g, ts::Scale(x, 2.0f)));
+  });
+}
+
+Var Sigmoid(const Var& v) {
+  Tensor out = ts::Sigmoid(v.value());
+  auto s = v.state();
+  Tensor y = out;
+  return MakeResult(std::move(out), {v}, [s, y](const Tensor& g) {
+    // y' = y (1 - y)
+    Tensor one_minus = ts::AddScalar(ts::Neg(y), 1.0f);
+    Accum(s, ts::Mul(g, ts::Mul(y, one_minus)));
+  });
+}
+
+Var Tanh(const Var& v) {
+  Tensor out = ts::Tanh(v.value());
+  auto s = v.state();
+  Tensor y = out;
+  return MakeResult(std::move(out), {v}, [s, y](const Tensor& g) {
+    Tensor d = ts::AddScalar(ts::Neg(ts::Square(y)), 1.0f);
+    Accum(s, ts::Mul(g, d));
+  });
+}
+
+Var Relu(const Var& v) {
+  Tensor out = ts::Relu(v.value());
+  auto s = v.state();
+  Tensor x = v.value();
+  return MakeResult(std::move(out), {v}, [s, x](const Tensor& g) {
+    Tensor d(g.shape());
+    const float* px = x.data();
+    const float* pg = g.data();
+    float* pd = d.data();
+    for (int64_t i = 0; i < d.numel(); ++i) pd[i] = px[i] > 0 ? pg[i] : 0.0f;
+    Accum(s, d);
+  });
+}
+
+Var Scale(const Var& v, float k) {
+  auto s = v.state();
+  return MakeResult(ts::Scale(v.value(), k), {v}, [s, k](const Tensor& g) {
+    Accum(s, ts::Scale(g, k));
+  });
+}
+
+Var AddScalar(const Var& v, float k) {
+  auto s = v.state();
+  return MakeResult(ts::AddScalar(v.value(), k), {v},
+                    [s](const Tensor& g) { Accum(s, g); });
+}
+
+Var LogSigmoid(const Var& v) {
+  // log sigmoid(x) = min(x, 0) - log(1 + exp(-|x|))
+  Tensor x = v.value();
+  Tensor out(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float xi = x.data()[i];
+    out.data()[i] = std::min(xi, 0.0f) -
+                    std::log1p(std::exp(-std::fabs(xi)));
+  }
+  auto s = v.state();
+  return MakeResult(std::move(out), {v}, [s, x](const Tensor& g) {
+    // d/dx log sigmoid(x) = sigmoid(-x)
+    Accum(s, ts::Mul(g, ts::Sigmoid(ts::Neg(x))));
+  });
+}
+
+namespace {
+Tensor MapTensor(const Tensor& t, float (*f)(float)) {
+  Tensor out(t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) out.data()[i] = f(t.data()[i]);
+  return out;
+}
+}  // namespace
+
+Var Cos(const Var& v) {
+  Tensor x = v.value();
+  auto s = v.state();
+  return MakeResult(MapTensor(x, [](float a) { return std::cos(a); }), {v},
+                    [s, x](const Tensor& g) {
+                      Accum(s, ts::Mul(g, ts::Neg(MapTensor(x, [](float a) {
+                                         return std::sin(a);
+                                       }))));
+                    });
+}
+
+Var Sin(const Var& v) {
+  Tensor x = v.value();
+  auto s = v.state();
+  return MakeResult(MapTensor(x, [](float a) { return std::sin(a); }), {v},
+                    [s, x](const Tensor& g) {
+                      Accum(s, ts::Mul(g, MapTensor(x, [](float a) {
+                                         return std::cos(a);
+                                       })));
+                    });
+}
+
+Var Abs(const Var& v) {
+  Tensor x = v.value();
+  auto s = v.state();
+  return MakeResult(ts::Abs(x), {v}, [s, x](const Tensor& g) {
+    Tensor d(g.shape());
+    for (int64_t i = 0; i < d.numel(); ++i) {
+      d.data()[i] = x.data()[i] >= 0 ? g.data()[i] : -g.data()[i];
+    }
+    Accum(s, d);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = ts::MatMul(a.value(), b.value());
+  auto as = a.state();
+  auto bs = b.state();
+  Tensor av = a.value();
+  Tensor bv = b.value();
+  return MakeResult(std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
+    if (as->requires_grad) {
+      as->AccumulateGrad(ts::MatMul(g, bv, false, /*trans_b=*/true));
+    }
+    if (bs->requires_grad) {
+      bs->AccumulateGrad(ts::MatMul(av, g, /*trans_a=*/true, false));
+    }
+  });
+}
+
+Var BatchMatMul(const Var& a, const Var& b) {
+  Tensor out = ts::BatchMatMul(a.value(), b.value());
+  auto as = a.state();
+  auto bs = b.state();
+  Tensor av = a.value();
+  Tensor bv = b.value();
+  return MakeResult(std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
+    if (as->requires_grad) {
+      as->AccumulateGrad(ts::BatchMatMul(g, bv, false, /*trans_b=*/true));
+    }
+    if (bs->requires_grad) {
+      bs->AccumulateGrad(ts::BatchMatMul(av, g, /*trans_a=*/true, false));
+    }
+  });
+}
+
+Var Transpose(const Var& v) {
+  auto s = v.state();
+  return MakeResult(ts::Transpose2D(v.value()), {v}, [s](const Tensor& g) {
+    Accum(s, ts::Transpose2D(g));
+  });
+}
+
+Var BatchTranspose(const Var& v) {
+  auto s = v.state();
+  return MakeResult(ts::BatchTranspose(v.value()), {v}, [s](const Tensor& g) {
+    Accum(s, ts::BatchTranspose(g));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Shape
+// ---------------------------------------------------------------------------
+
+Var Reshape(const Var& v, Shape new_shape) {
+  auto s = v.state();
+  Shape old_shape = v.shape();
+  // Clone to keep value buffers private to each Var on the tape.
+  Tensor out = v.value().Clone().Reshape(std::move(new_shape));
+  return MakeResult(std::move(out), {v}, [s, old_shape](const Tensor& g) {
+    Accum(s, g.Clone().Reshape(old_shape));
+  });
+}
+
+Var Concat(const std::vector<Var>& parts, int64_t dim) {
+  CAME_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const auto& p : parts) values.push_back(p.value());
+  Tensor out = ts::Concat(values, dim);
+  const int64_t nd = parts[0].value().ndim();
+  const int64_t dim_pos = dim < 0 ? dim + nd : dim;
+
+  std::vector<StatePtr> states;
+  std::vector<int64_t> extents;
+  for (const auto& p : parts) {
+    states.push_back(p.state());
+    extents.push_back(p.value().dim(dim_pos));
+  }
+  return MakeResult(std::move(out), parts,
+                    [states, extents, dim_pos](const Tensor& g) {
+                      int64_t offset = 0;
+                      for (size_t i = 0; i < states.size(); ++i) {
+                        if (states[i]->requires_grad) {
+                          states[i]->AccumulateGrad(
+                              ts::SliceAlong(g, dim_pos, offset, extents[i]));
+                        }
+                        offset += extents[i];
+                      }
+                    });
+}
+
+Var Slice(const Var& v, int64_t dim, int64_t start, int64_t len) {
+  const int64_t nd = v.value().ndim();
+  const int64_t dim_pos = dim < 0 ? dim + nd : dim;
+  Tensor out = ts::SliceAlong(v.value(), dim_pos, start, len);
+  auto s = v.state();
+  Shape in_shape = v.shape();
+  return MakeResult(std::move(out), {v},
+                    [s, in_shape, dim_pos, start, len](const Tensor& g) {
+                      if (!s->requires_grad) return;
+                      Tensor full = Tensor::Zeros(in_shape);
+                      // Write g into the sliced region.
+                      int64_t outer = 1;
+                      int64_t inner = 1;
+                      const int64_t axis = in_shape[static_cast<size_t>(dim_pos)];
+                      for (int64_t d = 0; d < dim_pos; ++d) {
+                        outer *= in_shape[static_cast<size_t>(d)];
+                      }
+                      for (size_t d = static_cast<size_t>(dim_pos) + 1;
+                           d < in_shape.size(); ++d) {
+                        inner *= in_shape[d];
+                      }
+                      for (int64_t o = 0; o < outer; ++o) {
+                        const float* src = g.data() + o * len * inner;
+                        float* dst =
+                            full.data() + (o * axis + start) * inner;
+                        std::copy(src, src + len * inner, dst);
+                      }
+                      s->AccumulateGrad(full);
+                    });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions / normalisation
+// ---------------------------------------------------------------------------
+
+Var SumAll(const Var& v) {
+  auto s = v.state();
+  Shape in_shape = v.shape();
+  return MakeResult(ts::SumAll(v.value()), {v},
+                    [s, in_shape](const Tensor& g) {
+                      Accum(s, Tensor::Full(in_shape, g.data()[0]));
+                    });
+}
+
+Var MeanAll(const Var& v) {
+  const float inv = 1.0f / static_cast<float>(v.numel());
+  auto s = v.state();
+  Shape in_shape = v.shape();
+  Tensor out = Tensor::Scalar(ts::SumAllScalar(v.value()) * inv);
+  return MakeResult(std::move(out), {v}, [s, in_shape, inv](const Tensor& g) {
+    Accum(s, Tensor::Full(in_shape, g.data()[0] * inv));
+  });
+}
+
+Var SumAlong(const Var& v, int64_t dim, bool keepdim) {
+  const int64_t nd = v.value().ndim();
+  const int64_t dim_pos = dim < 0 ? dim + nd : dim;
+  Tensor out = ts::SumAlong(v.value(), dim_pos, keepdim);
+  auto s = v.state();
+  Shape in_shape = v.shape();
+  return MakeResult(std::move(out), {v},
+                    [s, in_shape, dim_pos](const Tensor& g) {
+                      if (!s->requires_grad) return;
+                      // Broadcast g back along the reduced axis.
+                      Shape keep = in_shape;
+                      keep[static_cast<size_t>(dim_pos)] = 1;
+                      Tensor gk = g.Clone().Reshape(keep);
+                      s->AccumulateGrad(
+                          ts::Add(Tensor::Zeros(in_shape), gk));
+                    });
+}
+
+Var MeanAlong(const Var& v, int64_t dim, bool keepdim) {
+  const int64_t nd = v.value().ndim();
+  const int64_t dim_pos = dim < 0 ? dim + nd : dim;
+  const float inv =
+      1.0f / static_cast<float>(v.value().dim(dim_pos));
+  return Scale(SumAlong(v, dim, keepdim), inv);
+}
+
+Var SoftmaxAlong(const Var& v, int64_t dim) {
+  const int64_t nd = v.value().ndim();
+  const int64_t dim_pos = dim < 0 ? dim + nd : dim;
+  Tensor out = ts::SoftmaxAlong(v.value(), dim_pos);
+  auto s = v.state();
+  Tensor y = out;
+  return MakeResult(std::move(out), {v}, [s, y, dim_pos](const Tensor& g) {
+    if (!s->requires_grad) return;
+    // dx = y * (g - sum(g*y, dim))
+    Tensor gy = ts::Mul(g, y);
+    Tensor sum = ts::SumAlong(gy, dim_pos, /*keepdim=*/true);
+    s->AccumulateGrad(ts::Mul(y, ts::Sub(g, sum)));
+  });
+}
+
+namespace {
+
+// Shared LayerNorm implementation; gamma/beta may be undefined Vars.
+Var LayerNormImpl(const Var& v, const Var& gamma, const Var& beta, float eps) {
+  const Tensor& x = v.value();
+  const int64_t nd = x.ndim();
+  CAME_CHECK_GE(nd, 1);
+  const int64_t d = x.dim(nd - 1);
+  const int64_t rows = x.numel() / d;
+  const bool affine = gamma.defined();
+  if (affine) {
+    CAME_CHECK_EQ(gamma.numel(), d);
+    CAME_CHECK_EQ(beta.numel(), d);
+  }
+
+  Tensor xhat(x.shape());
+  Tensor inv_sigma(Shape{rows});
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* ph = xhat.data();
+  float* po = out.data();
+  const float* pg = affine ? gamma.value().data() : nullptr;
+  const float* pb = affine ? beta.value().data() : nullptr;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * d;
+    double mean = 0.0;
+    for (int64_t j = 0; j < d; ++j) mean += row[j];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double c = row[j] - mean;
+      var += c * c;
+    }
+    var /= static_cast<double>(d);
+    const float inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+    inv_sigma.data()[r] = inv;
+    for (int64_t j = 0; j < d; ++j) {
+      const float h = (row[j] - static_cast<float>(mean)) * inv;
+      ph[r * d + j] = h;
+      po[r * d + j] = affine ? h * pg[j] + pb[j] : h;
+    }
+  }
+
+  auto xs = v.state();
+  auto gs = affine ? gamma.state() : nullptr;
+  auto bs = affine ? beta.state() : nullptr;
+  std::vector<Var> inputs = {v};
+  if (affine) {
+    inputs.push_back(gamma);
+    inputs.push_back(beta);
+  }
+  Tensor gamma_v = affine ? gamma.value() : Tensor();
+  return MakeResult(
+      std::move(out), inputs,
+      [xs, gs, bs, xhat, inv_sigma, gamma_v, rows, d,
+       affine](const Tensor& g) {
+        const float* pgo = g.data();
+        const float* ph = xhat.data();
+        const float* pgm = affine ? gamma_v.data() : nullptr;
+        if (affine && gs->requires_grad) {
+          Tensor dgamma(gamma_v.shape());
+          for (int64_t r = 0; r < rows; ++r) {
+            for (int64_t j = 0; j < d; ++j) {
+              dgamma.data()[j] += pgo[r * d + j] * ph[r * d + j];
+            }
+          }
+          gs->AccumulateGrad(dgamma);
+        }
+        if (affine && bs->requires_grad) {
+          Tensor dbeta(gamma_v.shape());
+          for (int64_t r = 0; r < rows; ++r) {
+            for (int64_t j = 0; j < d; ++j) {
+              dbeta.data()[j] += pgo[r * d + j];
+            }
+          }
+          bs->AccumulateGrad(dbeta);
+        }
+        if (xs->requires_grad) {
+          Tensor dx(xs->value.shape());
+          for (int64_t r = 0; r < rows; ++r) {
+            // ghat = g * gamma (or g); dx = (ghat - mean(ghat)
+            //        - xhat * mean(ghat*xhat)) * inv_sigma
+            double m1 = 0.0;
+            double m2 = 0.0;
+            for (int64_t j = 0; j < d; ++j) {
+              const float gh =
+                  affine ? pgo[r * d + j] * pgm[j] : pgo[r * d + j];
+              m1 += gh;
+              m2 += gh * ph[r * d + j];
+            }
+            m1 /= static_cast<double>(d);
+            m2 /= static_cast<double>(d);
+            const float inv = inv_sigma.data()[r];
+            for (int64_t j = 0; j < d; ++j) {
+              const float gh =
+                  affine ? pgo[r * d + j] * pgm[j] : pgo[r * d + j];
+              dx.data()[r * d + j] =
+                  (gh - static_cast<float>(m1) -
+                   ph[r * d + j] * static_cast<float>(m2)) *
+                  inv;
+            }
+          }
+          xs->AccumulateGrad(dx);
+        }
+      });
+}
+
+}  // namespace
+
+Var LayerNorm(const Var& v, const Var& gamma, const Var& beta, float eps) {
+  CAME_CHECK(gamma.defined());
+  CAME_CHECK(beta.defined());
+  return LayerNormImpl(v, gamma, beta, eps);
+}
+
+Var LayerNormNoAffine(const Var& v, float eps) {
+  return LayerNormImpl(v, Var(), Var(), eps);
+}
+
+// ---------------------------------------------------------------------------
+// Indexed
+// ---------------------------------------------------------------------------
+
+Var Gather(const Var& matrix, const std::vector<int64_t>& indices) {
+  Tensor out = ts::GatherRows(matrix.value(), indices);
+  auto s = matrix.state();
+  const int64_t rows = matrix.value().dim(0);
+  return MakeResult(std::move(out), {matrix},
+                    [s, indices, rows](const Tensor& g) {
+                      if (!s->requires_grad) return;
+                      s->AccumulateGrad(ts::ScatterAddRows(g, indices, rows));
+                    });
+}
+
+Var Scatter(const Var& src, const std::vector<int64_t>& indices,
+            int64_t num_rows) {
+  Tensor out = ts::ScatterAddRows(src.value(), indices, num_rows);
+  auto s = src.state();
+  return MakeResult(std::move(out), {src}, [s, indices](const Tensor& g) {
+    if (!s->requires_grad) return;
+    s->AccumulateGrad(ts::GatherRows(g, indices));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Selection
+// ---------------------------------------------------------------------------
+
+Var WhereConst(const Tensor& mask, const Var& a, const Var& b) {
+  Tensor out = ts::Where(mask, a.value(), b.value());
+  auto as = a.state();
+  auto bs = b.state();
+  Tensor m = mask;
+  return MakeResult(std::move(out), {a, b}, [as, bs, m](const Tensor& g) {
+    Tensor zeros = Tensor::Zeros(g.shape());
+    if (as->requires_grad) as->AccumulateGrad(ts::Where(m, g, zeros));
+    if (bs->requires_grad) bs->AccumulateGrad(ts::Where(m, zeros, g));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Neural net primitives
+// ---------------------------------------------------------------------------
+
+Var Conv2d(const Var& input, const Var& weight, const Var& bias, int64_t pad) {
+  const Tensor& x = input.value();
+  const Tensor& w = weight.value();
+  CAME_CHECK_EQ(x.ndim(), 4);
+  CAME_CHECK_EQ(w.ndim(), 4);
+  const int64_t batch = x.dim(0);
+  const int64_t cin = x.dim(1);
+  const int64_t h = x.dim(2);
+  const int64_t wdt = x.dim(3);
+  const int64_t filters = w.dim(0);
+  CAME_CHECK_EQ(w.dim(1), cin);
+  const int64_t kh = w.dim(2);
+  const int64_t kw = w.dim(3);
+  const int64_t out_h = h + 2 * pad - kh + 1;
+  const int64_t out_w = wdt + 2 * pad - kw + 1;
+
+  Tensor cols = ts::Im2Col(x, kh, kw, pad);  // [B, cin*kh*kw, L]
+  Tensor w2d = w.Reshape(Shape{filters, cin * kh * kw});
+  // out[b] = w2d x cols[b], multiplied in place on raw slices.
+  Tensor out(Shape{batch, filters, out_h, out_w});
+  const int64_t l = out_h * out_w;
+  const int64_t col_stride = cin * kh * kw * l;
+  for (int64_t b = 0; b < batch; ++b) {
+    ts::MatMulRaw(w2d.data(), cols.data() + b * col_stride,
+                  out.data() + b * filters * l, filters, cin * kh * kw, l,
+                  false, false, /*accumulate=*/false);
+  }
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    CAME_CHECK_EQ(bias.numel(), filters);
+    const float* pb = bias.value().data();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t f = 0; f < filters; ++f) {
+        float* dst = out.data() + (b * filters + f) * l;
+        for (int64_t i = 0; i < l; ++i) dst[i] += pb[f];
+      }
+    }
+  }
+
+  auto xs = input.state();
+  auto ws = weight.state();
+  auto bs = has_bias ? bias.state() : nullptr;
+  std::vector<Var> inputs = {input, weight};
+  if (has_bias) inputs.push_back(bias);
+  Tensor saved_cols = cols;
+  Tensor saved_w2d = w2d;
+  return MakeResult(
+      std::move(out), inputs,
+      [xs, ws, bs, saved_cols, saved_w2d, batch, cin, h, wdt, filters, kh, kw,
+       pad, l, col_stride, has_bias](const Tensor& g) {
+        // g: [B, F, out_h, out_w] -> per batch [F, L]
+        if (has_bias && bs->requires_grad) {
+          Tensor dbias(Shape{filters});
+          for (int64_t b = 0; b < batch; ++b) {
+            for (int64_t f = 0; f < filters; ++f) {
+              const float* src = g.data() + (b * filters + f) * l;
+              float acc = 0.0f;
+              for (int64_t i = 0; i < l; ++i) acc += src[i];
+              dbias.data()[f] += acc;
+            }
+          }
+          bs->AccumulateGrad(dbias);
+        }
+        Tensor dw2d(Shape{filters, cin * kh * kw});
+        Tensor dcols(Shape{batch, cin * kh * kw, l});
+        for (int64_t b = 0; b < batch; ++b) {
+          const float* gb = g.data() + b * filters * l;
+          const float* cb = saved_cols.data() + b * col_stride;
+          if (ws->requires_grad) {
+            // dW += g_b x cols_b^T
+            ts::MatMulRaw(gb, cb, dw2d.data(), filters, l, cin * kh * kw,
+                          false, /*trans_b=*/true, /*accumulate=*/true);
+          }
+          if (xs->requires_grad) {
+            // dcols_b = W^T x g_b
+            ts::MatMulRaw(saved_w2d.data(), gb,
+                          dcols.data() + b * col_stride, cin * kh * kw,
+                          filters, l, /*trans_a=*/true, false,
+                          /*accumulate=*/false);
+          }
+        }
+        if (ws->requires_grad) {
+          ws->AccumulateGrad(dw2d.Reshape(Shape{filters, cin, kh, kw}));
+        }
+        if (xs->requires_grad) {
+          xs->AccumulateGrad(ts::Col2Im(dcols, batch, cin, h, wdt, kh, kw, pad));
+        }
+      });
+}
+
+Var Dropout(const Var& v, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return v;
+  CAME_CHECK_LT(p, 1.0f);
+  CAME_CHECK(rng != nullptr);
+  const float scale = 1.0f / (1.0f - p);
+  Tensor mask(v.shape());
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.data()[i] = rng->Bernoulli(p) ? 0.0f : scale;
+  }
+  Tensor out = ts::Mul(v.value(), mask);
+  auto s = v.state();
+  return MakeResult(std::move(out), {v}, [s, mask](const Tensor& g) {
+    Accum(s, ts::Mul(g, mask));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fused attention
+// ---------------------------------------------------------------------------
+
+Var CoAttentionApply(const Var& x, const Var& a, const Var& b,
+                     const Var& inv_tau) {
+  const Tensor& xv = x.value();
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
+  CAME_CHECK_EQ(xv.ndim(), 2);
+  CAME_CHECK(ts::SameShape(xv.shape(), av.shape()));
+  CAME_CHECK(ts::SameShape(xv.shape(), bv.shape()));
+  CAME_CHECK_EQ(inv_tau.numel(), 1);
+  const int64_t batch = xv.dim(0);
+  const int64_t d = xv.dim(1);
+  const float u = inv_tau.value().data()[0];
+
+  // The softmax is stored TRANSPOSED — st[j][i] = S[i][j] — so both the
+  // forward column pass and the backward pass touch contiguous memory.
+  Tensor softmax_t(Shape{batch, d, d});
+  Tensor out(Shape{batch, d});
+  for (int64_t r = 0; r < batch; ++r) {
+    const float* ar = av.data() + r * d;
+    const float* br = bv.data() + r * d;
+    const float* xr = xv.data() + r * d;
+    float* st = softmax_t.data() + r * d * d;
+    float* o = out.data() + r * d;
+    for (int64_t j = 0; j < d; ++j) {
+      // Column j of M: softmax over i of a[i] * (b[j] * u).
+      const float bj = br[j] * u;
+      float* srow = st + j * d;
+      float m = ar[0] * bj;
+      for (int64_t i = 1; i < d; ++i) m = std::max(m, ar[i] * bj);
+      float denom = 0.0f;
+      for (int64_t i = 0; i < d; ++i) {
+        const float e = FastExp(ar[i] * bj - m);
+        srow[i] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      float acc = 0.0f;
+      for (int64_t i = 0; i < d; ++i) {
+        srow[i] *= inv;
+        acc += xr[i] * srow[i];
+      }
+      o[j] = acc;
+    }
+  }
+
+  auto xs = x.state();
+  auto as = a.state();
+  auto bs = b.state();
+  auto us = inv_tau.state();
+  Tensor x_saved = xv;
+  Tensor a_saved = av;
+  Tensor b_saved = bv;
+  Tensor s_saved = softmax_t;
+  Tensor o_saved = out;
+  return MakeResult(
+      std::move(out), {x, a, b, inv_tau},
+      [xs, as, bs, us, x_saved, a_saved, b_saved, s_saved, o_saved, batch, d,
+       u](const Tensor& g) {
+        Tensor dx(Shape{batch, d});
+        Tensor da(Shape{batch, d});
+        Tensor db(Shape{batch, d});
+        double du_total = 0.0;
+        const bool need_x = xs->requires_grad;
+        const bool need_a = as->requires_grad;
+        const bool need_b = bs->requires_grad;
+        const bool need_u = us->requires_grad;
+        for (int64_t r = 0; r < batch; ++r) {
+          const float* ar = a_saved.data() + r * d;
+          const float* br = b_saved.data() + r * d;
+          const float* xr = x_saved.data() + r * d;
+          const float* st = s_saved.data() + r * d * d;
+          const float* o = o_saved.data() + r * d;
+          const float* gr = g.data() + r * d;
+          float* dxr = dx.data() + r * d;
+          float* dar = da.data() + r * d;
+          float* dbr = db.data() + r * d;
+          for (int64_t j = 0; j < d; ++j) {
+            const float gj = gr[j];
+            const float oj = o[j];
+            const float* srow = st + j * d;
+            float dbj = 0.0f;
+            float duj = 0.0f;
+            for (int64_t i = 0; i < d; ++i) {
+              const float sij = srow[i];
+              if (need_x) dxr[i] += gj * sij;
+              // dM[i][j] = S[i][j] * g[j] * (x[i] - o[j]);
+              // M[i][j] = a[i] * b[j] * u.
+              const float dm = sij * gj * (xr[i] - oj);
+              const float dm_ai = dm * ar[i];
+              if (need_a) dar[i] += dm * br[j] * u;
+              dbj += dm_ai;
+              duj += dm_ai;
+            }
+            if (need_b) dbr[j] += dbj * u;
+            if (need_u) du_total += static_cast<double>(duj) * br[j];
+          }
+        }
+        if (need_x) xs->AccumulateGrad(dx);
+        if (need_a) as->AccumulateGrad(da);
+        if (need_b) bs->AccumulateGrad(db);
+        if (need_u) {
+          us->AccumulateGrad(Tensor::Scalar(static_cast<float>(du_total)));
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------------
+
+Var BceWithLogitsMean(const Var& logits, const Tensor& targets) {
+  const Tensor& x = logits.value();
+  CAME_CHECK(ts::SameShape(x.shape(), targets.shape()));
+  const int64_t n = x.numel();
+  // loss_i = max(x,0) - x*t + log(1 + exp(-|x|))
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float xi = x.data()[i];
+    const float ti = targets.data()[i];
+    acc += std::max(xi, 0.0f) - xi * ti +
+           std::log1p(std::exp(-std::fabs(xi)));
+  }
+  Tensor out = Tensor::Scalar(static_cast<float>(acc / n));
+  auto s = logits.state();
+  Tensor x_saved = x;
+  Tensor t_saved = targets;
+  return MakeResult(std::move(out), {logits},
+                    [s, x_saved, t_saved, n](const Tensor& g) {
+                      if (!s->requires_grad) return;
+                      // d/dx = (sigmoid(x) - t) / n
+                      Tensor d = ts::Sub(ts::Sigmoid(x_saved), t_saved);
+                      s->AccumulateGrad(
+                          ts::Scale(d, g.data()[0] / static_cast<float>(n)));
+                    });
+}
+
+}  // namespace came::ag

@@ -1,0 +1,136 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::ag {
+
+namespace {
+thread_local bool g_grad_mode = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+namespace internal {
+
+void VarState::AccumulateGrad(const Tensor& g) {
+  CAME_CHECK(tensor::SameShape(g.shape(), value.shape()))
+      << "grad shape " << tensor::ShapeToString(g.shape()) << " vs value "
+      << tensor::ShapeToString(value.shape());
+  if (!has_grad) {
+    grad = g.Clone();
+    has_grad = true;
+  } else {
+    tensor::Axpy(1.0f, g, &grad);
+  }
+}
+
+}  // namespace internal
+
+Var::Var(Tensor value, bool requires_grad)
+    : state_(std::make_shared<internal::VarState>()) {
+  state_->value = std::move(value);
+  state_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::value() const {
+  CAME_CHECK(defined());
+  return state_->value;
+}
+
+Tensor& Var::mutable_value() {
+  CAME_CHECK(defined());
+  return state_->value;
+}
+
+bool Var::requires_grad() const { return defined() && state_->requires_grad; }
+
+Tensor Var::grad() const {
+  CAME_CHECK(defined());
+  if (!state_->has_grad) return Tensor::Zeros(state_->value.shape());
+  return state_->grad;
+}
+
+bool Var::has_grad() const { return defined() && state_->has_grad; }
+
+void Var::ZeroGrad() {
+  CAME_CHECK(defined());
+  state_->has_grad = false;
+  state_->grad = Tensor();
+}
+
+Var Var::Detach() const {
+  CAME_CHECK(defined());
+  return Var(state_->value, /*requires_grad=*/false);
+}
+
+Var Var::FromState(std::shared_ptr<internal::VarState> state) {
+  Var v;
+  v.state_ = std::move(state);
+  return v;
+}
+
+void Var::Backward() {
+  CAME_CHECK(defined());
+  CAME_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
+
+  // Topological order over producer nodes (iterative post-order DFS).
+  // Shared ownership keeps every node alive until the sweep finishes even
+  // though the sweep itself severs tape edges.
+  std::vector<std::shared_ptr<internal::Node>> order;
+  std::unordered_set<internal::Node*> visited;
+  struct Frame {
+    std::shared_ptr<internal::Node> node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  if (state_->producer) {
+    visited.insert(state_->producer.get());
+    stack.push_back({state_->producer, 0});
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_input < f.node->inputs.size()) {
+      const std::shared_ptr<internal::Node>& child =
+          f.node->inputs[f.next_input]->producer;
+      ++f.next_input;
+      if (child != nullptr && !visited.count(child.get())) {
+        visited.insert(child.get());
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  state_->AccumulateGrad(Tensor::Full(state_->value.shape(), 1.0f));
+
+  // Post-order lists children first; iterate reversed so each node sees
+  // its output gradient fully accumulated before propagating. Edge
+  // severing happens in a separate pass: clearing inputs mid-sweep would
+  // destroy interior VarStates before their producing node runs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* node = it->get();
+    std::shared_ptr<internal::VarState> out = node->output.lock();
+    if (out != nullptr && out->has_grad && node->backward) {
+      node->backward(out->grad);
+    }
+  }
+  // Consume the tape: free interior activations and make double-backward
+  // a no-op rather than a silent double-count.
+  for (const auto& node : order) {
+    if (auto out = node->output.lock()) out->producer.reset();
+    node->backward = nullptr;
+    node->inputs.clear();
+  }
+}
+
+Var Const(Tensor value) { return Var(std::move(value), false); }
+
+}  // namespace came::ag

@@ -1,0 +1,104 @@
+#ifndef CAME_AUTOGRAD_VARIABLE_H_
+#define CAME_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace came::ag {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace internal {
+struct Node;
+
+/// Shared state behind a Var handle: the forward value, the (lazily
+/// allocated) gradient accumulator, and the producing op node.
+struct VarState {
+  Tensor value;
+  Tensor grad;          // valid iff has_grad
+  bool requires_grad = false;
+  bool has_grad = false;
+  std::shared_ptr<Node> producer;  // null for leaves
+
+  void AccumulateGrad(const Tensor& g);
+};
+
+/// One recorded op on the tape. `backward` reads the output gradient and
+/// accumulates into the inputs' gradients. Ownership: VarState owns its
+/// producer Node; a Node owns its input VarStates but holds its output
+/// weakly, so the tape is an acyclic ownership DAG rooted at live Vars.
+struct Node {
+  std::vector<std::shared_ptr<VarState>> inputs;
+  std::weak_ptr<VarState> output;
+  std::function<void(const Tensor& grad_out)> backward;
+};
+}  // namespace internal
+
+/// Differentiable tensor handle. Cheap to copy (shared state). Ops over
+/// Vars (see autograd/ops.h) record a dynamic tape; `Backward()` on a
+/// scalar result propagates gradients to every reachable leaf with
+/// `requires_grad`.
+class Var {
+ public:
+  /// Undefined handle.
+  Var() = default;
+  /// Wraps a tensor; `requires_grad` marks a trainable leaf.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return state_ != nullptr; }
+  const Tensor& value() const;
+  /// Mutable access to the forward value (parameter updates).
+  Tensor& mutable_value();
+  const Shape& shape() const { return value().shape(); }
+  int64_t dim(int64_t i) const { return value().dim(i); }
+  int64_t numel() const { return value().numel(); }
+
+  bool requires_grad() const;
+  /// Gradient tensor; zeros if backward has not reached this Var.
+  Tensor grad() const;
+  bool has_grad() const;
+  void ZeroGrad();
+
+  /// A leaf Var sharing this value but cut from the tape (no gradient
+  /// flows through the result).
+  Var Detach() const;
+
+  /// Runs reverse-mode accumulation from this scalar (numel()==1) Var.
+  /// Consumes the tape: a second Backward over the same graph is a no-op
+  /// for interior nodes.
+  void Backward();
+
+  // Internal: used by the op library.
+  const std::shared_ptr<internal::VarState>& state() const { return state_; }
+  static Var FromState(std::shared_ptr<internal::VarState> state);
+
+ private:
+  std::shared_ptr<internal::VarState> state_;
+};
+
+/// Convenience: constant (non-trainable) leaf.
+Var Const(Tensor value);
+
+/// Whether ops currently record the tape (true by default).
+bool GradModeEnabled();
+
+/// RAII scope that disables tape recording — use for evaluation/inference
+/// so forward passes allocate no graph.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace came::ag
+
+#endif  // CAME_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,61 @@
+#ifndef CAME_BASELINES_BILINEAR_H_
+#define CAME_BASELINES_BILINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/kgc_model.h"
+
+namespace came::baselines {
+
+/// DistMult (Yang et al., 2015): score = <h o r, t>.
+class DistMult : public InnerProductKgcModel {
+ public:
+  DistMult(const ModelContext& context, int64_t dim);
+
+  std::string Name() const override { return "DistMult"; }
+  TrainingRegime regime() const override {
+    return TrainingRegime::kNegativeSampling;
+  }
+
+ protected:
+  ag::Var Query(const std::vector<int64_t>& heads,
+                const std::vector<int64_t>& rels) override;
+  ag::Var CandidateTable() override { return entities_; }
+
+ private:
+  Rng rng_;
+  ag::Var entities_;
+  ag::Var relations_;
+};
+
+/// ComplEx (Trouillon et al., 2016): score = Re<h o r, conj(t)> over
+/// complex embeddings stored as [real ; imaginary] halves. The score is
+/// bilinear in t, so it reduces to an inner product with the query
+/// q = [Re(h o r) ; Im(h o r)].
+class ComplEx : public InnerProductKgcModel {
+ public:
+  /// `dim` is the total stored width (2x the complex dimension); must be
+  /// even.
+  ComplEx(const ModelContext& context, int64_t dim);
+
+  std::string Name() const override { return "ComplEx"; }
+  TrainingRegime regime() const override {
+    return TrainingRegime::kNegativeSampling;
+  }
+
+ protected:
+  ag::Var Query(const std::vector<int64_t>& heads,
+                const std::vector<int64_t>& rels) override;
+  ag::Var CandidateTable() override { return entities_; }
+
+ private:
+  int64_t half_;
+  Rng rng_;
+  ag::Var entities_;   // [N, 2*half]: [re ; im]
+  ag::Var relations_;  // [2R, 2*half]
+};
+
+}  // namespace came::baselines
+
+#endif  // CAME_BASELINES_BILINEAR_H_

@@ -1,0 +1,55 @@
+#ifndef CAME_BASELINES_CONVE_H_
+#define CAME_BASELINES_CONVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/kgc_model.h"
+
+namespace came::baselines {
+
+/// Configuration shared by the convolutional decoders (ConvE and the
+/// conv branches of MKGformer-lite / CamE).
+struct ConvDecoderConfig {
+  int64_t dim = 64;        // entity/relation embedding width
+  int64_t filters = 32;    // conv output channels
+  int64_t kernel = 3;      // square kernel (paper uses 9x9 at full scale)
+  int64_t reshape_h = 8;   // 2-D reshape height; width = dim / reshape_h
+  float dropout = 0.2f;
+};
+
+/// ConvE (Dettmers et al., 2018): stacks the reshaped head and relation
+/// embeddings into a 2-channel image, convolves, and projects back to the
+/// embedding space; trained 1-to-N with BCE.
+class ConvE : public InnerProductKgcModel {
+ public:
+  ConvE(const ModelContext& context, const ConvDecoderConfig& config);
+
+  std::string Name() const override { return "ConvE"; }
+  TrainingRegime regime() const override { return TrainingRegime::kOneToN; }
+
+ protected:
+  ag::Var Query(const std::vector<int64_t>& heads,
+                const std::vector<int64_t>& rels) override;
+  ag::Var CandidateTable() override { return entities_; }
+
+ private:
+  ConvDecoderConfig config_;
+  Rng rng_;
+  ag::Var entities_;
+  ag::Var relations_;
+  std::unique_ptr<nn::Conv2d> conv_;
+  std::unique_ptr<nn::Linear> fc_;
+  std::unique_ptr<nn::LayerNorm> norm_;
+  std::unique_ptr<nn::Dropout> dropout_;
+};
+
+/// Reshapes each [B, dim] vector into [B, 1, reshape_h, dim/reshape_h]
+/// and stacks the list along the channel axis. Shared by every conv-based
+/// decoder in the repo (the paper's `stack2d` / star operator).
+ag::Var Stack2d(const std::vector<ag::Var>& vectors, int64_t reshape_h);
+
+}  // namespace came::baselines
+
+#endif  // CAME_BASELINES_CONVE_H_

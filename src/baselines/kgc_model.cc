@@ -1,0 +1,48 @@
+#include "baselines/kgc_model.h"
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::baselines {
+
+InnerProductKgcModel::InnerProductKgcModel(const ModelContext& context,
+                                           int64_t query_dim, bool entity_bias,
+                                           Rng* rng) 
+    : KgcModel(context) {
+  (void)query_dim;
+  (void)rng;
+  if (entity_bias) {
+    bias_ = RegisterParameter("entity_bias",
+                              tensor::Tensor::Zeros({context.num_entities}));
+  }
+}
+
+ag::Var InnerProductKgcModel::ScoreTriples(const std::vector<int64_t>& heads,
+                                           const std::vector<int64_t>& rels,
+                                           const std::vector<int64_t>& tails) {
+  ag::Var q = Query(heads, rels);                    // [B, d]
+  ag::Var t = ag::Gather(CandidateTable(), tails);   // [B, d]
+  ag::Var scores = ag::SumAlong(ag::Mul(q, t), 1, /*keepdim=*/false);  // [B]
+  if (bias_.defined()) {
+    ag::Var tail_bias = ag::Reshape(
+        ag::Gather(ag::Reshape(bias_, {num_entities(), 1}), tails),
+        {static_cast<int64_t>(tails.size())});
+    scores = ag::Add(scores, tail_bias);
+  }
+  return scores;
+}
+
+ag::Var InnerProductKgcModel::ScoreAllTails(const std::vector<int64_t>& heads,
+                                            const std::vector<int64_t>& rels) {
+  ag::Var q = Query(heads, rels);                         // [B, d]
+  ag::Var scores = ag::MatMul(q, ag::Transpose(CandidateTable()));  // [B, N]
+  if (bias_.defined()) scores = ag::Add(scores, bias_);
+  return scores;
+}
+
+ag::Var GatherConstRows(const tensor::Tensor& table,
+                        const std::vector<int64_t>& indices) {
+  return ag::Const(tensor::GatherRows(table, indices));
+}
+
+}  // namespace came::baselines

@@ -1,0 +1,104 @@
+#ifndef CAME_BASELINES_KGC_MODEL_H_
+#define CAME_BASELINES_KGC_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "encoders/feature_bank.h"
+#include "kg/triple_store.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace came::baselines {
+
+/// How a model is trained (mirrors each paper's original regime).
+enum class TrainingRegime {
+  kOneToN,           // BCE against all entities (ConvE / CamE style)
+  kNegativeSampling, // margin ranking with uniform negatives (TransE style)
+  kSelfAdversarial,  // RotatE-style self-adversarial weighting
+};
+
+/// Construction context shared by every model.
+struct ModelContext {
+  int64_t num_entities = 0;
+  /// Relation count including inverse relations (2R).
+  int64_t num_relations = 0;
+  /// Frozen multimodal features; null for unimodal models.
+  const encoders::FeatureBank* features = nullptr;
+  /// Training triples (base relations only); required by graph-convolution
+  /// models (CompGCN) that message-pass over the training graph.
+  const std::vector<kg::Triple>* train_triples = nullptr;
+  uint64_t seed = 1;
+};
+
+/// Abstract KG completion model. Scores are "higher is better" for every
+/// implementation (distance models return negated distances).
+class KgcModel : public nn::Module {
+ public:
+  ~KgcModel() override = default;
+
+  virtual std::string Name() const = 0;
+  virtual TrainingRegime regime() const = 0;
+
+  /// Scores of the aligned triples (heads[i], rels[i], tails[i]): [B].
+  virtual ag::Var ScoreTriples(const std::vector<int64_t>& heads,
+                               const std::vector<int64_t>& rels,
+                               const std::vector<int64_t>& tails) = 0;
+
+  /// Scores of (heads[i], rels[i], t) for every entity t: [B, N].
+  virtual ag::Var ScoreAllTails(const std::vector<int64_t>& heads,
+                                const std::vector<int64_t>& rels) = 0;
+
+  /// Extra loss term added by the trainer (e.g. TransAE's reconstruction
+  /// loss). Undefined Var (the default) means none. Entity ids are the
+  /// batch the loss should cover.
+  virtual ag::Var AuxiliaryLoss(const std::vector<int64_t>& entities) {
+    (void)entities;
+    return ag::Var();
+  }
+
+  int64_t num_entities() const { return context_.num_entities; }
+  int64_t num_relations() const { return context_.num_relations; }
+
+ protected:
+  explicit KgcModel(const ModelContext& context) : context_(context) {}
+
+  ModelContext context_;
+};
+
+/// Helper base for models whose score is an inner product
+/// <Query(h, r), E[t]> (+ per-entity bias): both scoring methods derive
+/// from a single `Query` implementation.
+class InnerProductKgcModel : public KgcModel {
+ public:
+  ag::Var ScoreTriples(const std::vector<int64_t>& heads,
+                       const std::vector<int64_t>& rels,
+                       const std::vector<int64_t>& tails) override;
+  ag::Var ScoreAllTails(const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels) override;
+
+ protected:
+  InnerProductKgcModel(const ModelContext& context, int64_t query_dim,
+                       bool entity_bias, Rng* rng);
+
+  /// [B, query_dim] query vectors.
+  virtual ag::Var Query(const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels) = 0;
+  /// [N, query_dim] candidate-entity table the query is matched against.
+  virtual ag::Var CandidateTable() = 0;
+
+  ag::Var bias_;  // [N] or undefined
+};
+
+/// Frozen per-entity modality features as constant Vars (shared helper for
+/// the multimodal models).
+ag::Var GatherConstRows(const tensor::Tensor& table,
+                        const std::vector<int64_t>& indices);
+
+}  // namespace came::baselines
+
+#endif  // CAME_BASELINES_KGC_MODEL_H_

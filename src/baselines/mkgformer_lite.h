@@ -1,0 +1,60 @@
+#ifndef CAME_BASELINES_MKGFORMER_LITE_H_
+#define CAME_BASELINES_MKGFORMER_LITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/conve.h"
+#include "baselines/kgc_model.h"
+
+namespace came::baselines {
+
+/// MKGformer "M-Encoder" core (Chen et al., SIGIR 2022), reproduced the
+/// way the paper reproduces it (Section V-C): the Prefix-guided
+/// Interaction module (text queries attend over the modal token set) and
+/// the Correlation-aware Fusion module (a learned text/visual correlation
+/// gate), feeding a convolutional link-prediction decoder. The visual
+/// stream is the molecular feature (text features stand in on datasets
+/// without molecules).
+class MkgformerLite : public InnerProductKgcModel {
+ public:
+  MkgformerLite(const ModelContext& context, const ConvDecoderConfig& config);
+
+  std::string Name() const override { return "MKGformer"; }
+  TrainingRegime regime() const override { return TrainingRegime::kOneToN; }
+
+ protected:
+  ag::Var Query(const std::vector<int64_t>& heads,
+                const std::vector<int64_t>& rels) override;
+  ag::Var CandidateTable() override { return entities_; }
+
+ private:
+  /// Fused multimodal vector per head entity: [B, dim].
+  ag::Var MEncoder(const std::vector<int64_t>& heads);
+
+  ConvDecoderConfig config_;
+  Rng rng_;
+  ag::Var entities_;
+  ag::Var relations_;
+  // Prefix-guided interaction.
+  std::unique_ptr<nn::Linear> proj_text_;
+  std::unique_ptr<nn::Linear> proj_vis_;
+  std::unique_ptr<nn::Linear> w_query_;
+  std::unique_ptr<nn::Linear> w_key_text_;
+  std::unique_ptr<nn::Linear> w_key_vis_;
+  std::unique_ptr<nn::Linear> w_value_text_;
+  std::unique_ptr<nn::Linear> w_value_vis_;
+  // Correlation-aware fusion.
+  std::unique_ptr<nn::Linear> corr_a_;
+  std::unique_ptr<nn::Linear> corr_b_;
+  // Decoder.
+  std::unique_ptr<nn::Conv2d> conv_;
+  std::unique_ptr<nn::Linear> fc_;
+  std::unique_ptr<nn::LayerNorm> norm_;
+  std::unique_ptr<nn::Dropout> dropout_;
+};
+
+}  // namespace came::baselines
+
+#endif  // CAME_BASELINES_MKGFORMER_LITE_H_

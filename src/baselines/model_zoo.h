@@ -1,0 +1,53 @@
+#ifndef CAME_BASELINES_MODEL_ZOO_H_
+#define CAME_BASELINES_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/compgcn.h"
+#include "baselines/conve.h"
+#include "baselines/kgc_model.h"
+#include "core/came_model.h"
+#include "train/trainer.h"
+
+namespace came::baselines {
+
+/// Shared construction options for the whole model zoo.
+struct ZooOptions {
+  int64_t dim = 64;
+  ConvDecoderConfig conv;        // ConvE / MKGformer decoder settings
+  core::CamEConfig came;         // CamE settings (incl. ablations)
+  CompGcn::Config compgcn;
+  uint64_t seed = 1;
+};
+
+/// All model names, in the paper's Table III order (unimodal block, then
+/// multimodal block, then CamE).
+std::vector<std::string> AllModelNames();
+
+/// Extra models from the paper's related-work discussion (TransH, TransD)
+/// that are not part of the Table III baseline set but are available via
+/// CreateModel.
+std::vector<std::string> ExtendedModelNames();
+
+/// Instantiates a model by its Table III name ("TransE", "DistMult",
+/// "ComplEx", "ConvE", "CompGCN", "RotatE", "a-RotatE", "DualE",
+/// "PairRE", "IKRL", "MTAKGR", "TransAE", "MKGformer", "CamE").
+/// CHECK-fails on unknown names; multimodal models CHECK that
+/// context.features is set.
+std::unique_ptr<KgcModel> CreateModel(const std::string& name,
+                                      const ModelContext& context,
+                                      const ZooOptions& options);
+
+/// True for the multimodal block of Table III.
+bool IsMultimodal(const std::string& name);
+
+/// Per-model adjustments to a base training config (margin for distance
+/// models, zero margin for bilinear ones, etc.).
+train::TrainConfig RecommendedTrainConfig(const std::string& name,
+                                          train::TrainConfig base);
+
+}  // namespace came::baselines
+
+#endif  // CAME_BASELINES_MODEL_ZOO_H_

@@ -1,0 +1,102 @@
+#ifndef CAME_BASELINES_MULTIMODAL_BASELINES_H_
+#define CAME_BASELINES_MULTIMODAL_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/kgc_model.h"
+
+namespace came::baselines {
+
+/// Shared machinery for the translation-based multimodal baselines: a
+/// structural embedding table plus a projected frozen-feature table, with
+/// the four crossed TransE energies
+///   E = E_ss + E_ff + E_sf + E_fs,  E_xy = ||h_x + r - t_y||^2
+/// (IKRL Eq. 4-7; MTAKGR uses the same crossed sub-energy scheme).
+class CrossModalTransE : public KgcModel {
+ public:
+  ag::Var ScoreTriples(const std::vector<int64_t>& heads,
+                       const std::vector<int64_t>& rels,
+                       const std::vector<int64_t>& tails) override;
+  ag::Var ScoreAllTails(const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels) override;
+  TrainingRegime regime() const override {
+    return TrainingRegime::kNegativeSampling;
+  }
+
+ protected:
+  /// `feature_table` is the frozen modality matrix [N, feat_dim] this
+  /// baseline projects into the entity space.
+  CrossModalTransE(const ModelContext& context, int64_t dim,
+                   tensor::Tensor feature_table, const std::string& prefix);
+
+  /// Projected modality embeddings for the given entities: [B, dim].
+  ag::Var ModalEmbedding(const std::vector<int64_t>& entities);
+  /// Projected modality embeddings for all entities: [N, dim].
+  ag::Var ModalTable();
+
+  Rng rng_;
+  ag::Var entities_;      // [N, dim] structural
+  ag::Var relations_;     // [2R, dim]
+  tensor::Tensor features_;  // frozen [N, feat]
+  std::unique_ptr<nn::Linear> feature_proj_;
+};
+
+/// IKRL (Xie et al., 2017): image + structure crossed TransE. The "image"
+/// modality here is the molecular feature (or text when the dataset has
+/// no molecules — OMAHA-MM), matching how the paper feeds pre-trained
+/// feature vectors to all multimodal baselines.
+class Ikrl : public CrossModalTransE {
+ public:
+  Ikrl(const ModelContext& context, int64_t dim);
+  std::string Name() const override { return "IKRL"; }
+};
+
+/// MTAKGR (Mousselly-Sergieh et al., 2018): multimodal (molecule + text
+/// concatenated) crossed TransE energies.
+class Mtakgr : public CrossModalTransE {
+ public:
+  Mtakgr(const ModelContext& context, int64_t dim);
+  std::string Name() const override { return "MTAKGR"; }
+};
+
+/// TransAE (Wang et al., 2019): a multimodal autoencoder produces entity
+/// representations; the encoder hidden state is the TransE entity vector
+/// and a reconstruction loss is added to the ranking loss.
+class TransAe : public KgcModel {
+ public:
+  TransAe(const ModelContext& context, int64_t dim);
+
+  std::string Name() const override { return "TransAE"; }
+  TrainingRegime regime() const override {
+    return TrainingRegime::kNegativeSampling;
+  }
+  ag::Var ScoreTriples(const std::vector<int64_t>& heads,
+                       const std::vector<int64_t>& rels,
+                       const std::vector<int64_t>& tails) override;
+  ag::Var ScoreAllTails(const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels) override;
+  ag::Var AuxiliaryLoss(const std::vector<int64_t>& entities) override;
+
+ private:
+  /// Encoder over the frozen features of the given entities: [B, dim].
+  ag::Var Encode(const std::vector<int64_t>& entities);
+  ag::Var EncodeAll();
+
+  Rng rng_;
+  tensor::Tensor features_;  // frozen [N, feat] (molecule ++ text)
+  ag::Var relations_;
+  std::unique_ptr<nn::Linear> enc1_;
+  std::unique_ptr<nn::Linear> enc2_;
+  std::unique_ptr<nn::Linear> dec1_;
+  std::unique_ptr<nn::Linear> dec2_;
+};
+
+/// Concatenated [molecule ; text] feature matrix (helper shared by the
+/// multimodal baselines and benches).
+tensor::Tensor ConcatModalFeatures(const encoders::FeatureBank& bank);
+
+}  // namespace came::baselines
+
+#endif  // CAME_BASELINES_MULTIMODAL_BASELINES_H_

@@ -1,0 +1,72 @@
+#ifndef CAME_BASELINES_ROTATIONAL_H_
+#define CAME_BASELINES_ROTATIONAL_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/kgc_model.h"
+
+namespace came::baselines {
+
+/// RotatE (Sun et al., 2019): relations are rotations in complex space,
+/// score = -||h o r - t||^2 with |r_i| = 1 (relations parameterised by
+/// phases). `self_adversarial` switches between the paper's RotatE
+/// (uniform negatives) and a-RotatE (self-adversarial negatives).
+class RotatE : public KgcModel {
+ public:
+  RotatE(const ModelContext& context, int64_t dim, bool self_adversarial);
+
+  std::string Name() const override {
+    return self_adversarial_ ? "a-RotatE" : "RotatE";
+  }
+  TrainingRegime regime() const override {
+    return self_adversarial_ ? TrainingRegime::kSelfAdversarial
+                             : TrainingRegime::kNegativeSampling;
+  }
+  ag::Var ScoreTriples(const std::vector<int64_t>& heads,
+                       const std::vector<int64_t>& rels,
+                       const std::vector<int64_t>& tails) override;
+  ag::Var ScoreAllTails(const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels) override;
+
+ private:
+  /// h rotated by r: [B, 2*half] ([re ; im] halves).
+  ag::Var Rotate(const std::vector<int64_t>& heads,
+                 const std::vector<int64_t>& rels);
+
+  bool self_adversarial_;
+  int64_t half_;
+  Rng rng_;
+  ag::Var entities_;  // [N, 2*half]
+  ag::Var phases_;    // [2R, half]
+};
+
+/// DualE (Cao et al., 2021): entities and relations are dual quaternions;
+/// the head is transformed by the relation's (real-part-normalised) dual
+/// quaternion via the dual Hamilton product, and scored against the tail
+/// by inner product.
+class DualE : public InnerProductKgcModel {
+ public:
+  /// `dim` must be divisible by 8 (two quaternion banks of dim/8 blocks).
+  DualE(const ModelContext& context, int64_t dim);
+
+  std::string Name() const override { return "DualE"; }
+  TrainingRegime regime() const override {
+    return TrainingRegime::kNegativeSampling;
+  }
+
+ protected:
+  ag::Var Query(const std::vector<int64_t>& heads,
+                const std::vector<int64_t>& rels) override;
+  ag::Var CandidateTable() override { return entities_; }
+
+ private:
+  int64_t block_;  // dim / 8
+  Rng rng_;
+  ag::Var entities_;
+  ag::Var relations_;
+};
+
+}  // namespace came::baselines
+
+#endif  // CAME_BASELINES_ROTATIONAL_H_

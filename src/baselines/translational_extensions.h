@@ -1,0 +1,104 @@
+#ifndef CAME_BASELINES_TRANSLATIONAL_EXTENSIONS_H_
+#define CAME_BASELINES_TRANSLATIONAL_EXTENSIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/kgc_model.h"
+
+namespace came::baselines {
+
+// The projection-based TransE descendants the paper's related-work section
+// discusses (TransH, TransD — Wang et al. 2014, Ji et al. 2015). They are
+// not part of the paper's Table III baseline set, so they live outside
+// AllModelNames() in ExtendedModelNames(); CreateModel() builds them all
+// the same.
+
+/// TransH: entities are projected onto a relation-specific hyperplane with
+/// unit normal w_r before translation:
+///   h_perp = h - (w_r . h) w_r,   score = -||h_perp + d_r - t_perp||^2.
+class TransH : public KgcModel {
+ public:
+  TransH(const ModelContext& context, int64_t dim);
+
+  std::string Name() const override { return "TransH"; }
+  TrainingRegime regime() const override {
+    return TrainingRegime::kNegativeSampling;
+  }
+  ag::Var ScoreTriples(const std::vector<int64_t>& heads,
+                       const std::vector<int64_t>& rels,
+                       const std::vector<int64_t>& tails) override;
+  ag::Var ScoreAllTails(const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels) override;
+
+ private:
+  /// Relation normals, L2-normalised on the fly: [B, d].
+  ag::Var UnitNormals(const std::vector<int64_t>& rels);
+
+  Rng rng_;
+  ag::Var entities_;   // [N, d]
+  ag::Var translate_;  // d_r: [2R, d]
+  ag::Var normals_;    // w_r: [2R, d] (normalised in forward)
+};
+
+/// TransR: a full relation-specific projection matrix M_r maps entities
+/// into the relation space before translation:
+///   score = -||M_r h + r - M_r t||^2.
+/// M_r is stored as [2R, d*d]; ScoreAllTails projects the whole entity
+/// table per query row (O(B N d^2) — evaluation-sized workloads only).
+class TransR : public KgcModel {
+ public:
+  TransR(const ModelContext& context, int64_t dim);
+
+  std::string Name() const override { return "TransR"; }
+  TrainingRegime regime() const override {
+    return TrainingRegime::kNegativeSampling;
+  }
+  ag::Var ScoreTriples(const std::vector<int64_t>& heads,
+                       const std::vector<int64_t>& rels,
+                       const std::vector<int64_t>& tails) override;
+  ag::Var ScoreAllTails(const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels) override;
+
+ private:
+  /// Projects row-aligned entity vectors [B, d] by their relation's M_r.
+  ag::Var ProjectByRelation(const ag::Var& e,
+                            const std::vector<int64_t>& rels);
+
+  int64_t dim_;
+  Rng rng_;
+  ag::Var entities_;     // [N, d]
+  ag::Var relations_;    // [2R, d]
+  ag::Var projections_;  // M_r: [2R, d*d]
+};
+
+/// TransD: dynamic mapping via projection vectors
+///   h_perp = h + (h_p . h) r_p,   t_perp = t + (t_p . t) r_p,
+///   score = -||h_perp + r - t_perp||^2.
+class TransD : public KgcModel {
+ public:
+  TransD(const ModelContext& context, int64_t dim);
+
+  std::string Name() const override { return "TransD"; }
+  TrainingRegime regime() const override {
+    return TrainingRegime::kNegativeSampling;
+  }
+  ag::Var ScoreTriples(const std::vector<int64_t>& heads,
+                       const std::vector<int64_t>& rels,
+                       const std::vector<int64_t>& tails) override;
+  ag::Var ScoreAllTails(const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels) override;
+
+ private:
+  ag::Var Project(const ag::Var& e, const ag::Var& e_p, const ag::Var& r_p);
+
+  Rng rng_;
+  ag::Var entities_;         // [N, d]
+  ag::Var entity_proj_;      // e_p: [N, d]
+  ag::Var relations_;        // r: [2R, d]
+  ag::Var relation_proj_;    // r_p: [2R, d]
+};
+
+}  // namespace came::baselines
+
+#endif  // CAME_BASELINES_TRANSLATIONAL_EXTENSIONS_H_

@@ -1,0 +1,31 @@
+#ifndef CAME_COMMON_FAST_MATH_H_
+#define CAME_COMMON_FAST_MATH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace came {
+
+/// Fast exp(x) for attention softmax kernels: exp2-based with a cubic
+/// minimax polynomial for the fractional part (~1e-4 relative error).
+/// Used only where the result feeds a normalised softmax, so the small
+/// relative error cancels; generic tensor ops keep std::exp.
+inline float FastExp(float x) {
+  if (x < -87.0f) return 0.0f;
+  if (x > 87.0f) x = 87.0f;
+  const float t = x * 1.4426950408889634f;  // x * log2(e)
+  const float fi = std::floor(t);
+  const float f = t - fi;
+  // 2^f on [0, 1).
+  const float p =
+      1.0f + f * (0.69583282f + f * (0.22606716f + f * 0.07809985f));
+  const int32_t i = (static_cast<int32_t>(fi) + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &i, sizeof(scale));
+  return scale * p;
+}
+
+}  // namespace came
+
+#endif  // CAME_COMMON_FAST_MATH_H_

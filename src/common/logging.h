@@ -1,0 +1,73 @@
+#ifndef CAME_COMMON_LOGGING_H_
+#define CAME_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace came {
+namespace internal {
+
+/// Collects a fatal-error message and aborts the process on destruction.
+/// Used only by the CAME_CHECK* macros below; never instantiate directly.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailStream();
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level for CAME_LOG output (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line);
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace came
+
+/// Fatal assertion for programming errors (shape mismatches, violated
+/// invariants). Streams extra context: CAME_CHECK(a == b) << "while ...";
+#define CAME_CHECK(cond)                                                   \
+  if (cond) {                                                              \
+  } else /* NOLINT */                                                      \
+    ::came::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define CAME_CHECK_EQ(a, b) CAME_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CAME_CHECK_NE(a, b) CAME_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CAME_CHECK_LT(a, b) CAME_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CAME_CHECK_LE(a, b) CAME_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CAME_CHECK_GT(a, b) CAME_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CAME_CHECK_GE(a, b) CAME_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define CAME_LOG(level)                                      \
+  ::came::internal::LogStream(::came::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // CAME_COMMON_LOGGING_H_

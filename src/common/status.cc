@@ -1,0 +1,23 @@
+#include "common/status.h"
+
+namespace came {
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument: " + message_;
+    case Code::kNotFound:
+      return "NotFound: " + message_;
+    case Code::kIOError:
+      return "IOError: " + message_;
+    case Code::kCorruption:
+      return "Corruption: " + message_;
+    case Code::kFailedPrecondition:
+      return "FailedPrecondition: " + message_;
+  }
+  return "Unknown";
+}
+
+}  // namespace came

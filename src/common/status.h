@@ -1,0 +1,86 @@
+#ifndef CAME_COMMON_STATUS_H_
+#define CAME_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace came {
+
+/// Outcome of an operation that can fail on user input (file I/O, parsing,
+/// malformed configuration). Programming errors use CAME_CHECK instead.
+/// Mirrors the RocksDB `Status` idiom: cheap to copy when OK, carries a
+/// code + message otherwise.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kCorruption,
+    kFailedPrecondition,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable form, e.g. "InvalidArgument: bad shape".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Value-or-error return type for fallible constructors/factories.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional for ergonomics.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace came
+
+/// Propagate a non-OK Status from the current function.
+#define CAME_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::came::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // CAME_COMMON_STATUS_H_

@@ -1,0 +1,1 @@
+#include "common/stopwatch.h"  // IWYU pragma: keep (header-only class)

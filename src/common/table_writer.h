@@ -1,0 +1,42 @@
+#ifndef CAME_COMMON_TABLE_WRITER_H_
+#define CAME_COMMON_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace came {
+
+/// Accumulates rows and renders them as an aligned ASCII table (the format
+/// the benches print so their output reads like the paper's tables) and/or
+/// as CSV for downstream plotting.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+
+  /// Aligned, boxed ASCII rendering.
+  std::string ToAscii() const;
+
+  /// Comma-separated rendering (header + rows).
+  std::string ToCsv() const;
+
+  /// Writes the CSV form to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace came
+
+#endif  // CAME_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,224 @@
+#include "datagen/molecule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace came::datagen {
+
+const char* DrugFamilyName(DrugFamily family) {
+  switch (family) {
+    case DrugFamily::kPenicillin:
+      return "penicillin";
+    case DrugFamily::kSulfonamide:
+      return "sulfonamide";
+    case DrugFamily::kPhenol:
+      return "phenol";
+    case DrugFamily::kPiperazine:
+      return "piperazine";
+    case DrugFamily::kStatin:
+      return "statin";
+    case DrugFamily::kBenzodiazepine:
+      return "benzodiazepine";
+    case DrugFamily::kOpioid:
+      return "opioid";
+    case DrugFamily::kTetracycline:
+      return "tetracycline";
+    case DrugFamily::kNumFamilies:
+      break;
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<int>> Molecule::AdjacencyLists() const {
+  std::vector<std::vector<int>> adj(atoms.size());
+  for (const auto& [a, b] : bonds) {
+    adj[static_cast<size_t>(a)].push_back(b);
+    adj[static_cast<size_t>(b)].push_back(a);
+  }
+  return adj;
+}
+
+bool Molecule::IsValid() const {
+  if (atoms.empty()) return false;
+  const int n = static_cast<int>(atoms.size());
+  for (const auto& [a, b] : bonds) {
+    if (a < 0 || b < 0 || a >= n || b >= n || a == b) return false;
+  }
+  // Connectivity via BFS.
+  auto adj = AdjacencyLists();
+  std::vector<bool> seen(atoms.size(), false);
+  std::vector<int> queue = {0};
+  seen[0] = true;
+  size_t visited = 1;
+  while (!queue.empty()) {
+    const int u = queue.back();
+    queue.pop_back();
+    for (int v : adj[static_cast<size_t>(u)]) {
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        ++visited;
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited == atoms.size();
+}
+
+namespace {
+
+// Appends a ring of `elements` and returns the indices of its atoms.
+std::vector<int> AddRing(Molecule* m, const std::vector<int>& elements) {
+  std::vector<int> idx;
+  const int base = static_cast<int>(m->atoms.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    m->atoms.push_back(elements[i]);
+    idx.push_back(base + static_cast<int>(i));
+  }
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const int a = idx[i];
+    const int b = idx[(i + 1) % elements.size()];
+    m->bonds.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  return idx;
+}
+
+void AddBond(Molecule* m, int a, int b) {
+  m->bonds.emplace_back(std::min(a, b), std::max(a, b));
+}
+
+int AddAtom(Molecule* m, int element, int bonded_to) {
+  const int idx = static_cast<int>(m->atoms.size());
+  m->atoms.push_back(element);
+  AddBond(m, idx, bonded_to);
+  return idx;
+}
+
+}  // namespace
+
+Molecule FamilyScaffold(DrugFamily family) {
+  Molecule m;
+  m.family = static_cast<int>(family);
+  switch (family) {
+    case DrugFamily::kPenicillin: {
+      // Beta-lactam (4-ring with N and exocyclic carbonyl) fused to a
+      // thiazolidine-like 5-ring with S.
+      auto lactam = AddRing(&m, {kNitrogen, kCarbon, kCarbon, kCarbon});
+      AddAtom(&m, kOxygen, lactam[3]);  // carbonyl oxygen
+      auto thia = AddRing(&m, {kSulfur, kCarbon, kCarbon, kCarbon, kNitrogen});
+      AddBond(&m, lactam[1], thia[1]);  // ring fusion
+      AddBond(&m, lactam[0], thia[4]);
+      break;
+    }
+    case DrugFamily::kSulfonamide: {
+      auto benzene = AddRing(&m, std::vector<int>(6, kCarbon));
+      const int s = AddAtom(&m, kSulfur, benzene[0]);
+      AddAtom(&m, kOxygen, s);
+      AddAtom(&m, kOxygen, s);
+      AddAtom(&m, kNitrogen, s);
+      break;
+    }
+    case DrugFamily::kPhenol: {
+      auto benzene = AddRing(&m, std::vector<int>(6, kCarbon));
+      AddAtom(&m, kOxygen, benzene[0]);
+      AddAtom(&m, kOxygen, benzene[3]);
+      break;
+    }
+    case DrugFamily::kPiperazine: {
+      AddRing(&m, {kNitrogen, kCarbon, kCarbon, kNitrogen, kCarbon, kCarbon});
+      break;
+    }
+    case DrugFamily::kStatin: {
+      // Dihydroxy-heptanoic-like chain ending in a carboxyl group.
+      int prev = -1;
+      for (int i = 0; i < 6; ++i) {
+        if (prev < 0) {
+          m.atoms.push_back(kCarbon);
+          prev = 0;
+        } else {
+          prev = AddAtom(&m, kCarbon, prev);
+        }
+        if (i == 1 || i == 3) AddAtom(&m, kOxygen, prev);
+      }
+      AddAtom(&m, kOxygen, prev);
+      AddAtom(&m, kOxygen, prev);
+      break;
+    }
+    case DrugFamily::kBenzodiazepine: {
+      auto benzene = AddRing(&m, std::vector<int>(6, kCarbon));
+      auto seven = AddRing(&m, {kNitrogen, kCarbon, kCarbon, kNitrogen,
+                                kCarbon, kCarbon, kCarbon});
+      AddBond(&m, benzene[0], seven[1]);
+      AddBond(&m, benzene[1], seven[6]);
+      AddAtom(&m, kChlorine, benzene[3]);
+      break;
+    }
+    case DrugFamily::kOpioid: {
+      auto ring1 = AddRing(&m, std::vector<int>(6, kCarbon));
+      auto ring2 = AddRing(&m, std::vector<int>(6, kCarbon));
+      AddBond(&m, ring1[0], ring2[0]);
+      AddBond(&m, ring1[1], ring2[1]);
+      const int n = AddAtom(&m, kNitrogen, ring2[3]);
+      AddAtom(&m, kCarbon, n);  // N-methyl
+      AddAtom(&m, kOxygen, ring1[3]);
+      break;
+    }
+    case DrugFamily::kTetracycline: {
+      std::vector<int> prev_ring;
+      for (int r = 0; r < 4; ++r) {
+        auto ring = AddRing(&m, std::vector<int>(6, kCarbon));
+        if (!prev_ring.empty()) {
+          AddBond(&m, prev_ring[2], ring[0]);
+          AddBond(&m, prev_ring[3], ring[5]);
+        }
+        prev_ring = ring;
+      }
+      AddAtom(&m, kOxygen, 0);
+      AddAtom(&m, kOxygen, 7);
+      break;
+    }
+    case DrugFamily::kNumFamilies:
+      CAME_CHECK(false) << "not a family";
+  }
+  return m;
+}
+
+Molecule GenerateMolecule(DrugFamily family, Rng* rng, int decoration_atoms) {
+  CAME_CHECK(rng != nullptr);
+  Molecule m = FamilyScaffold(family);
+  // Random decoration: short substituent chains attached at random scaffold
+  // atoms, with occasional heteroatoms and occasional small rings.
+  int remaining = decoration_atoms + static_cast<int>(rng->UniformInt(-2, 3));
+  while (remaining > 0) {
+    const int anchor = static_cast<int>(
+        rng->UniformU64(static_cast<uint64_t>(m.atoms.size())));
+    if (rng->Bernoulli(0.15) && remaining >= 5) {
+      // Attach a cyclopentyl/cyclohexyl-like ring.
+      const int size = rng->Bernoulli(0.5) ? 5 : 6;
+      std::vector<int> elems(static_cast<size_t>(size), kCarbon);
+      if (rng->Bernoulli(0.3)) elems[0] = kNitrogen;
+      auto ring = AddRing(&m, elems);
+      AddBond(&m, anchor, ring[0]);
+      remaining -= size;
+    } else {
+      const int len = static_cast<int>(rng->UniformInt(1, 3));
+      int prev = anchor;
+      for (int i = 0; i < len; ++i) {
+        int element = kCarbon;
+        const double roll = rng->UniformDouble();
+        if (roll < 0.10) {
+          element = kOxygen;
+        } else if (roll < 0.16) {
+          element = kNitrogen;
+        } else if (roll < 0.19) {
+          element = kFluorine;
+        }
+        prev = AddAtom(&m, element, prev);
+      }
+      remaining -= len;
+    }
+  }
+  return m;
+}
+
+}  // namespace came::datagen

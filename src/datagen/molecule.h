@@ -1,0 +1,71 @@
+#ifndef CAME_DATAGEN_MOLECULE_H_
+#define CAME_DATAGEN_MOLECULE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace came::datagen {
+
+/// Atom element codes for the synthetic molecular graphs.
+enum Element : int {
+  kCarbon = 0,
+  kNitrogen,
+  kOxygen,
+  kSulfur,
+  kChlorine,
+  kFluorine,
+  kPhosphorus,
+  kNumElements,
+};
+
+/// Drug families. Each family has a characteristic scaffold substructure
+/// (molecular motif) and a characteristic name affix (textual motif) — the
+/// cross-modal correlation the paper's Fig 1 / Fig 7 build on.
+enum class DrugFamily : int {
+  kPenicillin = 0,    // beta-lactam + thiazolidine scaffold, "-cillin"
+  kSulfonamide,       // SO2-N group on benzene, "Sulfa-"
+  kPhenol,            // aromatic ring + hydroxyls, "-phrine"
+  kPiperazine,        // 1,4-diazinane ring, "-azine"
+  kStatin,            // dihydroxy acid chain, "-statin"
+  kBenzodiazepine,    // fused 7-ring with two N, "-zepam"
+  kOpioid,            // fused ring system with N-methyl, "-orphine"
+  kTetracycline,      // four fused 6-rings, "-cycline"
+  kNumFamilies,
+};
+
+constexpr int kNumDrugFamilies = static_cast<int>(DrugFamily::kNumFamilies);
+
+const char* DrugFamilyName(DrugFamily family);
+
+/// Undirected molecular graph: atoms carry element labels, bonds are
+/// unordered pairs (single/double bonds are not distinguished — the GIN
+/// encoder consumes element labels and connectivity only).
+struct Molecule {
+  std::vector<int> atoms;                      // element code per atom
+  std::vector<std::pair<int, int>> bonds;      // atom index pairs, a < b
+  int family = -1;                             // generating DrugFamily
+
+  int64_t num_atoms() const { return static_cast<int64_t>(atoms.size()); }
+  int64_t num_bonds() const { return static_cast<int64_t>(bonds.size()); }
+  /// Adjacency lists (built on demand).
+  std::vector<std::vector<int>> AdjacencyLists() const;
+  /// True if every bond references valid atoms and the graph is connected.
+  bool IsValid() const;
+};
+
+/// The family-characteristic scaffold alone (no decoration).
+Molecule FamilyScaffold(DrugFamily family);
+
+/// Scaffold plus `decoration_atoms`-ish random substituents (chains and
+/// small rings with occasional heteroatoms). Same-family molecules share
+/// the scaffold subgraph; cross-family molecules do not.
+Molecule GenerateMolecule(DrugFamily family, Rng* rng,
+                          int decoration_atoms = 6);
+
+}  // namespace came::datagen
+
+#endif  // CAME_DATAGEN_MOLECULE_H_

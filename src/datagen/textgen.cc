@@ -1,0 +1,139 @@
+#include "datagen/textgen.h"
+
+#include "common/logging.h"
+
+namespace came::datagen {
+
+namespace {
+
+const char* const kConsonants[] = {"b", "c",  "d",  "f", "g", "l", "m",
+                                   "n", "p",  "r",  "s", "t", "v", "x",
+                                   "z", "tr", "br", "cl"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ia", "io"};
+
+std::string RandomSyllables(Rng* rng, int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    out += kConsonants[rng->UniformU64(std::size(kConsonants))];
+    out += kVowels[rng->UniformU64(std::size(kVowels))];
+  }
+  return out;
+}
+
+std::string Capitalise(std::string s) {
+  if (!s.empty() && s[0] >= 'a' && s[0] <= 'z') {
+    s[0] = static_cast<char>(s[0] - 'a' + 'A');
+  }
+  return s;
+}
+
+struct FamilyTextInfo {
+  const char* affix;
+  bool prefix;
+  const char* description;
+};
+
+const FamilyTextInfo& FamilyInfo(DrugFamily family) {
+  static const FamilyTextInfo kInfos[kNumDrugFamilies] = {
+      {"cillin", false,
+       "a penicillin-type beta-lactam antibiotic effective against many "
+       "bacterial infections"},
+      {"Sulfa", true,
+       "a sulfonamide antimicrobial agent that inhibits folate synthesis"},
+      {"phrine", false,
+       "a phenolic sympathomimetic compound with one or more aromatic rings "
+       "bearing hydroxyl groups"},
+      {"azine", false,
+       "a piperazine-derived compound acting on monoamine receptors"},
+      {"statin", false,
+       "a statin-class HMG-CoA reductase inhibitor lowering cholesterol"},
+      {"zepam", false,
+       "a benzodiazepine modulating GABA-A receptors with sedative action"},
+      {"orphine", false,
+       "an opioid analgesic acting on mu-opioid receptors"},
+      {"cycline", false,
+       "a tetracycline-class broad-spectrum antibiotic blocking the "
+       "ribosome"},
+  };
+  const int idx = static_cast<int>(family);
+  CAME_CHECK_GE(idx, 0);
+  CAME_CHECK_LT(idx, kNumDrugFamilies);
+  return kInfos[idx];
+}
+
+const char* const kGenePrefixes[] = {"SLC", "ABC", "CYP", "TNF", "KCN", "HLA",
+                                     "COL", "MAP", "WNT", "FGF", "IL",  "TGF"};
+
+const char* const kDiseasePrefixes[] = {"cardio", "neuro",  "hepato", "nephro",
+                                        "dermo",  "gastro", "osteo",  "hemo"};
+const char* const kDiseaseSuffixes[] = {"itis", "osis", "pathy", "oma",
+                                        "emia", "algia", "plegia", "trophy"};
+
+const char* const kSideEffectTerms[] = {
+    "nausea",    "headache", "dizziness", "rash",     "fatigue",
+    "insomnia",  "tremor",   "vomiting",  "pruritus", "edema",
+    "dyspepsia", "myalgia",  "anorexia",  "vertigo",  "fever"};
+
+}  // namespace
+
+const char* FamilyNameAffix(DrugFamily family) {
+  return FamilyInfo(family).affix;
+}
+
+bool FamilyAffixIsPrefix(DrugFamily family) {
+  return FamilyInfo(family).prefix;
+}
+
+EntityText GenerateCompoundText(DrugFamily family, Rng* rng) {
+  const FamilyTextInfo& info = FamilyInfo(family);
+  const std::string stem = RandomSyllables(rng, 2);
+  EntityText out;
+  if (info.prefix) {
+    out.name = std::string(info.affix) + stem;
+  } else {
+    out.name = Capitalise(stem + info.affix);
+  }
+  out.description = out.name + " is " + info.description + ".";
+  return out;
+}
+
+EntityText GenerateGeneText(int cluster, Rng* rng) {
+  const size_t p =
+      static_cast<size_t>(cluster) % std::size(kGenePrefixes);
+  EntityText out;
+  out.name = std::string(kGenePrefixes[p]) +
+             std::to_string(rng->UniformInt(1, 30)) +
+             static_cast<char>('A' + rng->UniformInt(0, 5)) +
+             std::to_string(rng->UniformInt(1, 9));
+  out.description = out.name +
+                    " encodes a protein of the " + kGenePrefixes[p] +
+                    " family involved in cellular signalling.";
+  return out;
+}
+
+EntityText GenerateDiseaseText(int cluster, Rng* rng) {
+  const size_t p =
+      static_cast<size_t>(cluster) % std::size(kDiseasePrefixes);
+  const size_t s =
+      static_cast<size_t>(cluster / 3) % std::size(kDiseaseSuffixes);
+  EntityText out;
+  out.name = Capitalise(std::string(kDiseasePrefixes[p]) +
+                        RandomSyllables(rng, 1) + kDiseaseSuffixes[s]);
+  out.description = out.name + " is a disorder of the " +
+                    kDiseasePrefixes[p] + "logical system.";
+  return out;
+}
+
+EntityText GenerateSideEffectText(int cluster, Rng* rng) {
+  const size_t base =
+      static_cast<size_t>(cluster) % std::size(kSideEffectTerms);
+  EntityText out;
+  out.name = Capitalise(std::string(kSideEffectTerms[base]) + "_" +
+                        RandomSyllables(rng, 1));
+  out.description =
+      out.name + " is an adverse reaction resembling " +
+      kSideEffectTerms[base] + ".";
+  return out;
+}
+
+}  // namespace came::datagen

@@ -1,0 +1,43 @@
+#ifndef CAME_DATAGEN_TEXTGEN_H_
+#define CAME_DATAGEN_TEXTGEN_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "datagen/molecule.h"
+
+namespace came::datagen {
+
+/// Name + free-text description for an entity; stands in for the
+/// DrugBank/Hetionet descriptions the paper embeds with CharacterBERT.
+struct EntityText {
+  std::string name;
+  std::string description;
+};
+
+/// Compound names carry family-specific affixes ("...cillin", "Sulfa...",
+/// "...azine", ...) mirroring real pharmacological naming conventions —
+/// the textual motif CamE's case study (Fig 7) keys on. Descriptions
+/// mention the family and indication keywords.
+EntityText GenerateCompoundText(DrugFamily family, Rng* rng);
+
+/// HGNC-style gene symbols (e.g. "SLC6A4"): `cluster` determines the
+/// letter prefix so gene families are textually recognisable.
+EntityText GenerateGeneText(int cluster, Rng* rng);
+
+/// Disease names built from Greco-Latin morphemes; `cluster` fixes the
+/// system affix ("-itis", "-oma", "cardio-", ...).
+EntityText GenerateDiseaseText(int cluster, Rng* rng);
+
+/// Side-effect names (symptom vocabulary).
+EntityText GenerateSideEffectText(int cluster, Rng* rng);
+
+/// The name affix associated with a drug family, e.g. "cillin" — exposed
+/// for the case-study bench to highlight matches.
+const char* FamilyNameAffix(DrugFamily family);
+/// True if the affix is a prefix (e.g. "Sulfa-") rather than a suffix.
+bool FamilyAffixIsPrefix(DrugFamily family);
+
+}  // namespace came::datagen
+
+#endif  // CAME_DATAGEN_TEXTGEN_H_

@@ -1,0 +1,73 @@
+#include "encoders/feature_bank.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace came::encoders {
+
+FeatureBank::FeatureBank(int64_t num_entities, int64_t dim_m, int64_t dim_t)
+    : mol_({num_entities, dim_m}),
+      text_({num_entities, dim_t}),
+      mol_mask_(static_cast<size_t>(num_entities), false) {}
+
+void FeatureBank::SetMolecule(int64_t entity, const tensor::Tensor& feature) {
+  CAME_CHECK_EQ(feature.numel(), dim_m());
+  std::copy(feature.data(), feature.data() + dim_m(),
+            mol_.data() + entity * dim_m());
+  mol_mask_[static_cast<size_t>(entity)] = true;
+}
+
+void FeatureBank::SetText(int64_t entity, const tensor::Tensor& feature) {
+  CAME_CHECK_EQ(feature.numel(), dim_t());
+  std::copy(feature.data(), feature.data() + dim_t(),
+            text_.data() + entity * dim_t());
+}
+
+void FeatureBank::SetStructural(tensor::Tensor features) {
+  CAME_CHECK_EQ(features.dim(0), num_entities());
+  structural_ = std::move(features);
+}
+
+FeatureBank BuildFeatureBank(const datagen::GeneratedBkg& bkg,
+                             const FeatureBankConfig& config) {
+  const int64_t n = bkg.dataset.num_entities();
+  FeatureBank bank(n, config.gin.out_dim, config.text.out_dim);
+
+  // Text features for every entity.
+  TextEncoder text_encoder(config.text);
+  for (int64_t e = 0; e < n; ++e) {
+    bank.SetText(e, text_encoder.Encode(bkg.texts[static_cast<size_t>(e)]));
+  }
+
+  // Molecule features (if the dataset carries molecules).
+  if (bkg.has_molecules) {
+    GinEncoder gin(config.gin);
+    std::vector<datagen::Molecule> sample;
+    for (const auto& mol : bkg.molecules) {
+      if (mol.atoms.empty()) continue;
+      sample.push_back(mol);
+      if (static_cast<int64_t>(sample.size()) >= config.gin_pretrain_sample) {
+        break;
+      }
+    }
+    if (!sample.empty() && config.gin_pretrain_epochs > 0) {
+      gin.Pretrain(sample, config.gin_pretrain_epochs,
+                   config.gin_pretrain_lr);
+    }
+    gin.SetTraining(false);
+    for (int64_t e = 0; e < n; ++e) {
+      const auto& mol = bkg.molecules[static_cast<size_t>(e)];
+      if (mol.atoms.empty()) continue;
+      bank.SetMolecule(e, gin.Encode(mol));
+    }
+  }
+
+  if (config.pretrain_structural) {
+    bank.SetStructural(
+        PretrainStructuralEmbeddings(bkg.dataset, config.structural));
+  }
+  return bank;
+}
+
+}  // namespace came::encoders

@@ -1,0 +1,69 @@
+#ifndef CAME_ENCODERS_FEATURE_BANK_H_
+#define CAME_ENCODERS_FEATURE_BANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/bkg_generator.h"
+#include "encoders/gin.h"
+#include "encoders/structural_pretrain.h"
+#include "encoders/text_encoder.h"
+#include "tensor/tensor.h"
+
+namespace came::encoders {
+
+/// Frozen per-entity multimodal features: the h_m (molecule), h_t (text)
+/// and h_s (structural, optional) inputs of CamE and the multimodal
+/// baselines. Rows of entities without a modality are zero and flagged in
+/// the corresponding mask.
+class FeatureBank {
+ public:
+  /// Empty placeholder bank (1 entity); assign a real bank over it.
+  FeatureBank() : FeatureBank(1, 1, 1) {}
+  FeatureBank(int64_t num_entities, int64_t dim_m, int64_t dim_t);
+
+  const tensor::Tensor& molecule_features() const { return mol_; }
+  const tensor::Tensor& text_features() const { return text_; }
+  /// Pre-trained structural embeddings; undefined (numel 0) unless built
+  /// with pretrain_structural=true.
+  const tensor::Tensor& structural_features() const { return structural_; }
+
+  bool has_molecule(int64_t entity) const {
+    return mol_mask_[static_cast<size_t>(entity)];
+  }
+  bool has_structural() const { return structural_.numel() > 0; }
+
+  int64_t num_entities() const { return mol_.dim(0); }
+  int64_t dim_m() const { return mol_.dim(1); }
+  int64_t dim_t() const { return text_.dim(1); }
+
+  void SetMolecule(int64_t entity, const tensor::Tensor& feature);
+  void SetText(int64_t entity, const tensor::Tensor& feature);
+  void SetStructural(tensor::Tensor features);
+
+ private:
+  tensor::Tensor mol_;         // [N, dim_m]
+  tensor::Tensor text_;        // [N, dim_t]
+  tensor::Tensor structural_;  // [N, dim_s] or empty
+  std::vector<bool> mol_mask_;
+};
+
+/// End-to-end feature construction for a generated BKG: pre-trains the GIN
+/// on the dataset's molecules (masked-attribute task), encodes every
+/// entity's text, and optionally pre-trains structural embeddings.
+struct FeatureBankConfig {
+  GinEncoder::Config gin;
+  TextEncoder::Config text;
+  int gin_pretrain_epochs = 2;
+  float gin_pretrain_lr = 1e-3f;
+  int64_t gin_pretrain_sample = 200;  // molecules used for pre-training
+  bool pretrain_structural = false;
+  StructuralPretrainConfig structural;
+};
+
+FeatureBank BuildFeatureBank(const datagen::GeneratedBkg& bkg,
+                             const FeatureBankConfig& config);
+
+}  // namespace came::encoders
+
+#endif  // CAME_ENCODERS_FEATURE_BANK_H_

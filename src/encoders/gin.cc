@@ -1,0 +1,155 @@
+#include "encoders/gin.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "nn/init.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::encoders {
+
+namespace {
+constexpr int64_t kMaskToken = datagen::kNumElements;
+
+// Directed edge lists (both directions) from a molecule's bonds.
+void EdgeLists(const datagen::Molecule& mol, std::vector<int64_t>* srcs,
+               std::vector<int64_t>* dsts) {
+  srcs->clear();
+  dsts->clear();
+  for (const auto& [a, b] : mol.bonds) {
+    srcs->push_back(a);
+    dsts->push_back(b);
+    srcs->push_back(b);
+    dsts->push_back(a);
+  }
+}
+}  // namespace
+
+GinEncoder::GinEncoder(const Config& config) : config_(config), rng_(config.seed) {
+  atom_embedding_ = RegisterParameter(
+      "atom_embedding",
+      nn::XavierNormal({datagen::kNumElements + 1, config_.hidden_dim}, &rng_));
+  for (int l = 0; l < config_.num_layers; ++l) {
+    mlp1_.push_back(std::make_unique<nn::Linear>(config_.hidden_dim,
+                                                 config_.hidden_dim, &rng_));
+    mlp2_.push_back(std::make_unique<nn::Linear>(config_.hidden_dim,
+                                                 config_.hidden_dim, &rng_));
+    RegisterSubmodule("mlp1_" + std::to_string(l), mlp1_.back().get());
+    RegisterSubmodule("mlp2_" + std::to_string(l), mlp2_.back().get());
+    eps_.push_back(RegisterParameter("eps_" + std::to_string(l),
+                                     tensor::Tensor::Zeros({1})));
+  }
+  out_proj_ = std::make_unique<nn::Linear>(config_.hidden_dim,
+                                           config_.out_dim, &rng_);
+  RegisterSubmodule("out_proj", out_proj_.get());
+  mask_head_ = std::make_unique<nn::Linear>(config_.out_dim,
+                                            datagen::kNumElements, &rng_);
+  RegisterSubmodule("mask_head", mask_head_.get());
+}
+
+ag::Var GinEncoder::RunLayers(const ag::Var& node_feats,
+                              const std::vector<int64_t>& srcs,
+                              const std::vector<int64_t>& dsts,
+                              int64_t n) const {
+  ag::Var h = node_feats;
+  for (size_t l = 0; l < mlp1_.size(); ++l) {
+    ag::Var aggregated;
+    if (!srcs.empty()) {
+      // sum_{u in N(v)} h_u via gather (edge sources) + scatter (targets)
+      aggregated = ag::Scatter(ag::Gather(h, srcs), dsts, n);
+    } else {
+      aggregated = ag::Const(tensor::Tensor::Zeros(h.shape()));
+    }
+    ag::Var self = ag::Mul(h, ag::AddScalar(eps_[l], 1.0f));
+    ag::Var combined = ag::Add(self, aggregated);
+    h = mlp2_[l]->Forward(ag::Relu(mlp1_[l]->Forward(combined)));
+    h = ag::Relu(h);
+  }
+  return out_proj_->Forward(h);
+}
+
+ag::Var GinEncoder::NodeStates(const datagen::Molecule& mol) const {
+  CAME_CHECK(mol.IsValid());
+  std::vector<int64_t> atoms(mol.atoms.begin(), mol.atoms.end());
+  std::vector<int64_t> srcs;
+  std::vector<int64_t> dsts;
+  EdgeLists(mol, &srcs, &dsts);
+  ag::Var feats = ag::Gather(atom_embedding_, atoms);
+  return RunLayers(feats, srcs, dsts, mol.num_atoms());
+}
+
+tensor::Tensor GinEncoder::Encode(const datagen::Molecule& mol) const {
+  ag::NoGradGuard guard;
+  ag::Var nodes = NodeStates(mol);
+  ag::Var pooled = ag::MeanAlong(nodes, 0, /*keepdim=*/false);
+  tensor::Tensor out = ag::Tanh(pooled).value().Clone();
+  // L2-normalise so inner products act as cosine similarity (molecule
+  // size would otherwise dominate the feature norm).
+  double norm2 = 0.0;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    norm2 += static_cast<double>(out.data()[i]) * out.data()[i];
+  }
+  if (norm2 > 1e-12) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (int64_t i = 0; i < out.numel(); ++i) out.data()[i] *= inv;
+  }
+  return out;
+}
+
+float GinEncoder::Pretrain(const std::vector<datagen::Molecule>& molecules,
+                           int epochs, float lr, double mask_fraction) {
+  CAME_CHECK(!molecules.empty());
+  optim::Adam opt(Parameters(), lr);
+  float last_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t count = 0;
+    for (const auto& mol : molecules) {
+      if (mol.atoms.empty()) continue;
+      const int64_t n = mol.num_atoms();
+      // Choose masked positions.
+      std::vector<int64_t> atoms(mol.atoms.begin(), mol.atoms.end());
+      std::vector<int64_t> masked_pos;
+      for (int64_t i = 0; i < n; ++i) {
+        if (rng_.Bernoulli(mask_fraction)) masked_pos.push_back(i);
+      }
+      if (masked_pos.empty()) {
+        masked_pos.push_back(
+            static_cast<int64_t>(rng_.UniformU64(static_cast<uint64_t>(n))));
+      }
+      std::vector<int64_t> corrupted = atoms;
+      for (int64_t p : masked_pos) corrupted[static_cast<size_t>(p)] = kMaskToken;
+
+      std::vector<int64_t> srcs;
+      std::vector<int64_t> dsts;
+      EdgeLists(mol, &srcs, &dsts);
+      ag::Var feats = ag::Gather(atom_embedding_, corrupted);
+      ag::Var nodes = RunLayers(feats, srcs, dsts, n);
+      ag::Var logits = mask_head_->Forward(ag::Gather(nodes, masked_pos));
+      // Cross entropy over element classes.
+      ag::Var logp = ag::Log(ag::AddScalar(
+          ag::SoftmaxAlong(logits, 1), 1e-8f));
+      tensor::Tensor onehot(
+          tensor::Shape{static_cast<int64_t>(masked_pos.size()),
+                        datagen::kNumElements});
+      for (size_t i = 0; i < masked_pos.size(); ++i) {
+        onehot.data()[static_cast<int64_t>(i) * datagen::kNumElements +
+                      atoms[static_cast<size_t>(masked_pos[i])]] = 1.0f;
+      }
+      ag::Var loss = ag::Scale(
+          ag::SumAll(ag::Mul(logp, ag::Const(onehot))),
+          -1.0f / static_cast<float>(masked_pos.size()));
+      opt.ZeroGrad();
+      loss.Backward();
+      opt.Step();
+      epoch_loss += loss.value().data()[0];
+      ++count;
+    }
+    last_epoch_loss = static_cast<float>(epoch_loss / std::max<int64_t>(1, count));
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace came::encoders

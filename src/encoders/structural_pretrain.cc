@@ -1,0 +1,91 @@
+#include "encoders/structural_pretrain.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace came::encoders {
+
+namespace {
+
+// Margin ranking step on one (positive, negative) pair of triples sharing
+// head and relation; L2 distance, hand-rolled subgradient update.
+void MarginStep(float* eh, float* r, float* et_pos, float* et_neg,
+                int64_t dim, float margin, float lr) {
+  // d(x) = ||h + r - t||^2
+  float d_pos = 0.0f;
+  float d_neg = 0.0f;
+  for (int64_t j = 0; j < dim; ++j) {
+    const float dp = eh[j] + r[j] - et_pos[j];
+    const float dn = eh[j] + r[j] - et_neg[j];
+    d_pos += dp * dp;
+    d_neg += dn * dn;
+  }
+  if (d_pos + margin <= d_neg) return;  // margin satisfied
+  for (int64_t j = 0; j < dim; ++j) {
+    const float dp = eh[j] + r[j] - et_pos[j];
+    const float dn = eh[j] + r[j] - et_neg[j];
+    // d(loss)/d(h) = 2(dp - dn), etc.
+    const float gh = 2.0f * (dp - dn);
+    eh[j] -= lr * gh;
+    r[j] -= lr * gh;
+    et_pos[j] -= lr * (-2.0f * dp);
+    et_neg[j] -= lr * (2.0f * dn);
+  }
+}
+
+void NormaliseRows(tensor::Tensor* m) {
+  const int64_t rows = m->dim(0);
+  const int64_t dim = m->dim(1);
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = m->data() + i * dim;
+    double norm2 = 0.0;
+    for (int64_t j = 0; j < dim; ++j) norm2 += static_cast<double>(row[j]) * row[j];
+    if (norm2 > 1e-12) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+      for (int64_t j = 0; j < dim; ++j) row[j] *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+tensor::Tensor PretrainStructuralEmbeddings(
+    const kg::Dataset& dataset, const StructuralPretrainConfig& config) {
+  const int64_t n = dataset.num_entities();
+  const int64_t r = dataset.num_relations_with_inverses();
+  CAME_CHECK_GT(n, 0);
+  Rng rng(config.seed);
+
+  tensor::Tensor entities({n, config.dim});
+  tensor::Tensor relations({r, config.dim});
+  const float bound = static_cast<float>(6.0 / std::sqrt(config.dim));
+  for (int64_t i = 0; i < entities.numel(); ++i) {
+    entities.data()[i] = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+  for (int64_t i = 0; i < relations.numel(); ++i) {
+    relations.data()[i] = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+
+  const std::vector<kg::Triple> train = dataset.TrainWithInverses();
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    NormaliseRows(&entities);
+    for (const kg::Triple& t : train) {
+      for (int k = 0; k < config.negatives; ++k) {
+        const int64_t neg = static_cast<int64_t>(
+            rng.UniformU64(static_cast<uint64_t>(n)));
+        MarginStep(entities.data() + t.head * config.dim,
+                   relations.data() + t.rel * config.dim,
+                   entities.data() + t.tail * config.dim,
+                   entities.data() + neg * config.dim, config.dim,
+                   config.margin, config.lr);
+      }
+    }
+  }
+  NormaliseRows(&entities);
+  return entities;
+}
+
+}  // namespace came::encoders

@@ -1,0 +1,33 @@
+#ifndef CAME_ENCODERS_STRUCTURAL_PRETRAIN_H_
+#define CAME_ENCODERS_STRUCTURAL_PRETRAIN_H_
+
+#include <cstdint>
+
+#include "kg/dataset.h"
+#include "tensor/tensor.h"
+
+namespace came::encoders {
+
+/// Lightweight structural-embedding pre-trainer. The paper obtains the
+/// structured-knowledge modality h_s from CompGCN; this module provides a
+/// fast self-contained TransE pre-training pass (hand-rolled SGD, no
+/// autograd tape) that serves the same role: a frozen per-entity vector
+/// summarising graph neighbourhood structure. For the full CompGCN
+/// pipeline use baselines::CompGcn and export its entity table instead.
+struct StructuralPretrainConfig {
+  int64_t dim = 32;
+  int epochs = 15;
+  float lr = 0.05f;
+  float margin = 1.0f;
+  int negatives = 4;
+  uint64_t seed = 13;
+};
+
+/// Trains TransE on `dataset.train` and returns the entity embedding
+/// matrix [num_entities, dim], rows L2-normalised.
+tensor::Tensor PretrainStructuralEmbeddings(
+    const kg::Dataset& dataset, const StructuralPretrainConfig& config);
+
+}  // namespace came::encoders
+
+#endif  // CAME_ENCODERS_STRUCTURAL_PRETRAIN_H_

@@ -1,0 +1,77 @@
+#include "encoders/text_encoder.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::encoders {
+
+namespace {
+
+uint64_t Fnv1a(const char* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+void CountNgrams(const std::string& text, int nmin, int nmax, int weight,
+                 int64_t hash_dim, float* counts) {
+  const int64_t len = static_cast<int64_t>(text.size());
+  for (int n = nmin; n <= nmax; ++n) {
+    for (int64_t i = 0; i + n <= len; ++i) {
+      const uint64_t h = Fnv1a(text.data() + i, static_cast<size_t>(n));
+      counts[h % static_cast<uint64_t>(hash_dim)] +=
+          static_cast<float>(weight);
+    }
+  }
+}
+
+}  // namespace
+
+TextEncoder::TextEncoder(const Config& config) : config_(config) {
+  Rng rng(config.seed);
+  projection_ =
+      nn::XavierNormal({config_.hash_dim, config_.out_dim}, &rng, 2.0);
+}
+
+tensor::Tensor TextEncoder::HashedNgrams(
+    const datagen::EntityText& text) const {
+  tensor::Tensor bag(tensor::Shape{config_.hash_dim});
+  const std::string name = "^" + Lower(text.name) + "$";
+  CountNgrams(name, config_.ngram_min, config_.ngram_max,
+              config_.name_weight, config_.hash_dim, bag.data());
+  CountNgrams(Lower(text.description), config_.ngram_min, config_.ngram_max,
+              /*weight=*/1, config_.hash_dim, bag.data());
+  // L2 normalise.
+  double norm2 = 0.0;
+  for (int64_t i = 0; i < bag.numel(); ++i) {
+    norm2 += static_cast<double>(bag.data()[i]) * bag.data()[i];
+  }
+  if (norm2 > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (int64_t i = 0; i < bag.numel(); ++i) bag.data()[i] *= inv;
+  }
+  return bag;
+}
+
+tensor::Tensor TextEncoder::Encode(const datagen::EntityText& text) const {
+  tensor::Tensor bag = HashedNgrams(text).Reshape({1, config_.hash_dim});
+  tensor::Tensor projected = tensor::MatMul(bag, projection_);
+  return tensor::Tanh(tensor::Scale(projected, 4.0f))
+      .Reshape({config_.out_dim});
+}
+
+}  // namespace came::encoders

@@ -1,0 +1,51 @@
+#ifndef CAME_ENCODERS_TEXT_ENCODER_H_
+#define CAME_ENCODERS_TEXT_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datagen/textgen.h"
+#include "tensor/tensor.h"
+
+namespace came::encoders {
+
+/// Character n-gram text encoder — stands in for the CharacterBERT /
+/// Chinese-BERT embeddings the paper feeds CamE (Section III).
+///
+/// Names are wrapped in boundary markers ('^name$') so prefixes and
+/// suffixes ("Sulfa...", "...cillin") produce distinctive n-grams — the
+/// word-piece-level signal the paper's case study relies on. N-gram counts
+/// are feature-hashed into a fixed-width bag, L2-normalised, then passed
+/// through a frozen random projection + tanh, mimicking a pre-trained
+/// encoder whose weights we do not train.
+class TextEncoder {
+ public:
+  struct Config {
+    int64_t out_dim = 32;
+    int64_t hash_dim = 512;
+    int ngram_min = 2;
+    int ngram_max = 4;
+    /// Name n-grams are counted this many times relative to description
+    /// n-grams (names carry the family affix).
+    int name_weight = 3;
+    uint64_t seed = 11;
+  };
+
+  explicit TextEncoder(const Config& config);
+
+  /// Fixed-dimensional embedding of an entity's name + description.
+  tensor::Tensor Encode(const datagen::EntityText& text) const;
+
+  /// The hashed bag-of-n-grams before projection (exposed for tests).
+  tensor::Tensor HashedNgrams(const datagen::EntityText& text) const;
+
+  int64_t out_dim() const { return config_.out_dim; }
+
+ private:
+  Config config_;
+  tensor::Tensor projection_;  // [hash_dim, out_dim], frozen
+};
+
+}  // namespace came::encoders
+
+#endif  // CAME_ENCODERS_TEXT_ENCODER_H_

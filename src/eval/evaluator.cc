@@ -1,0 +1,106 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace came::eval {
+
+Evaluator::Evaluator(const kg::Dataset& dataset)
+    : dataset_(dataset),
+      filter_(dataset.num_entities(), dataset.num_relations()) {
+  filter_.AddTriples(dataset.AllTriples());
+}
+
+namespace {
+
+// Filtered rank of `target` within `scores` (row of length N): known true
+// tails other than the target are skipped entirely.
+double FilteredRank(const float* scores, int64_t n, int64_t target,
+                    const std::vector<int64_t>& known_tails) {
+  const float s_target = scores[target];
+  int64_t better = 0;
+  int64_t equal = 0;
+  size_t known_idx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    // known_tails is sorted; advance the cursor and skip filtered ids.
+    while (known_idx < known_tails.size() && known_tails[known_idx] < i) {
+      ++known_idx;
+    }
+    if (known_idx < known_tails.size() && known_tails[known_idx] == i &&
+        i != target) {
+      continue;
+    }
+    if (i == target) continue;
+    const float s = scores[i];
+    if (std::isnan(s)) continue;
+    if (s > s_target) {
+      ++better;
+    } else if (s == s_target) {
+      ++equal;
+    }
+  }
+  return 1.0 + static_cast<double>(better) + static_cast<double>(equal) / 2.0;
+}
+
+}  // namespace
+
+Metrics Evaluator::Evaluate(baselines::KgcModel* model,
+                            const std::vector<kg::Triple>& triples,
+                            const EvalConfig& config) const {
+  CAME_CHECK(model != nullptr);
+  const bool was_training = model->training();
+  model->SetTraining(false);
+  ag::NoGradGuard guard;
+
+  // Build the query list: (head, rel, target-tail) per direction.
+  struct Query {
+    int64_t head;
+    int64_t rel;
+    int64_t target;
+  };
+  std::vector<Query> queries;
+  std::vector<kg::Triple> subset = triples;
+  if (config.max_triples >= 0 &&
+      static_cast<int64_t>(subset.size()) > config.max_triples) {
+    Rng rng(config.seed);
+    rng.Shuffle(&subset);
+    subset.resize(static_cast<size_t>(config.max_triples));
+  }
+  const int64_t r_offset = dataset_.num_relations();
+  for (const kg::Triple& t : subset) {
+    queries.push_back({t.head, t.rel, t.tail});
+    if (config.both_directions) {
+      queries.push_back({t.tail, t.rel + r_offset, t.head});
+    }
+  }
+
+  Metrics metrics;
+  const int64_t n = dataset_.num_entities();
+  for (size_t start = 0; start < queries.size();
+       start += static_cast<size_t>(config.batch_size)) {
+    const size_t end = std::min(
+        queries.size(), start + static_cast<size_t>(config.batch_size));
+    std::vector<int64_t> heads;
+    std::vector<int64_t> rels;
+    for (size_t i = start; i < end; ++i) {
+      heads.push_back(queries[i].head);
+      rels.push_back(queries[i].rel);
+    }
+    const tensor::Tensor scores =
+        model->ScoreAllTails(heads, rels).value();
+    for (size_t i = start; i < end; ++i) {
+      const Query& q = queries[i];
+      const float* row =
+          scores.data() + static_cast<int64_t>(i - start) * n;
+      metrics.AddRank(
+          FilteredRank(row, n, q.target, filter_.Tails(q.head, q.rel)));
+    }
+  }
+  model->SetTraining(was_training);
+  return metrics;
+}
+
+}  // namespace came::eval

@@ -1,0 +1,51 @@
+#include "eval/metrics.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace came::eval {
+
+void Metrics::AddRank(double rank) {
+  CAME_CHECK_GE(rank, 1.0);
+  rank_sum += rank;
+  reciprocal_sum += 1.0 / rank;
+  hits1 += rank <= 1.0;
+  hits3 += rank <= 3.0;
+  hits10 += rank <= 10.0;
+  ++count;
+}
+
+void Metrics::Merge(const Metrics& other) {
+  rank_sum += other.rank_sum;
+  reciprocal_sum += other.reciprocal_sum;
+  hits1 += other.hits1;
+  hits3 += other.hits3;
+  hits10 += other.hits10;
+  count += other.count;
+}
+
+double Metrics::Mr() const { return count == 0 ? 0.0 : rank_sum / count; }
+double Metrics::Mrr() const {
+  return count == 0 ? 0.0 : 100.0 * reciprocal_sum / count;
+}
+double Metrics::Hits1() const {
+  return count == 0 ? 0.0 : 100.0 * hits1 / count;
+}
+double Metrics::Hits3() const {
+  return count == 0 ? 0.0 : 100.0 * hits3 / count;
+}
+double Metrics::Hits10() const {
+  return count == 0 ? 0.0 : 100.0 * hits10 / count;
+}
+
+std::string Metrics::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "MRR=%.1f MR=%.0f H@1=%.1f H@3=%.1f H@10=%.1f (n=%lld)",
+                Mrr(), Mr(), Hits1(), Hits3(), Hits10(),
+                static_cast<long long>(count));
+  return buf;
+}
+
+}  // namespace came::eval

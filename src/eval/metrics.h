@@ -1,0 +1,35 @@
+#ifndef CAME_EVAL_METRICS_H_
+#define CAME_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace came::eval {
+
+/// Accumulator for the paper's ranking metrics. Ranks are 1-based.
+/// Accessors report MRR/Hits as percentages (x100), matching how the
+/// paper's tables print them.
+struct Metrics {
+  double rank_sum = 0.0;
+  double reciprocal_sum = 0.0;
+  int64_t hits1 = 0;
+  int64_t hits3 = 0;
+  int64_t hits10 = 0;
+  int64_t count = 0;
+
+  void AddRank(double rank);
+  void Merge(const Metrics& other);
+
+  double Mr() const;
+  double Mrr() const;     // percentage
+  double Hits1() const;   // percentage
+  double Hits3() const;   // percentage
+  double Hits10() const;  // percentage
+
+  /// "MRR=50.4 MR=412 H@1=40.2 H@3=57.1 H@10=67.7 (n=...)"
+  std::string ToString() const;
+};
+
+}  // namespace came::eval
+
+#endif  // CAME_EVAL_METRICS_H_

@@ -1,0 +1,146 @@
+#include "kg/dataset.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace came::kg {
+
+std::vector<Triple> Dataset::TrainWithInverses() const {
+  const int64_t offset = num_relations();
+  std::vector<Triple> out;
+  out.reserve(train.size() * 2);
+  for (const Triple& t : train) {
+    out.push_back(t);
+    out.push_back({t.tail, t.rel + offset, t.head});
+  }
+  return out;
+}
+
+std::vector<Triple> Dataset::AllTriples() const {
+  std::vector<Triple> out;
+  out.reserve(train.size() + valid.size() + test.size());
+  out.insert(out.end(), train.begin(), train.end());
+  out.insert(out.end(), valid.begin(), valid.end());
+  out.insert(out.end(), test.begin(), test.end());
+  return out;
+}
+
+namespace {
+
+Status WriteTriples(const std::string& path,
+                    const std::vector<Triple>& triples) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  for (const Triple& t : triples) {
+    out << t.head << '\t' << t.rel << '\t' << t.tail << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status ReadTriples(const std::string& path, std::vector<Triple>* triples) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    Triple t;
+    if (!(ls >> t.head >> t.rel >> t.tail)) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": malformed triple");
+    }
+    triples->push_back(t);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Dataset::SaveTsv(const std::string& dir) const {
+  {
+    std::ofstream out(dir + "/entities.tsv");
+    if (!out) return Status::IOError("cannot open " + dir + "/entities.tsv");
+    for (int64_t i = 0; i < vocab.num_entities(); ++i) {
+      out << i << '\t' << vocab.EntityName(i) << '\t'
+          << static_cast<int>(vocab.entity_type(i)) << '\n';
+    }
+  }
+  {
+    std::ofstream out(dir + "/relations.tsv");
+    if (!out) return Status::IOError("cannot open " + dir + "/relations.tsv");
+    for (int64_t i = 0; i < vocab.num_relations(); ++i) {
+      out << i << '\t' << vocab.RelationName(i) << '\n';
+    }
+  }
+  CAME_RETURN_IF_ERROR(WriteTriples(dir + "/train.tsv", train));
+  CAME_RETURN_IF_ERROR(WriteTriples(dir + "/valid.tsv", valid));
+  CAME_RETURN_IF_ERROR(WriteTriples(dir + "/test.tsv", test));
+  return Status::OK();
+}
+
+Result<Dataset> Dataset::LoadTsv(const std::string& dir,
+                                 const std::string& name) {
+  Dataset ds;
+  ds.name = name;
+  {
+    std::ifstream in(dir + "/entities.tsv");
+    if (!in) return Status::IOError("cannot open " + dir + "/entities.tsv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      int64_t id;
+      std::string ename;
+      int type;
+      if (!(ls >> id >> ename >> type)) {
+        return Status::Corruption("malformed entity line: " + line);
+      }
+      const int64_t got = ds.vocab.AddEntity(ename, static_cast<EntityType>(type));
+      if (got != id) return Status::Corruption("non-dense entity ids");
+    }
+  }
+  {
+    std::ifstream in(dir + "/relations.tsv");
+    if (!in) return Status::IOError("cannot open " + dir + "/relations.tsv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      int64_t id;
+      std::string rname;
+      if (!(ls >> id >> rname)) {
+        return Status::Corruption("malformed relation line: " + line);
+      }
+      const int64_t got = ds.vocab.AddRelation(rname);
+      if (got != id) return Status::Corruption("non-dense relation ids");
+    }
+  }
+  CAME_RETURN_IF_ERROR(ReadTriples(dir + "/train.tsv", &ds.train));
+  CAME_RETURN_IF_ERROR(ReadTriples(dir + "/valid.tsv", &ds.valid));
+  CAME_RETURN_IF_ERROR(ReadTriples(dir + "/test.tsv", &ds.test));
+  return ds;
+}
+
+void SplitTriples(std::vector<Triple> triples, Rng* rng,
+                  std::vector<Triple>* train, std::vector<Triple>* valid,
+                  std::vector<Triple>* test, double train_frac,
+                  double valid_frac) {
+  CAME_CHECK(rng != nullptr);
+  CAME_CHECK_GT(train_frac, 0.0);
+  CAME_CHECK_LE(train_frac + valid_frac, 1.0);
+  rng->Shuffle(&triples);
+  const auto n = static_cast<int64_t>(triples.size());
+  const auto n_train = static_cast<int64_t>(train_frac * n);
+  const auto n_valid = static_cast<int64_t>(valid_frac * n);
+  train->assign(triples.begin(), triples.begin() + n_train);
+  valid->assign(triples.begin() + n_train,
+                triples.begin() + n_train + n_valid);
+  test->assign(triples.begin() + n_train + n_valid, triples.end());
+}
+
+}  // namespace came::kg

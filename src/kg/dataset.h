@@ -1,0 +1,61 @@
+#ifndef CAME_KG_DATASET_H_
+#define CAME_KG_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "kg/triple_store.h"
+#include "kg/vocab.h"
+
+namespace came::kg {
+
+/// A split multimodal BKG dataset (structural part — modality features
+/// live in encoders::FeatureBank, keyed by entity id).
+///
+/// Relation id convention (paper Section IV-D): for every relation r in
+/// [0, R) there is an inverse relation r + R, and each triple (h, r, t)
+/// is augmented with (t, r + R, h). Models allocate 2R relation
+/// embeddings; evaluation ranks tails only, covering head prediction via
+/// the inverse triples.
+struct Dataset {
+  std::string name;
+  Vocab vocab;
+  std::vector<Triple> train;
+  std::vector<Triple> valid;
+  std::vector<Triple> test;
+
+  int64_t num_entities() const { return vocab.num_entities(); }
+  /// Number of base (non-inverse) relations.
+  int64_t num_relations() const { return vocab.num_relations(); }
+  /// Relation count including inverses: models embed this many.
+  int64_t num_relations_with_inverses() const {
+    return 2 * vocab.num_relations();
+  }
+  int64_t InverseRelation(int64_t r) const {
+    return r < num_relations() ? r + num_relations() : r - num_relations();
+  }
+
+  /// Training triples plus their inverses (the 1-to-N training set).
+  std::vector<Triple> TrainWithInverses() const;
+  /// All known triples (train+valid+test), no inverses.
+  std::vector<Triple> AllTriples() const;
+
+  /// Writes entities.tsv / relations.tsv / {train,valid,test}.tsv.
+  Status SaveTsv(const std::string& dir) const;
+  /// Loads a dataset saved by SaveTsv.
+  static Result<Dataset> LoadTsv(const std::string& dir,
+                                 const std::string& name);
+};
+
+/// Deterministically splits `triples` into 8:1:1 train/valid/test
+/// (paper Section V-A) after a seeded shuffle.
+void SplitTriples(std::vector<Triple> triples, Rng* rng,
+                  std::vector<Triple>* train, std::vector<Triple>* valid,
+                  std::vector<Triple>* test, double train_frac = 0.8,
+                  double valid_frac = 0.1);
+
+}  // namespace came::kg
+
+#endif  // CAME_KG_DATASET_H_

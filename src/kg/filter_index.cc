@@ -1,0 +1,39 @@
+#include "kg/filter_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace came::kg {
+
+FilterIndex::FilterIndex(int64_t num_entities, int64_t num_relations)
+    : num_entities_(num_entities), num_relations_(num_relations) {
+  CAME_CHECK_GT(num_entities, 0);
+  CAME_CHECK_GT(num_relations, 0);
+}
+
+void FilterIndex::AddTriples(const std::vector<Triple>& triples) {
+  for (const Triple& t : triples) {
+    CAME_CHECK_LT(t.rel, num_relations_) << "index base relations only";
+    tails_[Key(t.head, t.rel)].push_back(t.tail);
+    tails_[Key(t.tail, t.rel + num_relations_)].push_back(t.head);
+  }
+  // Dedup each posting list.
+  for (auto& [_, v] : tails_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+}
+
+const std::vector<int64_t>& FilterIndex::Tails(int64_t head,
+                                               int64_t rel) const {
+  auto it = tails_.find(Key(head, rel));
+  return it == tails_.end() ? empty_ : it->second;
+}
+
+bool FilterIndex::Contains(int64_t head, int64_t rel, int64_t tail) const {
+  const auto& v = Tails(head, rel);
+  return std::binary_search(v.begin(), v.end(), tail);
+}
+
+}  // namespace came::kg

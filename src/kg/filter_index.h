@@ -1,0 +1,49 @@
+#ifndef CAME_KG_FILTER_INDEX_H_
+#define CAME_KG_FILTER_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/triple_store.h"
+
+namespace came::kg {
+
+/// Maps (head, relation) -> all known tails, over original *and* inverse
+/// relations. Used for:
+///   * the filtered evaluation setting (mask known true triples other than
+///     the one being ranked, following Bordes et al.), and
+///   * building 1-to-N multi-label training targets.
+class FilterIndex {
+ public:
+  /// `num_relations` counts base relations only; the index also stores
+  /// (t, r + num_relations) -> h for every triple.
+  FilterIndex(int64_t num_entities, int64_t num_relations);
+
+  /// Indexes the triples (and their inverses).
+  void AddTriples(const std::vector<Triple>& triples);
+
+  /// Known tails for the (possibly inverse) relation. Empty if none.
+  const std::vector<int64_t>& Tails(int64_t head, int64_t rel) const;
+
+  bool Contains(int64_t head, int64_t rel, int64_t tail) const;
+
+  int64_t num_entities() const { return num_entities_; }
+  int64_t num_relations_with_inverses() const { return 2 * num_relations_; }
+
+ private:
+  uint64_t Key(int64_t head, int64_t rel) const {
+    return static_cast<uint64_t>(head) *
+               static_cast<uint64_t>(2 * num_relations_) +
+           static_cast<uint64_t>(rel);
+  }
+
+  int64_t num_entities_;
+  int64_t num_relations_;
+  std::unordered_map<uint64_t, std::vector<int64_t>> tails_;
+  std::vector<int64_t> empty_;
+};
+
+}  // namespace came::kg
+
+#endif  // CAME_KG_FILTER_INDEX_H_

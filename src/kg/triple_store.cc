@@ -1,0 +1,15 @@
+#include "kg/triple_store.h"
+
+namespace came::kg {
+
+bool TripleStore::Add(const Triple& t) {
+  if (!index_.insert(t).second) return false;
+  triples_.push_back(t);
+  return true;
+}
+
+bool TripleStore::Contains(const Triple& t) const {
+  return index_.count(t) > 0;
+}
+
+}  // namespace came::kg

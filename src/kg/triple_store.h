@@ -1,0 +1,51 @@
+#ifndef CAME_KG_TRIPLE_STORE_H_
+#define CAME_KG_TRIPLE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace came::kg {
+
+/// One (head, relation, tail) fact.
+struct Triple {
+  int64_t head;
+  int64_t rel;
+  int64_t tail;
+
+  friend bool operator==(const Triple& a, const Triple& b) = default;
+};
+
+struct TripleHash {
+  std::size_t operator()(const Triple& t) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t v : {static_cast<uint64_t>(t.head),
+                       static_cast<uint64_t>(t.rel),
+                       static_cast<uint64_t>(t.tail)}) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Deduplicating triple container preserving insertion order.
+class TripleStore {
+ public:
+  /// Returns false if the triple was already present.
+  bool Add(const Triple& t);
+  bool Contains(const Triple& t) const;
+  int64_t size() const { return static_cast<int64_t>(triples_.size()); }
+  const Triple& operator[](int64_t i) const {
+    return triples_[static_cast<std::size_t>(i)];
+  }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+ private:
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> index_;
+};
+
+}  // namespace came::kg
+
+#endif  // CAME_KG_TRIPLE_STORE_H_

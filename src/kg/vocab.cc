@@ -1,0 +1,82 @@
+#include "kg/vocab.h"
+
+#include "common/logging.h"
+
+namespace came::kg {
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kGene:
+      return "Gene";
+    case EntityType::kCompound:
+      return "Compound";
+    case EntityType::kDisease:
+      return "Disease";
+    case EntityType::kSideEffect:
+      return "SideEffect";
+    case EntityType::kSymptom:
+      return "Symptom";
+    case EntityType::kAnatomy:
+      return "Anatomy";
+    case EntityType::kOther:
+      return "Other";
+  }
+  return "Unknown";
+}
+
+int64_t Vocab::AddEntity(const std::string& name, EntityType type) {
+  auto it = entity_ids_.find(name);
+  if (it != entity_ids_.end()) return it->second;
+  const int64_t id = num_entities();
+  entity_ids_.emplace(name, id);
+  entity_names_.push_back(name);
+  entity_types_.push_back(type);
+  return id;
+}
+
+int64_t Vocab::AddRelation(const std::string& name) {
+  auto it = relation_ids_.find(name);
+  if (it != relation_ids_.end()) return it->second;
+  const int64_t id = num_relations();
+  relation_ids_.emplace(name, id);
+  relation_names_.push_back(name);
+  return id;
+}
+
+int64_t Vocab::EntityId(const std::string& name) const {
+  auto it = entity_ids_.find(name);
+  return it == entity_ids_.end() ? -1 : it->second;
+}
+
+int64_t Vocab::RelationId(const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  return it == relation_ids_.end() ? -1 : it->second;
+}
+
+const std::string& Vocab::EntityName(int64_t id) const {
+  CAME_CHECK_GE(id, 0);
+  CAME_CHECK_LT(id, num_entities());
+  return entity_names_[static_cast<size_t>(id)];
+}
+
+const std::string& Vocab::RelationName(int64_t id) const {
+  CAME_CHECK_GE(id, 0);
+  CAME_CHECK_LT(id, num_relations());
+  return relation_names_[static_cast<size_t>(id)];
+}
+
+EntityType Vocab::entity_type(int64_t id) const {
+  CAME_CHECK_GE(id, 0);
+  CAME_CHECK_LT(id, num_entities());
+  return entity_types_[static_cast<size_t>(id)];
+}
+
+std::vector<int64_t> Vocab::EntitiesOfType(EntityType type) const {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < num_entities(); ++i) {
+    if (entity_types_[static_cast<size_t>(i)] == type) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace came::kg

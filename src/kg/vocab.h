@@ -1,0 +1,63 @@
+#ifndef CAME_KG_VOCAB_H_
+#define CAME_KG_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace came::kg {
+
+/// Biological entity categories used by the generators, the per-relation
+/// evaluation (Table IV), and the multimodal feature bank (only compounds
+/// carry molecules, etc.).
+enum class EntityType {
+  kGene = 0,
+  kCompound,
+  kDisease,
+  kSideEffect,
+  kSymptom,
+  kAnatomy,
+  kOther,
+};
+
+const char* EntityTypeName(EntityType type);
+
+/// Bidirectional string<->id mapping for entities (with types) and
+/// relations. Ids are dense and assigned in insertion order.
+class Vocab {
+ public:
+  /// Adds (or finds) an entity; returns its id.
+  int64_t AddEntity(const std::string& name, EntityType type);
+  /// Adds (or finds) a relation; returns its id.
+  int64_t AddRelation(const std::string& name);
+
+  /// Id lookup; -1 when absent.
+  int64_t EntityId(const std::string& name) const;
+  int64_t RelationId(const std::string& name) const;
+
+  const std::string& EntityName(int64_t id) const;
+  const std::string& RelationName(int64_t id) const;
+  EntityType entity_type(int64_t id) const;
+
+  int64_t num_entities() const {
+    return static_cast<int64_t>(entity_names_.size());
+  }
+  int64_t num_relations() const {
+    return static_cast<int64_t>(relation_names_.size());
+  }
+
+  /// All entity ids of one type.
+  std::vector<int64_t> EntitiesOfType(EntityType type) const;
+
+ private:
+  std::vector<std::string> entity_names_;
+  std::vector<EntityType> entity_types_;
+  std::unordered_map<std::string, int64_t> entity_ids_;
+  std::vector<std::string> relation_names_;
+  std::unordered_map<std::string, int64_t> relation_ids_;
+};
+
+}  // namespace came::kg
+
+#endif  // CAME_KG_VOCAB_H_

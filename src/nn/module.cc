@@ -1,0 +1,152 @@
+#include "nn/module.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace came::nn {
+
+std::vector<ag::Var> Module::Parameters() const {
+  std::vector<ag::Var> out;
+  for (const auto& [_, p] : NamedParameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Var>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, ag::Var>> out;
+  for (const auto& [name, p] : params_) out.emplace_back(name, p);
+  for (const auto& [name, child] : children_) {
+    for (const auto& [cname, p] : child->NamedParameters()) {
+      out.emplace_back(name + "." + cname, p);
+    }
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& [_, p] : NamedParameters()) n += p.numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [_, child] : children_) child->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (auto& [_, p] : NamedParameters()) {
+    ag::Var v = p;
+    v.ZeroGrad();
+  }
+}
+
+ag::Var Module::RegisterParameter(const std::string& name,
+                                  tensor::Tensor init) {
+  for (const auto& [existing, _] : params_) {
+    CAME_CHECK_NE(existing, name) << "duplicate parameter";
+  }
+  ag::Var v(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(name, v);
+  return v;
+}
+
+void Module::RegisterSubmodule(const std::string& name, Module* child) {
+  CAME_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+std::vector<tensor::Tensor> Module::SnapshotParameters() const {
+  std::vector<tensor::Tensor> out;
+  for (const auto& [_, p] : NamedParameters()) {
+    out.push_back(p.value().Clone());
+  }
+  return out;
+}
+
+void Module::RestoreParameters(const std::vector<tensor::Tensor>& snapshot) {
+  auto named = NamedParameters();
+  CAME_CHECK_EQ(named.size(), snapshot.size());
+  for (size_t i = 0; i < named.size(); ++i) {
+    ag::Var p = named[i].second;
+    CAME_CHECK(tensor::SameShape(p.shape(), snapshot[i].shape()))
+        << named[i].first;
+    std::copy(snapshot[i].data(), snapshot[i].data() + snapshot[i].numel(),
+              p.mutable_value().data());
+  }
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x43414d45;  // "CAME"
+}  // namespace
+
+Status Module::SaveParameters(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  const auto named = NamedParameters();
+  const uint32_t magic = kMagic;
+  const uint64_t count = named.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, p] : named) {
+    const uint64_t name_len = name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t ndim = p.shape().size();
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int64_t d : p.shape()) {
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status Module::LoadParameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    return Status::Corruption(path + ": not a CamE parameter file");
+  }
+  auto named = NamedParameters();
+  if (count != named.size()) {
+    return Status::InvalidArgument(
+        path + ": parameter count mismatch (file " + std::to_string(count) +
+        ", module " + std::to_string(named.size()) + ")");
+  }
+  for (auto& [expected_name, p] : named) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) return Status::Corruption("bad name length");
+    std::string name(name_len, 0);
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (name != expected_name) {
+      return Status::InvalidArgument("parameter name mismatch: file has " +
+                                     name + ", module expects " +
+                                     expected_name);
+    }
+    uint64_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in || ndim > 8) return Status::Corruption("bad ndim");
+    tensor::Shape shape(ndim);
+    for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (!tensor::SameShape(shape, p.shape())) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    ag::Var v = p;
+    in.read(reinterpret_cast<char*>(v.mutable_value().data()),
+            static_cast<std::streamsize>(v.numel() * sizeof(float)));
+    if (!in) return Status::Corruption("truncated data for " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace came::nn

@@ -1,0 +1,120 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::optim {
+
+Optimizer::Optimizer(std::vector<ag::Var> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const auto& p : params_) {
+    CAME_CHECK(p.defined());
+    CAME_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<ag::Var> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.push_back(tensor::Tensor::Zeros(p.shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    tensor::Tensor g = p.grad();
+    float* pv = p.mutable_value().data();
+    const float* pg = g.data();
+    const int64_t n = g.numel();
+    if (momentum_ > 0.0f) {
+      float* vel = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = pg[j] + weight_decay_ * pv[j];
+        vel[j] = momentum_ * vel[j] + grad;
+        pv[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        pv[j] -= lr_ * (pg[j] + weight_decay_ * pv[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(tensor::Tensor::Zeros(p.shape()));
+    v_.push_back(tensor::Tensor::Zeros(p.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    tensor::Tensor g = p.grad();
+    float* pv = p.mutable_value().data();
+    const float* pg = g.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = g.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = pg[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      // Decoupled weight decay (AdamW) when configured.
+      pv[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) +
+                      weight_decay_ * pv[j]);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    const tensor::Tensor g = p.grad();
+    for (int64_t j = 0; j < g.numel(); ++j) {
+      total += static_cast<double>(g.data()[j]) * g.data()[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const auto& p : params) {
+      if (!p.has_grad()) continue;
+      tensor::Tensor g = p.grad();  // aliases the stored gradient buffer
+      for (int64_t j = 0; j < g.numel(); ++j) g.data()[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace came::optim

@@ -1,0 +1,70 @@
+#ifndef CAME_OPTIM_OPTIMIZER_H_
+#define CAME_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace came::optim {
+
+/// Base interface: holds the parameter list, applies updates from the
+/// gradients accumulated by Backward().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Var> params, float lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the current gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ protected:
+  std::vector<ag::Var> params_;
+  float lr_;
+};
+
+/// SGD with optional momentum and weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Var> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) — the optimiser the paper uses (Section V-B).
+/// Optional decoupled weight decay turns it into AdamW.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+/// Rescales gradients in place so their global L2 norm is at most
+/// `max_norm`; returns the pre-clipping norm.
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm);
+
+}  // namespace came::optim
+
+#endif  // CAME_OPTIM_OPTIMIZER_H_

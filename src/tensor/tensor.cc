@@ -1,0 +1,127 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace came::tensor {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    CAME_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool SameShape(const Shape& a, const Shape& b) { return a == b; }
+
+Tensor::Tensor() : Tensor(Shape{0}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(NumElements(shape_)),
+      data_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  CAME_CHECK_EQ(NumElements(shape), static_cast<int64_t>(values.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = static_cast<int64_t>(values.size());
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t(Shape{n});
+  for (int64_t i = 0; i < n; ++i) t.data()[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full(Shape{1}, value); }
+
+int64_t Tensor::dim(int64_t i) const {
+  if (i < 0) i += ndim();
+  CAME_CHECK_GE(i, 0);
+  CAME_CHECK_LT(i, ndim());
+  return shape_[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> idx) const {
+  CAME_CHECK_EQ(static_cast<int64_t>(idx.size()), ndim());
+  int64_t flat = 0;
+  size_t d = 0;
+  for (int64_t i : idx) {
+    CAME_CHECK_GE(i, 0);
+    CAME_CHECK_LT(i, shape_[d]);
+    flat = flat * shape_[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return data()[FlatIndex(idx)];
+}
+
+void Tensor::set(std::initializer_list<int64_t> idx, float value) {
+  data()[FlatIndex(idx)] = value;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  return t;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  CAME_CHECK_EQ(NumElements(new_shape), numel_)
+      << "reshape " << ShapeToString(shape_) << " -> "
+      << ShapeToString(new_shape);
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : *data_) v = value;
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape_) << " {";
+  const int64_t n = std::min(numel_, max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data()[i];
+  }
+  if (n < numel_) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace came::tensor

@@ -1,0 +1,577 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace came::tensor {
+
+namespace {
+
+// Pads `shape` on the left with 1s to `ndim` dims.
+Shape PadShape(const Shape& shape, size_t ndim) {
+  Shape out(ndim, 1);
+  std::copy(shape.begin(), shape.end(),
+            out.begin() + static_cast<int64_t>(ndim - shape.size()));
+  return out;
+}
+
+// Row-major strides; broadcast dims (size 1 where out size > 1) get stride 0.
+std::vector<int64_t> BroadcastStrides(const Shape& padded, const Shape& out) {
+  std::vector<int64_t> strides(padded.size(), 0);
+  int64_t s = 1;
+  for (int64_t d = static_cast<int64_t>(padded.size()) - 1; d >= 0; --d) {
+    const auto du = static_cast<size_t>(d);
+    strides[du] = (padded[du] == out[du]) ? s : 0;
+    CAME_CHECK(padded[du] == out[du] || padded[du] == 1)
+        << "broadcast mismatch";
+    s *= padded[du];
+  }
+  return strides;
+}
+
+template <typename F>
+Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F op) {
+  if (SameShape(a.shape(), b.shape())) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  const size_t nd = out_shape.size();
+  const Shape sa = PadShape(a.shape(), nd);
+  const Shape sb = PadShape(b.shape(), nd);
+  const auto stra = BroadcastStrides(sa, out_shape);
+  const auto strb = BroadcastStrides(sb, out_shape);
+
+  Tensor out(out_shape);
+  float* po = out.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+
+  std::vector<int64_t> idx(nd, 0);
+  const int64_t n = out.numel();
+  int64_t off_a = 0;
+  int64_t off_b = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = op(pa[off_a], pb[off_b]);
+    // Odometer increment.
+    for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
+      const auto du = static_cast<size_t>(d);
+      ++idx[du];
+      off_a += stra[du];
+      off_b += strb[du];
+      if (idx[du] < out_shape[du]) break;
+      off_a -= stra[du] * out_shape[du];
+      off_b -= strb[du] * out_shape[du];
+      idx[du] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor Unary(const Tensor& t, F op) {
+  Tensor out(t.shape());
+  const float* pi = t.data();
+  float* po = out.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = op(pi[i]);
+  return out;
+}
+
+// Decomposes a shape around `dim` into (outer, axis, inner) extents.
+void AxisDecompose(const Shape& shape, int64_t dim, int64_t* outer,
+                   int64_t* axis, int64_t* inner) {
+  const int64_t nd = static_cast<int64_t>(shape.size());
+  if (dim < 0) dim += nd;
+  CAME_CHECK_GE(dim, 0);
+  CAME_CHECK_LT(dim, nd);
+  *outer = 1;
+  *axis = shape[static_cast<size_t>(dim)];
+  *inner = 1;
+  for (int64_t d = 0; d < dim; ++d) *outer *= shape[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < nd; ++d) *inner *= shape[static_cast<size_t>(d)];
+}
+
+Shape ReducedShape(const Shape& shape, int64_t dim, bool keepdim) {
+  const int64_t nd = static_cast<int64_t>(shape.size());
+  if (dim < 0) dim += nd;
+  Shape out;
+  for (int64_t d = 0; d < nd; ++d) {
+    if (d == dim) {
+      if (keepdim) out.push_back(1);
+    } else {
+      out.push_back(shape[static_cast<size_t>(d)]);
+    }
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+}  // namespace
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const size_t nd = std::max(a.size(), b.size());
+  const Shape pa = PadShape(a, nd);
+  const Shape pb = PadShape(b, nd);
+  Shape out(nd);
+  for (size_t d = 0; d < nd; ++d) {
+    CAME_CHECK(pa[d] == pb[d] || pa[d] == 1 || pb[d] == 1)
+        << "cannot broadcast " << ShapeToString(a) << " with "
+        << ShapeToString(b);
+    out[d] = std::max(pa[d], pb[d]);
+  }
+  return out;
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (SameShape(t.shape(), target)) return t;
+  const size_t nd = t.shape().size();
+  const Shape pt = PadShape(target, nd);
+  Tensor cur = t;
+  // Sum over axes where target extent is 1 but tensor extent is larger.
+  for (int64_t d = 0; d < static_cast<int64_t>(nd); ++d) {
+    const auto du = static_cast<size_t>(d);
+    if (pt[du] == 1 && cur.shape()[du] != 1) {
+      cur = SumAlong(cur, d, /*keepdim=*/true);
+    }
+  }
+  return cur.Reshape(target);
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryBroadcast(a, b, [](float x, float y) { return x / y; });
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y) {
+  CAME_CHECK(SameShape(x.shape(), y->shape()));
+  const float* px = x.data();
+  float* py = y->data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+Tensor Neg(const Tensor& t) {
+  return Unary(t, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& t) {
+  return Unary(t, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& t) {
+  return Unary(t, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& t) {
+  return Unary(t, [](float x) { return std::sqrt(x); });
+}
+Tensor Square(const Tensor& t) {
+  return Unary(t, [](float x) { return x * x; });
+}
+Tensor Sigmoid(const Tensor& t) {
+  return Unary(t, [](float x) {
+    // Branch on sign for numerical stability at large |x|.
+    if (x >= 0) {
+      const float z = std::exp(-x);
+      return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+  });
+}
+Tensor Tanh(const Tensor& t) {
+  return Unary(t, [](float x) { return std::tanh(x); });
+}
+Tensor Relu(const Tensor& t) {
+  return Unary(t, [](float x) { return x > 0 ? x : 0.0f; });
+}
+Tensor Scale(const Tensor& t, float s) {
+  return Unary(t, [s](float x) { return s * x; });
+}
+Tensor AddScalar(const Tensor& t, float s) {
+  return Unary(t, [s](float x) { return x + s; });
+}
+Tensor Abs(const Tensor& t) {
+  return Unary(t, [](float x) { return std::fabs(x); });
+}
+
+namespace {
+
+// C[m,n] += A_block * B_block with explicit index maps for transposes.
+// Plain ikj loop: cache-friendly for row-major operands without copies.
+void MatMulInto(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n, bool trans_a, bool trans_b) {
+  auto a_at = [&](int64_t i, int64_t p) {
+    return trans_a ? a[p * m + i] : a[i * k + p];
+  };
+  if (!trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a_at(i, p);
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    // B is [n, k] accessed as B^T: dot products of rows.
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a_at(i, p) * brow[p];
+        crow[j] += acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  CAME_CHECK_EQ(a.ndim(), 2);
+  CAME_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  CAME_CHECK_EQ(k, kb) << "matmul inner dim: " << ShapeToString(a.shape())
+                       << " x " << ShapeToString(b.shape());
+  Tensor c(Shape{m, n});
+  MatMulInto(a.data(), b.data(), c.data(), m, k, n, trans_a, trans_b);
+  return c;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
+                   bool trans_b) {
+  CAME_CHECK_EQ(a.ndim(), 3);
+  CAME_CHECK_EQ(b.ndim(), 3);
+  CAME_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t batch = a.dim(0);
+  const int64_t m = trans_a ? a.dim(2) : a.dim(1);
+  const int64_t k = trans_a ? a.dim(1) : a.dim(2);
+  const int64_t kb = trans_b ? b.dim(2) : b.dim(1);
+  const int64_t n = trans_b ? b.dim(1) : b.dim(2);
+  CAME_CHECK_EQ(k, kb) << "bmm inner dim: " << ShapeToString(a.shape())
+                       << " x " << ShapeToString(b.shape());
+  Tensor c(Shape{batch, m, n});
+  const int64_t a_stride = a.dim(1) * a.dim(2);
+  const int64_t b_stride = b.dim(1) * b.dim(2);
+  const int64_t c_stride = m * n;
+  for (int64_t i = 0; i < batch; ++i) {
+    MatMulInto(a.data() + i * a_stride, b.data() + i * b_stride,
+               c.data() + i * c_stride, m, k, n, trans_a, trans_b);
+  }
+  return c;
+}
+
+void MatMulRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  MatMulInto(a, b, c, m, k, n, trans_a, trans_b);
+}
+
+Tensor Transpose2D(const Tensor& t) {
+  CAME_CHECK_EQ(t.ndim(), 2);
+  const int64_t r = t.dim(0);
+  const int64_t c = t.dim(1);
+  Tensor out(Shape{c, r});
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < c; ++j) {
+      out.data()[j * r + i] = t.data()[i * c + j];
+    }
+  }
+  return out;
+}
+
+Tensor BatchTranspose(const Tensor& t) {
+  CAME_CHECK_EQ(t.ndim(), 3);
+  const int64_t b = t.dim(0);
+  const int64_t r = t.dim(1);
+  const int64_t c = t.dim(2);
+  Tensor out(Shape{b, c, r});
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const float* src = t.data() + bi * r * c;
+    float* dst = out.data() + bi * r * c;
+    for (int64_t i = 0; i < r; ++i) {
+      for (int64_t j = 0; j < c; ++j) dst[j * r + i] = src[i * c + j];
+    }
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& t) { return Tensor::Scalar(SumAllScalar(t)); }
+
+float SumAllScalar(const Tensor& t) {
+  double acc = 0.0;
+  const float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float MaxAbs(const Tensor& t) {
+  float m = 0.0f;
+  const float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(p[i]));
+  return m;
+}
+
+Tensor SumAlong(const Tensor& t, int64_t dim, bool keepdim) {
+  int64_t outer;
+  int64_t axis;
+  int64_t inner;
+  AxisDecompose(t.shape(), dim, &outer, &axis, &inner);
+  Tensor out(ReducedShape(t.shape(), dim, keepdim));
+  const float* pi = t.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t a = 0; a < axis; ++a) {
+      const float* src = pi + (o * axis + a) * inner;
+      float* dst = po + o * inner;
+      for (int64_t in = 0; in < inner; ++in) dst[in] += src[in];
+    }
+  }
+  return out;
+}
+
+Tensor MaxAlong(const Tensor& t, int64_t dim, bool keepdim) {
+  int64_t outer;
+  int64_t axis;
+  int64_t inner;
+  AxisDecompose(t.shape(), dim, &outer, &axis, &inner);
+  CAME_CHECK_GT(axis, 0);
+  Tensor out(ReducedShape(t.shape(), dim, keepdim));
+  const float* pi = t.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      float m = pi[(o * axis) * inner + in];
+      for (int64_t a = 1; a < axis; ++a) {
+        m = std::max(m, pi[(o * axis + a) * inner + in]);
+      }
+      po[o * inner + in] = m;
+    }
+  }
+  return out;
+}
+
+Tensor SoftmaxAlong(const Tensor& t, int64_t dim) {
+  int64_t outer;
+  int64_t axis;
+  int64_t inner;
+  AxisDecompose(t.shape(), dim, &outer, &axis, &inner);
+  Tensor out(t.shape());
+  const float* pi = t.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      const int64_t base = o * axis * inner + in;
+      float m = pi[base];
+      for (int64_t a = 1; a < axis; ++a) {
+        m = std::max(m, pi[base + a * inner]);
+      }
+      double denom = 0.0;
+      for (int64_t a = 0; a < axis; ++a) {
+        const float e = std::exp(pi[base + a * inner] - m);
+        po[base + a * inner] = e;
+        denom += e;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t a = 0; a < axis; ++a) po[base + a * inner] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
+  CAME_CHECK(!parts.empty());
+  const int64_t nd = parts[0].ndim();
+  if (dim < 0) dim += nd;
+  int64_t total = 0;
+  for (const auto& p : parts) {
+    CAME_CHECK_EQ(p.ndim(), nd);
+    for (int64_t d = 0; d < nd; ++d) {
+      if (d != dim) CAME_CHECK_EQ(p.dim(d), parts[0].dim(d));
+    }
+    total += p.dim(dim);
+  }
+  Shape out_shape = parts[0].shape();
+  out_shape[static_cast<size_t>(dim)] = total;
+  Tensor out(out_shape);
+
+  int64_t outer;
+  int64_t axis_out;
+  int64_t inner;
+  AxisDecompose(out_shape, dim, &outer, &axis_out, &inner);
+  int64_t offset = 0;
+  for (const auto& p : parts) {
+    const int64_t axis_p = p.dim(dim);
+    const float* src = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      float* dst = out.data() + (o * axis_out + offset) * inner;
+      std::copy(src + o * axis_p * inner, src + (o + 1) * axis_p * inner, dst);
+    }
+    offset += axis_p;
+  }
+  return out;
+}
+
+Tensor SliceAlong(const Tensor& t, int64_t dim, int64_t start, int64_t len) {
+  const int64_t nd = t.ndim();
+  if (dim < 0) dim += nd;
+  CAME_CHECK_GE(start, 0);
+  CAME_CHECK_LE(start + len, t.dim(dim));
+  Shape out_shape = t.shape();
+  out_shape[static_cast<size_t>(dim)] = len;
+  Tensor out(out_shape);
+
+  int64_t outer;
+  int64_t axis;
+  int64_t inner;
+  AxisDecompose(t.shape(), dim, &outer, &axis, &inner);
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = t.data() + (o * axis + start) * inner;
+    float* dst = out.data() + o * len * inner;
+    std::copy(src, src + len * inner, dst);
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& matrix, const std::vector<int64_t>& indices) {
+  CAME_CHECK_EQ(matrix.ndim(), 2);
+  const int64_t n = matrix.dim(0);
+  const int64_t d = matrix.dim(1);
+  Tensor out(Shape{static_cast<int64_t>(indices.size()), d});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    CAME_CHECK_GE(r, 0);
+    CAME_CHECK_LT(r, n);
+    std::copy(matrix.data() + r * d, matrix.data() + (r + 1) * d,
+              out.data() + static_cast<int64_t>(i) * d);
+  }
+  return out;
+}
+
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& indices,
+                      int64_t num_rows) {
+  CAME_CHECK_EQ(src.ndim(), 2);
+  CAME_CHECK_EQ(src.dim(0), static_cast<int64_t>(indices.size()));
+  const int64_t d = src.dim(1);
+  Tensor out(Shape{num_rows, d});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    CAME_CHECK_GE(r, 0);
+    CAME_CHECK_LT(r, num_rows);
+    const float* s = src.data() + static_cast<int64_t>(i) * d;
+    float* dst = out.data() + r * d;
+    for (int64_t j = 0; j < d; ++j) dst[j] += s[j];
+  }
+  return out;
+}
+
+Tensor Where(const Tensor& mask, const Tensor& a, const Tensor& b) {
+  CAME_CHECK(SameShape(mask.shape(), a.shape()));
+  CAME_CHECK(SameShape(a.shape(), b.shape()));
+  Tensor out(a.shape());
+  const float* pm = mask.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = (pm[i] != 0.0f) ? pa[i] : pb[i];
+  return out;
+}
+
+Tensor Im2Col(const Tensor& input, int64_t kh, int64_t kw, int64_t pad) {
+  CAME_CHECK_EQ(input.ndim(), 4);
+  const int64_t b = input.dim(0);
+  const int64_t c = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t out_h = h + 2 * pad - kh + 1;
+  const int64_t out_w = w + 2 * pad - kw + 1;
+  CAME_CHECK_GT(out_h, 0);
+  CAME_CHECK_GT(out_w, 0);
+  Tensor cols(Shape{b, c * kh * kw, out_h * out_w});
+  const float* pi = input.data();
+  float* po = cols.data();
+  const int64_t col_stride = c * kh * kw * out_h * out_w;
+  for (int64_t bi = 0; bi < b; ++bi) {
+    float* col = po + bi * col_stride;
+    const float* img = pi + bi * c * h * w;
+    int64_t row = 0;
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t ki = 0; ki < kh; ++ki) {
+        for (int64_t kj = 0; kj < kw; ++kj, ++row) {
+          float* dst = col + row * out_h * out_w;
+          for (int64_t oi = 0; oi < out_h; ++oi) {
+            const int64_t ii = oi + ki - pad;
+            for (int64_t oj = 0; oj < out_w; ++oj) {
+              const int64_t jj = oj + kj - pad;
+              dst[oi * out_w + oj] =
+                  (ii >= 0 && ii < h && jj >= 0 && jj < w)
+                      ? img[(ci * h + ii) * w + jj]
+                      : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
+              int64_t w, int64_t kh, int64_t kw, int64_t pad) {
+  CAME_CHECK_EQ(cols.ndim(), 3);
+  const int64_t out_h = h + 2 * pad - kh + 1;
+  const int64_t out_w = w + 2 * pad - kw + 1;
+  CAME_CHECK_EQ(cols.dim(0), batch);
+  CAME_CHECK_EQ(cols.dim(1), channels * kh * kw);
+  CAME_CHECK_EQ(cols.dim(2), out_h * out_w);
+  Tensor img(Shape{batch, channels, h, w});
+  const float* pc = cols.data();
+  float* po = img.data();
+  const int64_t col_stride = channels * kh * kw * out_h * out_w;
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* col = pc + bi * col_stride;
+    float* out = po + bi * channels * h * w;
+    int64_t row = 0;
+    for (int64_t ci = 0; ci < channels; ++ci) {
+      for (int64_t ki = 0; ki < kh; ++ki) {
+        for (int64_t kj = 0; kj < kw; ++kj, ++row) {
+          const float* src = col + row * out_h * out_w;
+          for (int64_t oi = 0; oi < out_h; ++oi) {
+            const int64_t ii = oi + ki - pad;
+            if (ii < 0 || ii >= h) continue;
+            for (int64_t oj = 0; oj < out_w; ++oj) {
+              const int64_t jj = oj + kj - pad;
+              if (jj < 0 || jj >= w) continue;
+              out[(ci * h + ii) * w + jj] += src[oi * out_w + oj];
+            }
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace came::tensor

@@ -1,0 +1,130 @@
+#ifndef CAME_TENSOR_TENSOR_OPS_H_
+#define CAME_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace came::tensor {
+
+// ---------------------------------------------------------------------------
+// Shape / broadcasting helpers
+// ---------------------------------------------------------------------------
+
+/// NumPy-style right-aligned broadcast result shape. CHECK-fails on
+/// incompatible shapes.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// Sums `t` over its broadcast dimensions so the result has shape `target`
+/// (the reverse of broadcasting; used by autograd backward passes).
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+// ---------------------------------------------------------------------------
+// Elementwise (broadcasting) binary ops
+// ---------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+/// out = a + alpha * b (same shape only; used for gradient accumulation).
+void Axpy(float alpha, const Tensor& x, Tensor* y);
+
+// ---------------------------------------------------------------------------
+// Elementwise unary ops
+// ---------------------------------------------------------------------------
+
+Tensor Neg(const Tensor& t);
+Tensor Exp(const Tensor& t);
+Tensor Log(const Tensor& t);
+Tensor Sqrt(const Tensor& t);
+Tensor Square(const Tensor& t);
+Tensor Sigmoid(const Tensor& t);
+Tensor Tanh(const Tensor& t);
+Tensor Relu(const Tensor& t);
+Tensor Scale(const Tensor& t, float s);
+Tensor AddScalar(const Tensor& t, float s);
+Tensor Abs(const Tensor& t);
+
+// ---------------------------------------------------------------------------
+// Matrix multiplication
+// ---------------------------------------------------------------------------
+
+/// C = op(A) * op(B) for 2-D tensors, where op transposes when the flag is
+/// set. Shapes must be compatible after transposition.
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// Batched matmul over 3-D tensors [B, m, k] x [B, k, n] -> [B, m, n]
+/// (with optional per-operand transposition of the trailing two dims).
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+                   bool trans_b = false);
+
+/// Raw GEMM on pointers: C (m x n) += op(A) * op(B). `accumulate=false`
+/// zeroes C first. Exposed for kernels (conv im2col) that multiply many
+/// small per-sample slices without allocating per-slice tensors.
+void MatMulRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n, bool trans_a, bool trans_b, bool accumulate);
+
+/// 2-D transpose.
+Tensor Transpose2D(const Tensor& t);
+/// Swap the trailing two dims of a 3-D tensor.
+Tensor BatchTranspose(const Tensor& t);
+
+// ---------------------------------------------------------------------------
+// Reductions & softmax
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements as shape-{1} tensor.
+Tensor SumAll(const Tensor& t);
+float SumAllScalar(const Tensor& t);
+float MaxAbs(const Tensor& t);
+
+/// Sum along one axis. `keepdim` keeps a size-1 axis in place.
+Tensor SumAlong(const Tensor& t, int64_t dim, bool keepdim);
+/// Max along one axis (values only).
+Tensor MaxAlong(const Tensor& t, int64_t dim, bool keepdim);
+/// Numerically stable softmax along `dim`.
+Tensor SoftmaxAlong(const Tensor& t, int64_t dim);
+
+// ---------------------------------------------------------------------------
+// Shape surgery
+// ---------------------------------------------------------------------------
+
+/// Concatenates tensors (equal shapes except along `dim`) along `dim`.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t dim);
+/// Contiguous slice [start, start+len) along `dim`.
+Tensor SliceAlong(const Tensor& t, int64_t dim, int64_t start, int64_t len);
+
+// ---------------------------------------------------------------------------
+// Indexed ops (embedding lookup)
+// ---------------------------------------------------------------------------
+
+/// rows[i] = matrix[indices[i]] for a 2-D matrix [N, d] -> [B, d].
+Tensor GatherRows(const Tensor& matrix, const std::vector<int64_t>& indices);
+/// out[indices[i]] += src[i]; out shape [num_rows, d].
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& indices,
+                      int64_t num_rows);
+
+// ---------------------------------------------------------------------------
+// Selection
+// ---------------------------------------------------------------------------
+
+/// out[i] = mask[i] != 0 ? a[i] : b[i]; all three same shape.
+Tensor Where(const Tensor& mask, const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Convolution building blocks (stride 1)
+// ---------------------------------------------------------------------------
+
+/// Unfolds [B, C, H, W] into columns [B, C*kh*kw, out_h*out_w] with zero
+/// padding `pad` and stride 1.
+Tensor Im2Col(const Tensor& input, int64_t kh, int64_t kw, int64_t pad);
+/// Adjoint of Im2Col: folds columns back into [B, C, H, W].
+Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
+              int64_t w, int64_t kh, int64_t kw, int64_t pad);
+
+}  // namespace came::tensor
+
+#endif  // CAME_TENSOR_TENSOR_OPS_H_

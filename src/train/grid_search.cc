@@ -1,0 +1,43 @@
+#include "train/grid_search.h"
+
+#include "common/logging.h"
+
+namespace came::train {
+
+GridSearchResult GridSearch(const ModelFactory& factory,
+                            const kg::Dataset& dataset,
+                            const eval::Evaluator& evaluator,
+                            const std::vector<TrainConfig>& candidates,
+                            int64_t valid_sample) {
+  CAME_CHECK(!candidates.empty());
+  GridSearchResult result;
+  for (const TrainConfig& config : candidates) {
+    std::unique_ptr<baselines::KgcModel> model = factory();
+    CAME_CHECK(model != nullptr);
+    Trainer trainer(model.get(), dataset, config);
+    const eval::Metrics valid = trainer.TrainWithBestValidation(
+        evaluator, std::max(1, config.epochs / 4), valid_sample);
+    result.trials.emplace_back(config, valid);
+    if (result.best_model == nullptr ||
+        valid.Hits10() > result.best_valid.Hits10()) {
+      result.best_config = config;
+      result.best_valid = valid;
+      result.best_model = std::move(model);
+    }
+  }
+  return result;
+}
+
+std::vector<TrainConfig> MarginGrid(const TrainConfig& base,
+                                    const std::vector<float>& margins) {
+  std::vector<TrainConfig> grid;
+  grid.reserve(margins.size());
+  for (float margin : margins) {
+    TrainConfig c = base;
+    c.margin = margin;
+    grid.push_back(c);
+  }
+  return grid;
+}
+
+}  // namespace came::train

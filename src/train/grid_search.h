@@ -1,0 +1,46 @@
+#ifndef CAME_TRAIN_GRID_SEARCH_H_
+#define CAME_TRAIN_GRID_SEARCH_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "baselines/kgc_model.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+namespace came::train {
+
+/// Hyperparameter grid search on the validation split — the paper's
+/// model-selection protocol ("We utilize grid search on the valid set to
+/// get the best hyperparameters", Section V-B).
+///
+/// For every candidate config a fresh model is built by `factory`,
+/// trained with best-validation checkpointing, and scored by validation
+/// Hits@10; the winner's trained model is returned along with the full
+/// trial log.
+struct GridSearchResult {
+  TrainConfig best_config;
+  eval::Metrics best_valid;
+  std::unique_ptr<baselines::KgcModel> best_model;
+  std::vector<std::pair<TrainConfig, eval::Metrics>> trials;
+};
+
+using ModelFactory =
+    std::function<std::unique_ptr<baselines::KgcModel>()>;
+
+GridSearchResult GridSearch(const ModelFactory& factory,
+                            const kg::Dataset& dataset,
+                            const eval::Evaluator& evaluator,
+                            const std::vector<TrainConfig>& candidates,
+                            int64_t valid_sample = -1);
+
+/// Convenience: the given base config swept over a margin grid (the
+/// hyperparameter that differs most across model families here).
+std::vector<TrainConfig> MarginGrid(const TrainConfig& base,
+                                    const std::vector<float>& margins);
+
+}  // namespace came::train
+
+#endif  // CAME_TRAIN_GRID_SEARCH_H_

@@ -1,0 +1,31 @@
+#include "train/negative_sampler.h"
+
+#include "common/logging.h"
+
+namespace came::train {
+
+NegativeSampler::NegativeSampler(const kg::FilterIndex* filter,
+                                 int64_t num_entities, uint64_t seed)
+    : filter_(filter), num_entities_(num_entities), rng_(seed) {
+  CAME_CHECK_GT(num_entities, 0);
+}
+
+void NegativeSampler::Sample(int64_t head, int64_t rel, int64_t k,
+                             std::vector<int64_t>* out) {
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t candidate = 0;
+    // Rejection sampling with a bounded number of retries; in the worst
+    // case (a hub connected to nearly everything) fall back to the last
+    // draw rather than loop forever.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      candidate = static_cast<int64_t>(
+          rng_.UniformU64(static_cast<uint64_t>(num_entities_)));
+      if (filter_ == nullptr || !filter_->Contains(head, rel, candidate)) {
+        break;
+      }
+    }
+    out->push_back(candidate);
+  }
+}
+
+}  // namespace came::train

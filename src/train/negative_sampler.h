@@ -1,0 +1,34 @@
+#ifndef CAME_TRAIN_NEGATIVE_SAMPLER_H_
+#define CAME_TRAIN_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "kg/filter_index.h"
+
+namespace came::train {
+
+/// Uniform tail-corruption sampler under the filtered setting (Bordes et
+/// al.): sampled negatives are rejected while they are known true tails of
+/// (head, rel). Head corruption is covered by inverse relations.
+class NegativeSampler {
+ public:
+  /// `filter` indexes the training triples; may be null for unfiltered
+  /// sampling.
+  NegativeSampler(const kg::FilterIndex* filter, int64_t num_entities,
+                  uint64_t seed);
+
+  /// Appends `k` negative tails for (head, rel) to `out`.
+  void Sample(int64_t head, int64_t rel, int64_t k,
+              std::vector<int64_t>* out);
+
+ private:
+  const kg::FilterIndex* filter_;
+  int64_t num_entities_;
+  Rng rng_;
+};
+
+}  // namespace came::train
+
+#endif  // CAME_TRAIN_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,188 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::train {
+
+Trainer::Trainer(baselines::KgcModel* model, const kg::Dataset& dataset,
+                 const TrainConfig& config)
+    : model_(model),
+      dataset_(dataset),
+      config_(config),
+      train_(dataset.TrainWithInverses()),
+      train_filter_(dataset.num_entities(), dataset.num_relations()),
+      sampler_(&train_filter_, dataset.num_entities(), config.seed ^ 0x5151),
+      rng_(config.seed) {
+  CAME_CHECK(model != nullptr);
+  CAME_CHECK(!dataset.train.empty());
+  train_filter_.AddTriples(dataset.train);
+  optimizer_ = std::make_unique<optim::Adam>(
+      model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+      config.weight_decay);
+  stopwatch_.Reset();
+}
+
+void Trainer::Train(const EpochCallback& cb) {
+  model_->SetTraining(true);
+  for (int e = 0; e < config_.epochs; ++e) {
+    const float loss = RunEpoch();
+    if (cb) cb({epochs_run_, loss, stopwatch_.ElapsedSeconds()});
+  }
+}
+
+eval::Metrics Trainer::TrainWithBestValidation(
+    const eval::Evaluator& evaluator, int eval_every, int64_t valid_sample,
+    const EpochCallback& cb) {
+  CAME_CHECK_GT(eval_every, 0);
+  CAME_CHECK(!dataset_.valid.empty()) << "no validation split";
+  eval::EvalConfig ec;
+  ec.max_triples = valid_sample;
+  eval::Metrics best;
+  std::vector<tensor::Tensor> best_snapshot;
+  model_->SetTraining(true);
+  for (int e = 0; e < config_.epochs; ++e) {
+    const float loss = RunEpoch();
+    if (cb) cb({epochs_run_, loss, stopwatch_.ElapsedSeconds()});
+    if ((e + 1) % eval_every != 0 && e + 1 != config_.epochs) continue;
+    const eval::Metrics m =
+        evaluator.Evaluate(model_, dataset_.valid, ec);
+    if (best_snapshot.empty() || m.Hits10() > best.Hits10()) {
+      best = m;
+      best_snapshot = model_->SnapshotParameters();
+    }
+  }
+  if (!best_snapshot.empty()) model_->RestoreParameters(best_snapshot);
+  return best;
+}
+
+float Trainer::RunEpoch() {
+  model_->SetTraining(true);
+  rng_.Shuffle(&train_);
+  float loss = 0.0f;
+  switch (model_->regime()) {
+    case baselines::TrainingRegime::kOneToN:
+      loss = OneToNEpoch();
+      break;
+    case baselines::TrainingRegime::kNegativeSampling:
+      loss = NegativeSamplingEpoch(/*self_adversarial=*/false);
+      break;
+    case baselines::TrainingRegime::kSelfAdversarial:
+      loss = NegativeSamplingEpoch(/*self_adversarial=*/true);
+      break;
+  }
+  ++epochs_run_;
+  return loss;
+}
+
+float Trainer::OneToNEpoch() {
+  const int64_t n_entities = dataset_.num_entities();
+  const float eps = config_.label_smoothing;
+  const float off_value = eps / static_cast<float>(n_entities);
+  const float on_value = 1.0f - eps + off_value;
+
+  double total = 0.0;
+  int64_t batches = 0;
+  for (size_t start = 0; start < train_.size();
+       start += static_cast<size_t>(config_.batch_size)) {
+    const size_t end =
+        std::min(train_.size(), start + static_cast<size_t>(config_.batch_size));
+    const int64_t b = static_cast<int64_t>(end - start);
+    std::vector<int64_t> heads;
+    std::vector<int64_t> rels;
+    heads.reserve(static_cast<size_t>(b));
+    rels.reserve(static_cast<size_t>(b));
+    tensor::Tensor labels =
+        tensor::Tensor::Full({b, n_entities}, off_value);
+    for (size_t i = start; i < end; ++i) {
+      const kg::Triple& t = train_[i];
+      heads.push_back(t.head);
+      rels.push_back(t.rel);
+      const int64_t row = static_cast<int64_t>(i - start);
+      for (int64_t tail : train_filter_.Tails(t.head, t.rel)) {
+        labels.data()[row * n_entities + tail] = on_value;
+      }
+    }
+    ag::Var scores = model_->ScoreAllTails(heads, rels);
+    ag::Var loss = ag::BceWithLogitsMean(scores, labels);
+    optimizer_->ZeroGrad();
+    loss.Backward();
+    if (config_.grad_clip > 0.0f) {
+      optim::ClipGradNorm(model_->Parameters(), config_.grad_clip);
+    }
+    optimizer_->Step();
+    total += loss.value().data()[0];
+    ++batches;
+  }
+  return static_cast<float>(total / std::max<int64_t>(1, batches));
+}
+
+float Trainer::NegativeSamplingEpoch(bool self_adversarial) {
+  const int64_t k = config_.negatives;
+  double total = 0.0;
+  int64_t batches = 0;
+  for (size_t start = 0; start < train_.size();
+       start += static_cast<size_t>(config_.batch_size)) {
+    const size_t end =
+        std::min(train_.size(), start + static_cast<size_t>(config_.batch_size));
+    const int64_t b = static_cast<int64_t>(end - start);
+    std::vector<int64_t> heads;
+    std::vector<int64_t> rels;
+    std::vector<int64_t> tails;
+    std::vector<int64_t> rep_heads;
+    std::vector<int64_t> rep_rels;
+    std::vector<int64_t> neg_tails;
+    for (size_t i = start; i < end; ++i) {
+      const kg::Triple& t = train_[i];
+      heads.push_back(t.head);
+      rels.push_back(t.rel);
+      tails.push_back(t.tail);
+      sampler_.Sample(t.head, t.rel, k, &neg_tails);
+      for (int64_t j = 0; j < k; ++j) {
+        rep_heads.push_back(t.head);
+        rep_rels.push_back(t.rel);
+      }
+    }
+    ag::Var pos = model_->ScoreTriples(heads, rels, tails);        // [B]
+    ag::Var neg = ag::Reshape(
+        model_->ScoreTriples(rep_heads, rep_rels, neg_tails), {b, k});
+
+    const float gamma = config_.margin;
+    // L = -mean logsig(gamma + s_pos) - mean_i w_i logsig(-gamma - s_neg).
+    ag::Var pos_term =
+        ag::Neg(ag::MeanAll(ag::LogSigmoid(ag::AddScalar(pos, gamma))));
+    ag::Var neg_logsig =
+        ag::LogSigmoid(ag::Neg(ag::AddScalar(neg, gamma)));  // [B,K]
+    ag::Var neg_term;
+    if (self_adversarial) {
+      ag::Var weights =
+          ag::SoftmaxAlong(ag::Scale(neg, config_.adv_temperature), 1)
+              .Detach();  // [B,K]
+      neg_term = ag::Neg(ag::MeanAll(
+          ag::SumAlong(ag::Mul(weights, neg_logsig), 1, false)));
+    } else {
+      neg_term = ag::Neg(ag::MeanAll(neg_logsig));
+    }
+    ag::Var loss = ag::Add(pos_term, neg_term);
+
+    // Model-specific auxiliary loss (e.g. TransAE reconstruction).
+    std::vector<int64_t> batch_entities = heads;
+    batch_entities.insert(batch_entities.end(), tails.begin(), tails.end());
+    ag::Var aux = model_->AuxiliaryLoss(batch_entities);
+    if (aux.defined()) loss = ag::Add(loss, aux);
+
+    optimizer_->ZeroGrad();
+    loss.Backward();
+    if (config_.grad_clip > 0.0f) {
+      optim::ClipGradNorm(model_->Parameters(), config_.grad_clip);
+    }
+    optimizer_->Step();
+    total += loss.value().data()[0];
+    ++batches;
+  }
+  return static_cast<float>(total / std::max<int64_t>(1, batches));
+}
+
+}  // namespace came::train

@@ -1,0 +1,94 @@
+#ifndef CAME_TRAIN_TRAINER_H_
+#define CAME_TRAIN_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/kgc_model.h"
+#include "common/stopwatch.h"
+#include "eval/evaluator.h"
+#include "kg/dataset.h"
+#include "kg/filter_index.h"
+#include "optim/optimizer.h"
+#include "train/negative_sampler.h"
+
+namespace came::train {
+
+/// Hyperparameters for one training run. The regime is chosen by the
+/// model (KgcModel::regime()); regime-specific fields are ignored by the
+/// other regimes.
+struct TrainConfig {
+  int epochs = 20;
+  int64_t batch_size = 256;
+  float lr = 1e-3f;
+  float weight_decay = 0.0f;
+  float grad_clip = 5.0f;
+  uint64_t seed = 123;
+
+  // 1-to-N regime.
+  float label_smoothing = 0.1f;
+
+  // Negative-sampling regimes.
+  int negatives = 32;
+  /// Margin gamma of the logsigmoid losses (0 for bilinear models).
+  float margin = 6.0f;
+  /// Self-adversarial temperature alpha.
+  float adv_temperature = 1.0f;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  float loss = 0.0f;
+  /// Wall-clock seconds since training started.
+  double seconds_elapsed = 0.0;
+};
+
+/// Drives one model through its training regime on a dataset. Training
+/// triples are augmented with inverses; the 1-to-N labels and the
+/// filtered negative sampler use an index over the training split only.
+class Trainer {
+ public:
+  Trainer(baselines::KgcModel* model, const kg::Dataset& dataset,
+          const TrainConfig& config);
+
+  using EpochCallback = std::function<void(const EpochStats&)>;
+
+  /// Runs config.epochs epochs; invokes `cb` after each.
+  void Train(const EpochCallback& cb = nullptr);
+
+  /// Runs a single epoch and returns its mean batch loss.
+  float RunEpoch();
+
+  /// The paper's model-selection protocol (Section V-B): trains
+  /// config.epochs epochs, evaluates validation Hits@10 every
+  /// `eval_every` epochs (on up to `valid_sample` triples; -1 = all),
+  /// keeps the best parameter snapshot and restores it when training
+  /// ends. Returns the best validation metrics.
+  eval::Metrics TrainWithBestValidation(const eval::Evaluator& evaluator,
+                                        int eval_every = 5,
+                                        int64_t valid_sample = -1,
+                                        const EpochCallback& cb = nullptr);
+
+  double elapsed_seconds() const { return stopwatch_.ElapsedSeconds(); }
+  int epochs_run() const { return epochs_run_; }
+
+ private:
+  float OneToNEpoch();
+  float NegativeSamplingEpoch(bool self_adversarial);
+
+  baselines::KgcModel* model_;
+  const kg::Dataset& dataset_;
+  TrainConfig config_;
+  std::vector<kg::Triple> train_;  // with inverses
+  kg::FilterIndex train_filter_;
+  std::unique_ptr<optim::Adam> optimizer_;
+  NegativeSampler sampler_;
+  Rng rng_;
+  Stopwatch stopwatch_;
+  int epochs_run_ = 0;
+};
+
+}  // namespace came::train
+
+#endif  // CAME_TRAIN_TRAINER_H_

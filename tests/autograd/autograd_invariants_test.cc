@@ -1,0 +1,138 @@
+// Invariants of the tape machinery itself: gradient linearity, tape
+// consumption semantics, grad-mode scoping, and deep-graph behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/random.h"
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::ag {
+namespace {
+
+Var RandomVar(Shape shape, Rng* rng) {
+  return Var(nn::NormalInit(std::move(shape), rng, 1.0), true);
+}
+
+TEST(TapeInvariantTest, GradientIsLinearInLossScaling) {
+  Rng rng(1);
+  Var x = RandomVar({4}, &rng);
+  SumAll(Square(x)).Backward();
+  tensor::Tensor g1 = x.grad().Clone();
+  x.ZeroGrad();
+  Scale(SumAll(Square(x)), 3.0f).Backward();
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x.grad().data()[i], 3.0f * g1.data()[i], 1e-4);
+  }
+}
+
+TEST(TapeInvariantTest, AccumulationAcrossTwoBackwards) {
+  // Two independent graphs over the same leaf accumulate gradients.
+  Rng rng(2);
+  Var x = RandomVar({3}, &rng);
+  SumAll(x).Backward();
+  SumAll(Scale(x, 2.0f)).Backward();
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(x.grad().data()[i], 3.0f);
+  }
+}
+
+TEST(TapeInvariantTest, SecondBackwardOnConsumedTapeIsNoOp) {
+  Var x(tensor::Tensor::Full({2}, 1.0f), true);
+  Var loss = SumAll(Scale(x, 2.0f));
+  loss.Backward();
+  const float after_first = x.grad().data()[0];
+  loss.Backward();  // tape consumed: the seed lands on the loss itself,
+                    // but no interior node fires again
+  EXPECT_FLOAT_EQ(x.grad().data()[0], after_first);
+}
+
+TEST(TapeInvariantTest, NoGradGuardNests) {
+  Var x(tensor::Tensor::Full({2}, 1.0f), true);
+  {
+    NoGradGuard outer;
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());  // still inside outer
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(TapeInvariantTest, LeafWithoutRequiresGradStaysGradFree) {
+  Var x(tensor::Tensor::Full({2}, 1.0f), false);
+  Var y(tensor::Tensor::Full({2}, 2.0f), true);
+  SumAll(Mul(x, y)).Backward();
+  EXPECT_FALSE(x.has_grad());
+  EXPECT_TRUE(y.has_grad());
+}
+
+TEST(TapeInvariantTest, DeepChainDoesNotOverflowStack) {
+  // 3000 chained ops exercise the iterative (non-recursive) topo sort.
+  Var x(tensor::Tensor::Full({4}, 1.0f), true);
+  Var y = x;
+  for (int i = 0; i < 3000; ++i) y = AddScalar(y, 0.001f);
+  SumAll(y).Backward();
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(x.grad().data()[i], 1.0f);
+  }
+}
+
+TEST(TapeInvariantTest, WideFanOutAccumulatesExactly) {
+  Rng rng(3);
+  Var x = RandomVar({4}, &rng);
+  std::vector<Var> branches;
+  for (int i = 0; i < 64; ++i) branches.push_back(Scale(x, 1.0f));
+  SumAll(Concat(branches, 0)).Backward();
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(x.grad().data()[i], 64.0f);
+  }
+}
+
+TEST(TapeInvariantTest, DetachInsideGraphCutsExactlyOnePath) {
+  Rng rng(4);
+  Var x = RandomVar({3}, &rng);
+  // loss = sum(x * detach(x)) + sum(x): d/dx = detach(x) + 1.
+  Var loss = Add(SumAll(Mul(x, x.Detach())), SumAll(x));
+  loss.Backward();
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.grad().data()[i], x.value().data()[i] + 1.0f, 1e-5);
+  }
+}
+
+TEST(TapeInvariantTest, ChainRuleThroughEveryCompositeShape) {
+  // A miniature CamE step: gather -> attention -> conv -> bce.
+  Rng rng(5);
+  Var table = RandomVar({6, 8}, &rng);
+  Var w(nn::XavierNormal({8, 8}, &rng), true);
+  Var conv_w(nn::XavierNormal({2, 1, 3, 3}, &rng), true);
+  Var rows = Gather(table, {0, 2, 4, 2});
+  Var att = CoAttentionApply(rows, Sigmoid(MatMul(rows, w)),
+                             Sigmoid(rows), Const(tensor::Tensor::Scalar(0.5f)));
+  Var img = Reshape(att, {4, 1, 2, 4});
+  Var conv = Conv2d(img, conv_w, Var(), 1);
+  tensor::Tensor targets(conv.shape());
+  Var loss = BceWithLogitsMean(conv, targets);
+  loss.Backward();
+  EXPECT_TRUE(table.has_grad());
+  EXPECT_TRUE(w.has_grad());
+  EXPECT_TRUE(conv_w.has_grad());
+  EXPECT_TRUE(std::isfinite(loss.value().data()[0]));
+  EXPECT_GT(tensor::MaxAbs(table.grad()), 0.0f);
+}
+
+TEST(TapeInvariantTest, GradShapesAlwaysMatchValues) {
+  Rng rng(6);
+  Var a = RandomVar({2, 3}, &rng);
+  Var b = RandomVar({3}, &rng);  // broadcast
+  SumAll(Mul(Add(a, b), b)).Backward();
+  EXPECT_EQ(a.grad().shape(), a.shape());
+  EXPECT_EQ(b.grad().shape(), b.shape());
+}
+
+}  // namespace
+}  // namespace came::ag

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "baselines/model_zoo.h"
+#include "datagen/bkg_generator.h"
+#include "encoders/feature_bank.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::baselines {
+namespace {
+
+// One small shared fixture: a generated BKG + feature bank + context.
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bkg_ = new datagen::GeneratedBkg(
+        datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.05)));
+    encoders::FeatureBankConfig cfg;
+    cfg.gin_pretrain_epochs = 0;
+    bank_ = new encoders::FeatureBank(
+        encoders::BuildFeatureBank(*bkg_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    delete bkg_;
+    bank_ = nullptr;
+    bkg_ = nullptr;
+  }
+
+  ModelContext Context() const {
+    ModelContext ctx;
+    ctx.num_entities = bkg_->dataset.num_entities();
+    ctx.num_relations = bkg_->dataset.num_relations_with_inverses();
+    ctx.features = bank_;
+    ctx.train_triples = &bkg_->dataset.train;
+    ctx.seed = 7;
+    return ctx;
+  }
+
+  ZooOptions Options() const {
+    ZooOptions zoo;
+    zoo.dim = 16;
+    zoo.conv.reshape_h = 4;
+    zoo.conv.filters = 8;
+    zoo.came.fusion_dim = 16;
+    zoo.came.reshape_h = 4;
+    zoo.came.conv_filters = 8;
+    return zoo;
+  }
+
+  static datagen::GeneratedBkg* bkg_;
+  static encoders::FeatureBank* bank_;
+};
+
+datagen::GeneratedBkg* BaselineFixture::bkg_ = nullptr;
+encoders::FeatureBank* BaselineFixture::bank_ = nullptr;
+
+class AllModelsTest : public BaselineFixture,
+                      public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(AllModelsTest, ScoreShapesAndConsistency) {
+  auto model = CreateModel(GetParam(), Context(), Options());
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->Name(), GetParam());
+  model->SetTraining(false);
+
+  std::vector<int64_t> heads = {0, 5, 9};
+  std::vector<int64_t> rels = {0, 3, 1};
+  std::vector<int64_t> tails = {2, 7, 11};
+
+  ag::NoGradGuard guard;
+  ag::Var all = model->ScoreAllTails(heads, rels);
+  EXPECT_EQ(all.shape(),
+            (tensor::Shape{3, Context().num_entities}));
+  ag::Var aligned = model->ScoreTriples(heads, rels, tails);
+  EXPECT_EQ(aligned.shape(), (tensor::Shape{3}));
+  // The aligned score must equal the corresponding ScoreAllTails column.
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(aligned.value().data()[i],
+                all.value().at({i, tails[static_cast<size_t>(i)]}), 1e-2)
+        << GetParam() << " row " << i;
+  }
+}
+
+TEST_P(AllModelsTest, GradientsReachMostParameters) {
+  auto model = CreateModel(GetParam(), Context(), Options());
+  model->SetTraining(true);
+  std::vector<int64_t> heads = {0, 5, 9, 13};
+  std::vector<int64_t> rels = {0, 3, 1, 2};
+  ag::Var scores = model->ScoreAllTails(heads, rels);
+  ag::Var loss = ag::SumAll(ag::Square(scores));
+  ag::Var aux = model->AuxiliaryLoss(heads);  // e.g. TransAE reconstruction
+  if (aux.defined()) loss = ag::Add(loss, aux);
+  loss.Backward();
+  int64_t with_grad = 0;
+  int64_t total = 0;
+  for (const auto& [name, p] : model->NamedParameters()) {
+    ++total;
+    with_grad += p.has_grad();
+  }
+  // Entity tables always participate; dropout/exchange may zero a few.
+  EXPECT_GT(with_grad, (total * 2) / 3) << GetParam();
+}
+
+TEST_P(AllModelsTest, DeterministicAcrossInstancesWithSameSeed) {
+  auto m1 = CreateModel(GetParam(), Context(), Options());
+  auto m2 = CreateModel(GetParam(), Context(), Options());
+  m1->SetTraining(false);
+  m2->SetTraining(false);
+  ag::NoGradGuard guard;
+  ag::Var s1 = m1->ScoreAllTails({1, 2}, {0, 1});
+  ag::Var s2 = m2->ScoreAllTails({1, 2}, {0, 1});
+  for (int64_t i = 0; i < s1.numel(); ++i) {
+    EXPECT_EQ(s1.value().data()[i], s2.value().data()[i]) << GetParam();
+  }
+}
+
+namespace {
+std::vector<std::string> ZooAndExtensions() {
+  std::vector<std::string> names = AllModelNames();
+  for (const auto& extra : ExtendedModelNames()) names.push_back(extra);
+  return names;
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Zoo, AllModelsTest,
+                         ::testing::ValuesIn(ZooAndExtensions()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST_F(BaselineFixture, UnknownModelNameDies) {
+  EXPECT_DEATH(CreateModel("NoSuchModel", Context(), Options()),
+               "unknown model");
+}
+
+TEST_F(BaselineFixture, MultimodalModelsRequireFeatures) {
+  ModelContext ctx = Context();
+  ctx.features = nullptr;
+  EXPECT_DEATH(CreateModel("IKRL", ctx, Options()), "features");
+}
+
+TEST_F(BaselineFixture, TransEScoreMatchesClosedForm) {
+  auto model = CreateModel("TransE", Context(), Options());
+  model->SetTraining(false);
+  ag::NoGradGuard guard;
+  ag::Var s = model->ScoreTriples({3}, {2}, {4});
+  // Score must be a negated squared distance: <= 0.
+  EXPECT_LE(s.value().data()[0], 0.0f);
+}
+
+TEST_F(BaselineFixture, RegimesMatchTheOriginalPapers) {
+  auto ctx = Context();
+  auto zoo = Options();
+  EXPECT_EQ(CreateModel("ConvE", ctx, zoo)->regime(),
+            TrainingRegime::kOneToN);
+  EXPECT_EQ(CreateModel("CamE", ctx, zoo)->regime(),
+            TrainingRegime::kOneToN);
+  EXPECT_EQ(CreateModel("CompGCN", ctx, zoo)->regime(),
+            TrainingRegime::kOneToN);
+  EXPECT_EQ(CreateModel("MKGformer", ctx, zoo)->regime(),
+            TrainingRegime::kOneToN);
+  EXPECT_EQ(CreateModel("TransE", ctx, zoo)->regime(),
+            TrainingRegime::kNegativeSampling);
+  EXPECT_EQ(CreateModel("RotatE", ctx, zoo)->regime(),
+            TrainingRegime::kNegativeSampling);
+  EXPECT_EQ(CreateModel("a-RotatE", ctx, zoo)->regime(),
+            TrainingRegime::kSelfAdversarial);
+  EXPECT_EQ(CreateModel("PairRE", ctx, zoo)->regime(),
+            TrainingRegime::kSelfAdversarial);
+}
+
+TEST_F(BaselineFixture, ExtendedModelsAreNotInTableThree) {
+  auto table3 = AllModelNames();
+  for (const auto& extra : ExtendedModelNames()) {
+    EXPECT_EQ(std::find(table3.begin(), table3.end(), extra), table3.end())
+        << extra;
+  }
+}
+
+TEST_F(BaselineFixture, RecommendedConfigSetsMargins) {
+  train::TrainConfig base;
+  EXPECT_EQ(RecommendedTrainConfig("DistMult", base).margin, 0.0f);
+  EXPECT_EQ(RecommendedTrainConfig("TransE", base).margin, 2.0f);
+  EXPECT_EQ(RecommendedTrainConfig("RotatE", base).margin, 2.0f);
+  EXPECT_EQ(RecommendedTrainConfig("PairRE", base).margin, 1.0f);
+}
+
+TEST_F(BaselineFixture, TransAeHasReconstructionLoss) {
+  auto model = CreateModel("TransAE", Context(), Options());
+  ag::Var aux = model->AuxiliaryLoss({0, 1, 2});
+  ASSERT_TRUE(aux.defined());
+  EXPECT_GT(aux.value().data()[0], 0.0f);
+  auto plain = CreateModel("TransE", Context(), Options());
+  EXPECT_FALSE(plain->AuxiliaryLoss({0}).defined());
+}
+
+TEST_F(BaselineFixture, CompGcnExportsConvolvedEntities) {
+  auto ctx = Context();
+  CompGcn::Config cfg;
+  cfg.dim = 16;
+  CompGcn model(ctx, cfg);
+  ag::NoGradGuard guard;
+  ag::Var h = model.ConvolvedEntities();
+  EXPECT_EQ(h.shape(), (tensor::Shape{ctx.num_entities, 16}));
+}
+
+TEST_F(BaselineFixture, Stack2dShapes) {
+  ag::Var a(tensor::Tensor::Zeros({2, 16}));
+  ag::Var b(tensor::Tensor::Zeros({2, 16}));
+  ag::Var img = Stack2d({a, b}, 4);
+  EXPECT_EQ(img.shape(), (tensor::Shape{2, 2, 4, 4}));
+  EXPECT_DEATH(Stack2d({a}, 5), "divisible");
+}
+
+TEST_F(BaselineFixture, CamEAblationSwitchesBuild) {
+  auto zoo = Options();
+  for (auto flag : {0, 1, 2, 3, 4, 5}) {
+    auto z = zoo;
+    switch (flag) {
+      case 0: z.came.use_tca = false; break;
+      case 1: z.came.use_exchange = false; break;
+      case 2: z.came.use_mmf = false; break;
+      case 3: z.came.use_ric = false; break;
+      case 4: z.came.use_text = false; break;
+      case 5: z.came.use_molecule = false; break;
+    }
+    auto model = CreateModel("CamE", Context(), z);
+    ag::NoGradGuard guard;
+    model->SetTraining(false);
+    ag::Var s = model->ScoreAllTails({0}, {0});
+    EXPECT_EQ(s.dim(1), Context().num_entities) << "flag " << flag;
+  }
+}
+
+TEST_F(BaselineFixture, CamEModalityListAdaptsToDataset) {
+  auto zoo = Options();
+  core::CamE full(Context(), zoo.came);
+  EXPECT_EQ(full.modality_names().size(), 3u);
+  auto cfg = zoo.came;
+  cfg.use_molecule = false;
+  core::CamE no_mol(Context(), cfg);
+  EXPECT_EQ(no_mol.modality_names().size(), 2u);
+}
+
+}  // namespace
+}  // namespace came::baselines

@@ -1,0 +1,50 @@
+#include "common/fast_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace came {
+namespace {
+
+TEST(FastExpTest, RelativeErrorSmallOverWorkingRange) {
+  // The attention kernel feeds arguments in (-inf, 0] after max
+  // subtraction; check a generous range.
+  for (float x = -20.0f; x <= 0.0f; x += 0.01f) {
+    const float exact = std::exp(x);
+    const float fast = FastExp(x);
+    EXPECT_NEAR(fast, exact, exact * 5e-4f + 1e-12f) << "x=" << x;
+  }
+}
+
+TEST(FastExpTest, PositiveRangeStillAccurate) {
+  for (float x = 0.0f; x <= 10.0f; x += 0.05f) {
+    const float exact = std::exp(x);
+    EXPECT_NEAR(FastExp(x) / exact, 1.0f, 5e-4f) << "x=" << x;
+  }
+}
+
+TEST(FastExpTest, UnderflowClampsToZero) {
+  EXPECT_EQ(FastExp(-100.0f), 0.0f);
+  EXPECT_EQ(FastExp(-1e10f), 0.0f);
+}
+
+TEST(FastExpTest, LargePositiveSaturatesFinite) {
+  const float v = FastExp(1000.0f);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 1e30f);
+}
+
+TEST(FastExpTest, ExpZeroIsOne) { EXPECT_NEAR(FastExp(0.0f), 1.0f, 1e-4f); }
+
+TEST(FastExpTest, Monotonic) {
+  float prev = FastExp(-10.0f);
+  for (float x = -9.9f; x < 10.0f; x += 0.1f) {
+    const float cur = FastExp(x);
+    EXPECT_GE(cur, prev) << "x=" << x;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace came

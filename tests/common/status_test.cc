@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace came {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad shape");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::IOError("x").ToString(), "IOError: x");
+  EXPECT_EQ(Status::Corruption("x").ToString(), "Corruption: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
+}
+
+Status Propagates(bool fail) {
+  CAME_RETURN_IF_ERROR(fail ? Status::IOError("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(false).ok());
+  Status s = Propagates(true);
+  EXPECT_EQ(s.code(), Status::Code::kIOError);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(ResultTest, HoldsValueWhenOk) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsStatusWhenFailed) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace came

@@ -1,0 +1,53 @@
+#include "common/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace came {
+namespace {
+
+TEST(TableWriterTest, AsciiContainsHeaderAndRows) {
+  TableWriter t({"Model", "MRR"});
+  t.AddRow({"CamE", "50.4"});
+  t.AddRow({"ConvE", "44.1"});
+  const std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("Model"), std::string::npos);
+  EXPECT_NE(ascii.find("CamE"), std::string::npos);
+  EXPECT_NE(ascii.find("44.1"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableWriterTest, CsvFormat) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableWriterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TableWriter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::Num(50.0), "50.0");
+}
+
+TEST(TableWriterTest, WriteCsvRoundTrip) {
+  TableWriter t({"x"});
+  t.AddRow({"7"});
+  const std::string path = "/tmp/came_table_writer_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "7");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriterTest, WriteCsvToBadPathFails) {
+  TableWriter t({"x"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir/f.csv").ok());
+}
+
+}  // namespace
+}  // namespace came

@@ -1,0 +1,157 @@
+#include "core/came_model.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/bkg_generator.h"
+#include "encoders/feature_bank.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+namespace came::core {
+namespace {
+
+class CamEFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bkg_ = new datagen::GeneratedBkg(
+        datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.05)));
+    encoders::FeatureBankConfig cfg;
+    cfg.gin_pretrain_epochs = 0;
+    cfg.pretrain_structural = true;
+    cfg.structural.dim = 16;
+    cfg.structural.epochs = 2;
+    bank_ = new encoders::FeatureBank(BuildFeatureBank(*bkg_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    delete bkg_;
+  }
+
+  baselines::ModelContext Context() const {
+    return {bkg_->dataset.num_entities(),
+            bkg_->dataset.num_relations_with_inverses(), bank_,
+            &bkg_->dataset.train, 5};
+  }
+  CamEConfig Config() const {
+    CamEConfig cfg;
+    cfg.embed_dim = 16;
+    cfg.fusion_dim = 16;
+    cfg.reshape_h = 4;
+    cfg.conv_filters = 8;
+    return cfg;
+  }
+
+  static datagen::GeneratedBkg* bkg_;
+  static encoders::FeatureBank* bank_;
+};
+
+datagen::GeneratedBkg* CamEFixture::bkg_ = nullptr;
+encoders::FeatureBank* CamEFixture::bank_ = nullptr;
+
+TEST_F(CamEFixture, ThreeModalitiesOnDrkg) {
+  CamE model(Context(), Config());
+  ASSERT_EQ(model.modality_names().size(), 3u);
+  EXPECT_EQ(model.modality_names()[0], "molecule");
+  EXPECT_EQ(model.modality_names()[1], "text");
+  EXPECT_EQ(model.modality_names()[2], "structural");
+}
+
+TEST_F(CamEFixture, HeadsGrowParameterCount) {
+  CamEConfig one = Config();
+  one.num_heads = 1;
+  CamEConfig three = Config();
+  three.num_heads = 3;
+  CamE m1(Context(), one);
+  CamE m3(Context(), three);
+  EXPECT_GT(m3.NumParameters(), m1.NumParameters());
+}
+
+TEST_F(CamEFixture, PretrainedStructuralInitIsUsed) {
+  CamEConfig cfg = Config();
+  cfg.init_structural_from_pretrained = true;
+  CamE model(Context(), cfg);
+  // The entity parameter must match the pre-trained rows exactly.
+  ag::Var entities;
+  for (const auto& [name, p] : model.NamedParameters()) {
+    if (name == "entities") entities = p;
+  }
+  ASSERT_TRUE(entities.defined());
+  const tensor::Tensor& pre = bank_->structural_features();
+  for (int64_t j = 0; j < 16; ++j) {
+    EXPECT_EQ(entities.value().at({0, j}), pre.at({0, j}));
+  }
+}
+
+TEST_F(CamEFixture, RandomInitWhenFlagOff) {
+  CamE model(Context(), Config());
+  ag::Var entities;
+  for (const auto& [name, p] : model.NamedParameters()) {
+    if (name == "entities") entities = p;
+  }
+  const tensor::Tensor& pre = bank_->structural_features();
+  bool differs = false;
+  for (int64_t j = 0; j < 16 && !differs; ++j) {
+    differs = entities.value().at({0, j}) != pre.at({0, j});
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(CamEFixture, TrainingImprovesTrainFit) {
+  CamE model(Context(), Config());
+  train::TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.batch_size = 128;
+  train::Trainer trainer(&model, bkg_->dataset, cfg);
+  const float first = trainer.RunEpoch();
+  float last = first;
+  for (int i = 1; i < 5; ++i) last = trainer.RunEpoch();
+  EXPECT_LT(last, first * 0.9f);
+}
+
+TEST_F(CamEFixture, EvalForwardIsDeterministic) {
+  CamE model(Context(), Config());
+  model.SetTraining(false);
+  ag::NoGradGuard guard;
+  ag::Var a = model.ScoreAllTails({1, 2, 3}, {0, 1, 2});
+  ag::Var b = model.ScoreAllTails({1, 2, 3}, {0, 1, 2});
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.value().data()[i], b.value().data()[i]);
+  }
+}
+
+TEST_F(CamEFixture, TrainForwardIsStochastic) {
+  CamE model(Context(), Config());
+  model.SetTraining(true);
+  ag::Var a = model.ScoreAllTails({1}, {0});
+  ag::Var b = model.ScoreAllTails({1}, {0});
+  bool differs = false;
+  for (int64_t i = 0; i < a.numel() && !differs; ++i) {
+    differs = a.value().data()[i] != b.value().data()[i];
+  }
+  EXPECT_TRUE(differs);  // dropout active
+}
+
+TEST_F(CamEFixture, AblationsShrinkOrRewireParameters) {
+  CamE full(Context(), Config());
+  CamEConfig no_text = Config();
+  no_text.use_text = false;
+  CamE ablated(Context(), no_text);
+  EXPECT_LT(ablated.NumParameters(), full.NumParameters());
+  EXPECT_EQ(ablated.modality_names().size(), 2u);
+}
+
+TEST_F(CamEFixture, OmahaDatasetDropsMoleculeModality) {
+  auto omaha = datagen::GenerateBkg(datagen::BkgConfig::OmahaMmSynth(0.05));
+  encoders::FeatureBankConfig fb;
+  encoders::FeatureBank bank = BuildFeatureBank(omaha, fb);
+  baselines::ModelContext ctx{omaha.dataset.num_entities(),
+                              omaha.dataset.num_relations_with_inverses(),
+                              &bank, &omaha.dataset.train, 5};
+  CamE model(ctx, Config());
+  // Molecule slot disappears even though use_molecule is true.
+  ASSERT_EQ(model.modality_names().size(), 2u);
+  EXPECT_EQ(model.modality_names()[0], "text");
+}
+
+}  // namespace
+}  // namespace came::core

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "core/mmf.h"
+#include "core/ric.h"
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::core {
+namespace {
+
+ag::Var RandomVar(tensor::Shape shape, Rng* rng, bool grad = true) {
+  return ag::Var(nn::NormalInit(std::move(shape), rng, 1.0), grad);
+}
+
+// --- ExchangeFusion ----------------------------------------------------
+
+TEST(ExchangeFusionTest, VeryLowThetaExchangesNothing) {
+  Rng rng(1);
+  ag::Var x = RandomVar({3, 6}, &rng, false);
+  ag::Var y = RandomVar({3, 6}, &rng, false);
+  auto [ex, ey] = ExchangeFusion(x, y, -100.0f);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(ex.value().data()[i], x.value().data()[i]);
+    EXPECT_EQ(ey.value().data()[i], y.value().data()[i]);
+  }
+}
+
+TEST(ExchangeFusionTest, VeryHighThetaSwapsEverything) {
+  Rng rng(2);
+  ag::Var x = RandomVar({3, 6}, &rng, false);
+  ag::Var y = RandomVar({3, 6}, &rng, false);
+  auto [ex, ey] = ExchangeFusion(x, y, 100.0f);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(ex.value().data()[i], y.value().data()[i]);
+    EXPECT_EQ(ey.value().data()[i], x.value().data()[i]);
+  }
+}
+
+TEST(ExchangeFusionTest, OnlyLowAttentionPositionsExchange) {
+  // With theta = 0, positions below the row mean (LayerNorm < 0) swap.
+  ag::Var x(tensor::Tensor::FromVector({1, 4}, {10, -10, 10, -10}));
+  ag::Var y(tensor::Tensor::FromVector({1, 4}, {1, 2, 3, 4}));
+  auto [ex, ey] = ExchangeFusion(x, y, 0.0f);
+  // x's negative positions take y's values.
+  EXPECT_EQ(ex.value().data()[0], 10.0f);
+  EXPECT_EQ(ex.value().data()[1], 2.0f);
+  EXPECT_EQ(ex.value().data()[2], 10.0f);
+  EXPECT_EQ(ex.value().data()[3], 4.0f);
+}
+
+TEST(ExchangeFusionTest, ExchangeUsesOriginalValuesBothWays) {
+  // y's low positions must receive x's ORIGINAL values even at positions
+  // x itself exchanged away.
+  ag::Var x(tensor::Tensor::FromVector({1, 2}, {-5, 5}));
+  ag::Var y(tensor::Tensor::FromVector({1, 2}, {-7, 7}));
+  auto [ex, ey] = ExchangeFusion(x, y, 0.0f);
+  EXPECT_EQ(ex.value().data()[0], -7.0f);  // x[0] low -> takes y[0]
+  EXPECT_EQ(ey.value().data()[0], -5.0f);  // y[0] low -> takes ORIGINAL x[0]
+}
+
+TEST(ExchangeFusionTest, GradientRoutesThroughSelectedSource) {
+  ag::Var x(tensor::Tensor::FromVector({1, 2}, {-5, 5}), true);
+  ag::Var y(tensor::Tensor::FromVector({1, 2}, {7, 7}), true);
+  auto [ex, ey] = ExchangeFusion(x, y, 0.0f);
+  ag::SumAll(ex).Backward();
+  // ex = [y0, x1]: gradient 1 flows to y[0] and x[1].
+  EXPECT_EQ(x.grad().data()[0], 0.0f);
+  EXPECT_EQ(x.grad().data()[1], 1.0f);
+  EXPECT_EQ(y.grad().data()[0], 1.0f);
+  EXPECT_EQ(y.grad().data()[1], 0.0f);
+}
+
+// --- MMF -----------------------------------------------------------------
+
+MmfConfig ThreeModalConfig() {
+  MmfConfig cfg;
+  cfg.fusion_dim = 8;
+  cfg.input_dims = {6, 10, 8};
+  cfg.tca.num_heads = 2;
+  return cfg;
+}
+
+TEST(MmfTest, FusionShape) {
+  Rng rng(3);
+  Mmf mmf(ThreeModalConfig(), &rng);
+  std::vector<ag::Var> inputs = {RandomVar({4, 6}, &rng),
+                                 RandomVar({4, 10}, &rng),
+                                 RandomVar({4, 8}, &rng)};
+  ag::Var h_f = mmf.Forward(inputs);
+  EXPECT_EQ(h_f.shape(), (tensor::Shape{4, 8}));
+}
+
+TEST(MmfTest, TwoModalitiesWork) {
+  Rng rng(4);
+  MmfConfig cfg = ThreeModalConfig();
+  cfg.input_dims = {6, 10};
+  Mmf mmf(cfg, &rng);
+  ag::Var h_f = mmf.Forward({RandomVar({4, 6}, &rng),
+                             RandomVar({4, 10}, &rng)});
+  EXPECT_EQ(h_f.shape(), (tensor::Shape{4, 8}));
+}
+
+TEST(MmfTest, SingleModalityDegeneratesToProjection) {
+  Rng rng(5);
+  MmfConfig cfg = ThreeModalConfig();
+  cfg.input_dims = {6};
+  Mmf mmf(cfg, &rng);
+  ag::Var h_f = mmf.Forward({RandomVar({4, 6}, &rng)});
+  EXPECT_EQ(h_f.shape(), (tensor::Shape{4, 8}));
+}
+
+TEST(MmfTest, DisabledUsesHadamardOnly) {
+  Rng rng(6);
+  MmfConfig cfg = ThreeModalConfig();
+  cfg.enabled = false;
+  Mmf mmf(cfg, &rng);
+  std::vector<ag::Var> inputs = {RandomVar({2, 6}, &rng),
+                                 RandomVar({2, 10}, &rng),
+                                 RandomVar({2, 8}, &rng)};
+  ag::Var h_f = mmf.Forward(inputs);
+  EXPECT_EQ(h_f.shape(), (tensor::Shape{2, 8}));
+  // Hadamard of sigmoids stays in (0, 1).
+  for (int64_t i = 0; i < h_f.numel(); ++i) {
+    EXPECT_GT(h_f.value().data()[i], 0.0f);
+    EXPECT_LT(h_f.value().data()[i], 1.0f);
+  }
+}
+
+TEST(MmfTest, AblationFlagsChangeOutput) {
+  Rng rng(7);
+  std::vector<ag::Var> inputs = {RandomVar({2, 6}, &rng, false),
+                                 RandomVar({2, 10}, &rng, false),
+                                 RandomVar({2, 8}, &rng, false)};
+  Rng r1(42);
+  Rng r2(42);
+  MmfConfig with = ThreeModalConfig();
+  MmfConfig without = ThreeModalConfig();
+  without.use_tca = false;
+  Mmf m1(with, &r1);
+  Mmf m2(without, &r2);  // identical weights, different wiring
+  ag::Var a = m1.Forward(inputs);
+  ag::Var b = m2.Forward(inputs);
+  bool any_diff = false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    any_diff = any_diff || a.value().data()[i] != b.value().data()[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MmfTest, GradientsReachAllParameters) {
+  Rng rng(8);
+  Mmf mmf(ThreeModalConfig(), &rng);
+  std::vector<ag::Var> inputs = {RandomVar({3, 6}, &rng),
+                                 RandomVar({3, 10}, &rng),
+                                 RandomVar({3, 8}, &rng)};
+  ag::SumAll(ag::Square(mmf.Forward(inputs))).Backward();
+  int with_grad = 0;
+  int total = 0;
+  for (const auto& [name, p] : mmf.NamedParameters()) {
+    ++total;
+    with_grad += p.has_grad() && tensor::MaxAbs(p.grad()) > 0;
+  }
+  // The EX step can zero a few positions but the bulk must train.
+  EXPECT_GT(with_grad, total * 3 / 4);
+}
+
+// --- RIC -----------------------------------------------------------------
+
+TEST(RicTest, OutputsOnePerModalityOfDoubleWidth) {
+  Rng rng(9);
+  RicConfig cfg;
+  cfg.rel_dim = 8;
+  cfg.input_dims = {6, 10, 8};
+  Ric ric(cfg, &rng);
+  std::vector<ag::Var> inputs = {RandomVar({4, 6}, &rng),
+                                 RandomVar({4, 10}, &rng),
+                                 RandomVar({4, 8}, &rng)};
+  ag::Var r = RandomVar({4, 8}, &rng);
+  auto v = ric.Forward(inputs, r);
+  ASSERT_EQ(v.size(), 3u);
+  for (const auto& vi : v) {
+    EXPECT_EQ(vi.shape(), (tensor::Shape{4, 16}));
+  }
+}
+
+TEST(RicTest, DisabledIsPlainConcat) {
+  Rng rng(10);
+  RicConfig cfg;
+  cfg.rel_dim = 4;
+  cfg.input_dims = {4};
+  cfg.enabled = false;
+  Ric ric(cfg, &rng);
+  ag::Var h = RandomVar({2, 4}, &rng, false);
+  ag::Var r = RandomVar({2, 4}, &rng, false);
+  auto v = ric.Forward({h}, r);
+  // Second half must be exactly the relation embedding.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(v[0].value().at({b, 4 + j}), r.value().at({b, j}));
+    }
+  }
+}
+
+TEST(RicTest, RelationGradientFlows) {
+  Rng rng(11);
+  RicConfig cfg;
+  cfg.rel_dim = 6;
+  cfg.input_dims = {6, 6};
+  Ric ric(cfg, &rng);
+  ag::Var r = RandomVar({3, 6}, &rng);
+  auto v = ric.Forward({RandomVar({3, 6}, &rng), RandomVar({3, 6}, &rng)}, r);
+  ag::SumAll(ag::Square(ag::Concat(v, 1))).Backward();
+  EXPECT_TRUE(r.has_grad());
+  EXPECT_GT(tensor::MaxAbs(r.grad()), 0.0f);
+}
+
+}  // namespace
+}  // namespace came::core

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datagen/bkg_generator.h"
+#include "datagen/molecule.h"
+#include "datagen/textgen.h"
+
+namespace came::datagen {
+namespace {
+
+// --- molecules --------------------------------------------------------------
+
+class ScaffoldTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaffoldTest, EveryFamilyScaffoldIsValidAndConnected) {
+  const auto family = static_cast<DrugFamily>(GetParam());
+  Molecule m = FamilyScaffold(family);
+  EXPECT_TRUE(m.IsValid()) << DrugFamilyName(family);
+  EXPECT_GE(m.num_atoms(), 6);
+  EXPECT_EQ(m.family, GetParam());
+}
+
+TEST_P(ScaffoldTest, GeneratedMoleculesStayValid) {
+  const auto family = static_cast<DrugFamily>(GetParam());
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    Molecule m = GenerateMolecule(family, &rng);
+    EXPECT_TRUE(m.IsValid()) << DrugFamilyName(family);
+    EXPECT_GE(m.num_atoms(), FamilyScaffold(family).num_atoms());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ScaffoldTest,
+                         ::testing::Range(0, kNumDrugFamilies),
+                         [](const auto& info) {
+                           return DrugFamilyName(
+                               static_cast<DrugFamily>(info.param));
+                         });
+
+TEST(MoleculeTest, ScaffoldsAreDistinctAcrossFamilies) {
+  // Element histograms differ between at least most family pairs.
+  auto histogram = [](const Molecule& m) {
+    std::map<int, int> h;
+    for (int a : m.atoms) ++h[a];
+    h[-1] = static_cast<int>(m.bonds.size());
+    return h;
+  };
+  int distinct_pairs = 0;
+  int total_pairs = 0;
+  for (int i = 0; i < kNumDrugFamilies; ++i) {
+    for (int j = i + 1; j < kNumDrugFamilies; ++j) {
+      ++total_pairs;
+      distinct_pairs += histogram(FamilyScaffold(static_cast<DrugFamily>(
+                            i))) != histogram(FamilyScaffold(
+                            static_cast<DrugFamily>(j)));
+    }
+  }
+  EXPECT_EQ(distinct_pairs, total_pairs);
+}
+
+TEST(MoleculeTest, AdjacencySymmetric) {
+  Molecule m = FamilyScaffold(DrugFamily::kPenicillin);
+  auto adj = m.AdjacencyLists();
+  for (int u = 0; u < static_cast<int>(adj.size()); ++u) {
+    for (int v : adj[static_cast<size_t>(u)]) {
+      const auto& back = adj[static_cast<size_t>(v)];
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+TEST(MoleculeTest, InvalidGraphDetected) {
+  Molecule m;
+  m.atoms = {kCarbon, kCarbon, kCarbon};
+  m.bonds = {{0, 1}};  // atom 2 disconnected
+  EXPECT_FALSE(m.IsValid());
+  Molecule bad;
+  bad.atoms = {kCarbon};
+  bad.bonds = {{0, 5}};
+  EXPECT_FALSE(bad.IsValid());
+}
+
+// --- text -------------------------------------------------------------------
+
+TEST(TextGenTest, CompoundNamesCarryFamilyAffix) {
+  Rng rng(3);
+  for (int f = 0; f < kNumDrugFamilies; ++f) {
+    const auto family = static_cast<DrugFamily>(f);
+    EntityText t = GenerateCompoundText(family, &rng);
+    const std::string affix = FamilyNameAffix(family);
+    if (FamilyAffixIsPrefix(family)) {
+      EXPECT_EQ(t.name.rfind(affix, 0), 0u) << t.name;
+    } else {
+      ASSERT_GE(t.name.size(), affix.size());
+      EXPECT_EQ(t.name.substr(t.name.size() - affix.size()), affix)
+          << t.name;
+    }
+    EXPECT_NE(t.description.find(DrugFamilyName(family)),
+              std::string::npos);
+  }
+}
+
+TEST(TextGenTest, GeneNamesShareClusterPrefix) {
+  Rng rng(4);
+  EntityText a = GenerateGeneText(2, &rng);
+  EntityText b = GenerateGeneText(2, &rng);
+  EntityText c = GenerateGeneText(5, &rng);
+  EXPECT_EQ(a.name.substr(0, 3), b.name.substr(0, 3));
+  EXPECT_NE(a.name.substr(0, 3), c.name.substr(0, 3));
+}
+
+TEST(TextGenTest, NamesAreSingleToken) {
+  // The TSV format stores names whitespace-separated.
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(GenerateDiseaseText(i % 8, &rng).name.find(' '),
+              std::string::npos);
+    EXPECT_EQ(GenerateSideEffectText(i % 6, &rng).name.find(' '),
+              std::string::npos);
+  }
+}
+
+// --- BKG generator ----------------------------------------------------------
+
+TEST(BkgGeneratorTest, DrkgPresetShape) {
+  auto cfg = BkgConfig::DrkgMmSynth(0.1);
+  auto bkg = GenerateBkg(cfg);
+  const auto& ds = bkg.dataset;
+  EXPECT_GT(ds.num_entities(), 50);
+  EXPECT_EQ(ds.num_relations(), 16);
+  EXPECT_TRUE(bkg.has_molecules);
+  EXPECT_EQ(static_cast<int64_t>(bkg.texts.size()), ds.num_entities());
+  EXPECT_EQ(static_cast<int64_t>(bkg.molecules.size()), ds.num_entities());
+  EXPECT_EQ(static_cast<int64_t>(bkg.cluster.size()), ds.num_entities());
+  // 8:1:1 split.
+  const double total = static_cast<double>(
+      ds.train.size() + ds.valid.size() + ds.test.size());
+  EXPECT_NEAR(ds.train.size() / total, 0.8, 0.02);
+}
+
+TEST(BkgGeneratorTest, OnlyCompoundsHaveMolecules) {
+  auto bkg = GenerateBkg(BkgConfig::DrkgMmSynth(0.1));
+  for (int64_t e = 0; e < bkg.dataset.num_entities(); ++e) {
+    const bool is_compound = bkg.dataset.vocab.entity_type(e) ==
+                             kg::EntityType::kCompound;
+    EXPECT_EQ(!bkg.molecules[static_cast<size_t>(e)].atoms.empty(),
+              is_compound);
+    if (is_compound) {
+      EXPECT_TRUE(bkg.molecules[static_cast<size_t>(e)].IsValid());
+      // Cluster id doubles as drug family.
+      EXPECT_EQ(bkg.molecules[static_cast<size_t>(e)].family,
+                bkg.cluster[static_cast<size_t>(e)]);
+    }
+  }
+}
+
+TEST(BkgGeneratorTest, OmahaPresetHasNoMolecules) {
+  auto bkg = GenerateBkg(BkgConfig::OmahaMmSynth(0.1));
+  EXPECT_FALSE(bkg.has_molecules);
+  for (const auto& m : bkg.molecules) EXPECT_TRUE(m.atoms.empty());
+  EXPECT_EQ(bkg.dataset.num_relations(), 8);
+}
+
+TEST(BkgGeneratorTest, TriplesRespectTypeSchema) {
+  auto cfg = BkgConfig::DrkgMmSynth(0.1);
+  auto bkg = GenerateBkg(cfg);
+  const auto& vocab = bkg.dataset.vocab;
+  std::map<std::string, std::pair<kg::EntityType, kg::EntityType>> schema;
+  for (const auto& r : cfg.relations) {
+    schema[r.name] = {r.head_type, r.tail_type};
+  }
+  for (const auto& t : bkg.dataset.AllTriples()) {
+    const auto& [ht, tt] = schema.at(vocab.RelationName(t.rel));
+    EXPECT_EQ(vocab.entity_type(t.head), ht);
+    EXPECT_EQ(vocab.entity_type(t.tail), tt);
+    EXPECT_NE(t.head, t.tail);
+  }
+}
+
+TEST(BkgGeneratorTest, NoDuplicateTriples) {
+  auto bkg = GenerateBkg(BkgConfig::DrkgMmSynth(0.1));
+  kg::TripleStore seen;
+  for (const auto& t : bkg.dataset.AllTriples()) {
+    EXPECT_TRUE(seen.Add(t));
+  }
+}
+
+TEST(BkgGeneratorTest, DeterministicForSeed) {
+  auto a = GenerateBkg(BkgConfig::DrkgMmSynth(0.1));
+  auto b = GenerateBkg(BkgConfig::DrkgMmSynth(0.1));
+  ASSERT_EQ(a.dataset.train.size(), b.dataset.train.size());
+  for (size_t i = 0; i < a.dataset.train.size(); ++i) {
+    EXPECT_EQ(a.dataset.train[i], b.dataset.train[i]);
+  }
+  EXPECT_EQ(a.texts[0].name, b.texts[0].name);
+}
+
+TEST(BkgGeneratorTest, DifferentSeedsDiffer) {
+  auto cfg = BkgConfig::DrkgMmSynth(0.1);
+  auto a = GenerateBkg(cfg);
+  cfg.seed = 1234;
+  auto b = GenerateBkg(cfg);
+  EXPECT_NE(a.texts[0].name, b.texts[0].name);
+}
+
+TEST(BkgGeneratorTest, LongTailDegreeDistribution) {
+  auto bkg = GenerateBkg(BkgConfig::DrkgMmSynth(0.3));
+  std::map<int64_t, int64_t> degree;
+  for (const auto& t : bkg.dataset.AllTriples()) {
+    ++degree[t.head];
+    ++degree[t.tail];
+  }
+  std::vector<int64_t> degrees;
+  for (const auto& [_, d] : degree) degrees.push_back(d);
+  std::sort(degrees.rbegin(), degrees.rend());
+  // Top decile should hold several times the median mass (long tail).
+  const int64_t median = degrees[degrees.size() / 2];
+  EXPECT_GT(degrees[degrees.size() / 20], 3 * median);
+}
+
+TEST(BkgGeneratorTest, ScaledShrinksCounts) {
+  auto base = BkgConfig::DrkgMmSynth(1.0);
+  auto half = base.Scaled(0.5);
+  EXPECT_NEAR(static_cast<double>(half.num_triples),
+              0.5 * base.num_triples, base.num_triples * 0.01);
+  EXPECT_NEAR(static_cast<double>(half.num_compounds),
+              0.5 * base.num_compounds, 2.0);
+}
+
+TEST(BkgGeneratorTest, CompoundIdsHelper) {
+  auto bkg = GenerateBkg(BkgConfig::DrkgMmSynth(0.1));
+  auto ids = bkg.CompoundIds();
+  EXPECT_FALSE(ids.empty());
+  for (int64_t id : ids) {
+    EXPECT_EQ(bkg.dataset.vocab.entity_type(id),
+              kg::EntityType::kCompound);
+  }
+}
+
+}  // namespace
+}  // namespace came::datagen

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/bkg_generator.h"
+#include "encoders/feature_bank.h"
+#include "encoders/gin.h"
+#include "encoders/structural_pretrain.h"
+#include "encoders/text_encoder.h"
+
+namespace came::encoders {
+namespace {
+
+using datagen::DrugFamily;
+
+double Cosine(const tensor::Tensor& a, const tensor::Tensor& b) {
+  double dot = 0;
+  double na = 0;
+  double nb = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    dot += static_cast<double>(a.data()[i]) * b.data()[i];
+    na += static_cast<double>(a.data()[i]) * a.data()[i];
+    nb += static_cast<double>(b.data()[i]) * b.data()[i];
+  }
+  return dot / (std::sqrt(na * nb) + 1e-12);
+}
+
+// --- GIN ---------------------------------------------------------------
+
+TEST(GinTest, EncodeShapeAndDeterminism) {
+  GinEncoder::Config cfg;
+  cfg.out_dim = 16;
+  GinEncoder gin(cfg);
+  Rng rng(1);
+  datagen::Molecule m = datagen::GenerateMolecule(DrugFamily::kPhenol, &rng);
+  tensor::Tensor e1 = gin.Encode(m);
+  tensor::Tensor e2 = gin.Encode(m);
+  EXPECT_EQ(e1.shape(), (tensor::Shape{16}));
+  for (int64_t i = 0; i < 16; ++i) EXPECT_EQ(e1.data()[i], e2.data()[i]);
+}
+
+TEST(GinTest, NodeStatesShape) {
+  GinEncoder gin({});
+  datagen::Molecule m = datagen::FamilyScaffold(DrugFamily::kPiperazine);
+  ag::Var states = gin.NodeStates(m);
+  EXPECT_EQ(states.dim(0), m.num_atoms());
+  EXPECT_EQ(states.dim(1), gin.out_dim());
+}
+
+TEST(GinTest, PretrainReducesMaskedLoss) {
+  GinEncoder gin({});
+  Rng rng(2);
+  std::vector<datagen::Molecule> mols;
+  for (int i = 0; i < 40; ++i) {
+    mols.push_back(datagen::GenerateMolecule(
+        static_cast<DrugFamily>(i % datagen::kNumDrugFamilies), &rng));
+  }
+  const float first = gin.Pretrain(mols, 1, 1e-3f);
+  float last = first;
+  for (int e = 0; e < 4; ++e) last = gin.Pretrain(mols, 1, 1e-3f);
+  EXPECT_LT(last, first);
+}
+
+TEST(GinTest, SameFamilyMoreSimilarThanCrossFamily) {
+  GinEncoder gin({});
+  Rng rng(3);
+  std::vector<datagen::Molecule> mols;
+  for (int i = 0; i < 60; ++i) {
+    mols.push_back(datagen::GenerateMolecule(
+        static_cast<DrugFamily>(i % datagen::kNumDrugFamilies), &rng));
+  }
+  gin.Pretrain(mols, 2, 1e-3f);
+  double same = 0;
+  double cross = 0;
+  int n_same = 0;
+  int n_cross = 0;
+  std::vector<tensor::Tensor> encs;
+  for (const auto& m : mols) encs.push_back(gin.Encode(m));
+  for (size_t i = 0; i < mols.size(); ++i) {
+    for (size_t j = i + 1; j < mols.size(); ++j) {
+      const double c = Cosine(encs[i], encs[j]);
+      if (mols[i].family == mols[j].family) {
+        same += c;
+        ++n_same;
+      } else {
+        cross += c;
+        ++n_cross;
+      }
+    }
+  }
+  EXPECT_GT(same / n_same, cross / n_cross);
+}
+
+// --- text encoder -------------------------------------------------------
+
+TEST(TextEncoderTest, OutputShapeAndDeterminism) {
+  TextEncoder enc({});
+  datagen::EntityText t{"Temocillin", "a penicillin-type antibiotic"};
+  tensor::Tensor a = enc.Encode(t);
+  tensor::Tensor b = enc.Encode(t);
+  EXPECT_EQ(a.numel(), enc.out_dim());
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(TextEncoderTest, SharedSuffixIncreasesSimilarity) {
+  TextEncoder enc({});
+  datagen::EntityText a{"Temocillin", "an antibiotic"};
+  datagen::EntityText b{"Zarocillin", "an antibiotic"};
+  datagen::EntityText c{"Bravastatin", "a statin"};
+  EXPECT_GT(Cosine(enc.Encode(a), enc.Encode(b)),
+            Cosine(enc.Encode(a), enc.Encode(c)));
+}
+
+TEST(TextEncoderTest, HashedBagIsL2Normalised) {
+  TextEncoder enc({});
+  tensor::Tensor bag = enc.HashedNgrams({"Aspirin", "pain reliever"});
+  double norm = 0;
+  for (int64_t i = 0; i < bag.numel(); ++i) {
+    norm += static_cast<double>(bag.data()[i]) * bag.data()[i];
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-4);
+}
+
+TEST(TextEncoderTest, CaseInsensitive) {
+  TextEncoder enc({});
+  tensor::Tensor a = enc.Encode({"ASPIRIN", "X"});
+  tensor::Tensor b = enc.Encode({"aspirin", "x"});
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+// --- structural pretrain --------------------------------------------------
+
+TEST(StructuralPretrainTest, ProducesNormalisedRows) {
+  auto bkg = datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.05));
+  StructuralPretrainConfig cfg;
+  cfg.epochs = 3;
+  tensor::Tensor emb = PretrainStructuralEmbeddings(bkg.dataset, cfg);
+  EXPECT_EQ(emb.dim(0), bkg.dataset.num_entities());
+  EXPECT_EQ(emb.dim(1), cfg.dim);
+  for (int64_t r = 0; r < emb.dim(0); ++r) {
+    double norm = 0;
+    for (int64_t j = 0; j < cfg.dim; ++j) {
+      norm += static_cast<double>(emb.at({r, j})) * emb.at({r, j});
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-3) << "row " << r;
+  }
+}
+
+TEST(StructuralPretrainTest, ConnectedEntitiesCloserThanRandom) {
+  auto bkg = datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.1));
+  StructuralPretrainConfig cfg;
+  cfg.epochs = 10;
+  tensor::Tensor emb = PretrainStructuralEmbeddings(bkg.dataset, cfg);
+  auto row = [&](int64_t e) {
+    tensor::Tensor t({cfg.dim});
+    for (int64_t j = 0; j < cfg.dim; ++j) t.data()[j] = emb.at({e, j});
+    return t;
+  };
+  // Average similarity between linked pairs should exceed random pairs.
+  double linked = 0;
+  int n_linked = 0;
+  for (size_t i = 0; i < bkg.dataset.train.size() && n_linked < 300; ++i) {
+    const auto& t = bkg.dataset.train[i];
+    linked += Cosine(row(t.head), row(t.tail));
+    ++n_linked;
+  }
+  Rng rng(11);
+  double random = 0;
+  int n_random = 300;
+  for (int i = 0; i < n_random; ++i) {
+    const int64_t a = rng.UniformInt(0, bkg.dataset.num_entities() - 1);
+    const int64_t b = rng.UniformInt(0, bkg.dataset.num_entities() - 1);
+    random += Cosine(row(a), row(b));
+  }
+  EXPECT_GT(linked / n_linked, random / n_random);
+}
+
+// --- feature bank ----------------------------------------------------------
+
+TEST(FeatureBankTest, BuildPopulatesAllModalities) {
+  auto bkg = datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.05));
+  FeatureBankConfig cfg;
+  cfg.gin_pretrain_epochs = 1;
+  cfg.gin_pretrain_sample = 30;
+  cfg.pretrain_structural = true;
+  cfg.structural.epochs = 2;
+  FeatureBank bank = BuildFeatureBank(bkg, cfg);
+  EXPECT_EQ(bank.num_entities(), bkg.dataset.num_entities());
+  EXPECT_TRUE(bank.has_structural());
+  int64_t n_mol = 0;
+  for (int64_t e = 0; e < bank.num_entities(); ++e) {
+    const bool compound = bkg.dataset.vocab.entity_type(e) ==
+                          kg::EntityType::kCompound;
+    EXPECT_EQ(bank.has_molecule(e), compound);
+    n_mol += bank.has_molecule(e);
+    // Text features must be non-trivial for every entity.
+    double sum = 0;
+    for (int64_t j = 0; j < bank.dim_t(); ++j) {
+      sum += std::fabs(bank.text_features().at({e, j}));
+    }
+    EXPECT_GT(sum, 0.0);
+  }
+  EXPECT_GT(n_mol, 0);
+}
+
+TEST(FeatureBankTest, NonCompoundMoleculeRowsAreZero) {
+  auto bkg = datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.05));
+  FeatureBankConfig cfg;
+  cfg.gin_pretrain_epochs = 0;
+  FeatureBank bank = BuildFeatureBank(bkg, cfg);
+  for (int64_t e = 0; e < bank.num_entities(); ++e) {
+    if (bank.has_molecule(e)) continue;
+    for (int64_t j = 0; j < bank.dim_m(); ++j) {
+      EXPECT_EQ(bank.molecule_features().at({e, j}), 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace came::encoders

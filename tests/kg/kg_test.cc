@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "kg/dataset.h"
+#include "kg/filter_index.h"
+#include "kg/triple_store.h"
+#include "kg/vocab.h"
+
+namespace came::kg {
+namespace {
+
+TEST(VocabTest, EntityRoundTrip) {
+  Vocab v;
+  const int64_t a = v.AddEntity("Aspirin", EntityType::kCompound);
+  const int64_t b = v.AddEntity("TP53", EntityType::kGene);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(v.AddEntity("Aspirin", EntityType::kCompound), a);  // dedup
+  EXPECT_EQ(v.EntityId("TP53"), b);
+  EXPECT_EQ(v.EntityId("missing"), -1);
+  EXPECT_EQ(v.EntityName(a), "Aspirin");
+  EXPECT_EQ(v.entity_type(b), EntityType::kGene);
+  EXPECT_EQ(v.num_entities(), 2);
+}
+
+TEST(VocabTest, RelationRoundTrip) {
+  Vocab v;
+  EXPECT_EQ(v.AddRelation("treats"), 0);
+  EXPECT_EQ(v.AddRelation("causes"), 1);
+  EXPECT_EQ(v.AddRelation("treats"), 0);
+  EXPECT_EQ(v.RelationName(1), "causes");
+  EXPECT_EQ(v.RelationId("missing"), -1);
+}
+
+TEST(VocabTest, EntitiesOfType) {
+  Vocab v;
+  v.AddEntity("c1", EntityType::kCompound);
+  v.AddEntity("g1", EntityType::kGene);
+  v.AddEntity("c2", EntityType::kCompound);
+  auto compounds = v.EntitiesOfType(EntityType::kCompound);
+  EXPECT_EQ(compounds, (std::vector<int64_t>{0, 2}));
+}
+
+TEST(TripleStoreTest, DedupsAndPreservesOrder) {
+  TripleStore s;
+  EXPECT_TRUE(s.Add({0, 1, 2}));
+  EXPECT_TRUE(s.Add({2, 1, 0}));
+  EXPECT_FALSE(s.Add({0, 1, 2}));
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s[0], (Triple{0, 1, 2}));
+  EXPECT_TRUE(s.Contains({2, 1, 0}));
+  EXPECT_FALSE(s.Contains({2, 0, 1}));
+}
+
+TEST(DatasetTest, InverseAugmentation) {
+  Dataset ds;
+  ds.vocab.AddEntity("a", EntityType::kGene);
+  ds.vocab.AddEntity("b", EntityType::kGene);
+  ds.vocab.AddRelation("r0");
+  ds.vocab.AddRelation("r1");
+  ds.train = {{0, 1, 1}};
+  auto aug = ds.TrainWithInverses();
+  ASSERT_EQ(aug.size(), 2u);
+  EXPECT_EQ(aug[0], (Triple{0, 1, 1}));
+  EXPECT_EQ(aug[1], (Triple{1, 3, 0}));  // inverse id = r + R
+  EXPECT_EQ(ds.num_relations_with_inverses(), 4);
+  EXPECT_EQ(ds.InverseRelation(1), 3);
+  EXPECT_EQ(ds.InverseRelation(3), 1);
+}
+
+TEST(DatasetTest, SplitRatiosAndDisjointness) {
+  std::vector<Triple> triples;
+  for (int64_t i = 0; i < 1000; ++i) triples.push_back({i, 0, i + 1});
+  Rng rng(9);
+  std::vector<Triple> train;
+  std::vector<Triple> valid;
+  std::vector<Triple> test;
+  SplitTriples(triples, &rng, &train, &valid, &test);
+  EXPECT_EQ(train.size(), 800u);
+  EXPECT_EQ(valid.size(), 100u);
+  EXPECT_EQ(test.size(), 100u);
+  TripleStore seen;
+  for (const auto& t : train) EXPECT_TRUE(seen.Add(t));
+  for (const auto& t : valid) EXPECT_TRUE(seen.Add(t));
+  for (const auto& t : test) EXPECT_TRUE(seen.Add(t));
+}
+
+TEST(DatasetTest, SplitIsDeterministicPerSeed) {
+  std::vector<Triple> triples;
+  for (int64_t i = 0; i < 100; ++i) triples.push_back({i, 0, i + 1});
+  Rng rng1(7);
+  Rng rng2(7);
+  std::vector<Triple> a1, b1, c1, a2, b2, c2;
+  SplitTriples(triples, &rng1, &a1, &b1, &c1);
+  SplitTriples(triples, &rng2, &a2, &b2, &c2);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(DatasetTest, TsvRoundTrip) {
+  Dataset ds;
+  ds.name = "toy";
+  ds.vocab.AddEntity("Aspirin", EntityType::kCompound);
+  ds.vocab.AddEntity("TP53", EntityType::kGene);
+  ds.vocab.AddRelation("targets");
+  ds.train = {{0, 0, 1}};
+  ds.valid = {};
+  ds.test = {{1, 0, 0}};
+
+  const std::string dir = "/tmp/came_kg_tsv_test";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(ds.SaveTsv(dir).ok());
+  auto loaded = Dataset::LoadTsv(dir, "toy");
+  ASSERT_TRUE(loaded.ok());
+  const Dataset& l = loaded.value();
+  EXPECT_EQ(l.vocab.num_entities(), 2);
+  EXPECT_EQ(l.vocab.EntityName(0), "Aspirin");
+  EXPECT_EQ(l.vocab.entity_type(1), EntityType::kGene);
+  EXPECT_EQ(l.vocab.RelationName(0), "targets");
+  ASSERT_EQ(l.train.size(), 1u);
+  EXPECT_EQ(l.train[0], (Triple{0, 0, 1}));
+  EXPECT_EQ(l.test[0], (Triple{1, 0, 0}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetTest, LoadMissingDirFails) {
+  auto r = Dataset::LoadTsv("/nonexistent_dir_xyz", "x");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FilterIndexTest, ForwardAndInversePostings) {
+  FilterIndex idx(10, 2);
+  idx.AddTriples({{1, 0, 3}, {1, 0, 5}, {2, 1, 3}});
+  EXPECT_EQ(idx.Tails(1, 0), (std::vector<int64_t>{3, 5}));
+  // Inverse relation id = rel + num_relations.
+  EXPECT_EQ(idx.Tails(3, 2), (std::vector<int64_t>{1}));
+  EXPECT_EQ(idx.Tails(3, 3), (std::vector<int64_t>{2}));
+  EXPECT_TRUE(idx.Contains(1, 0, 5));
+  EXPECT_FALSE(idx.Contains(1, 0, 4));
+  EXPECT_TRUE(idx.Tails(9, 1).empty());
+}
+
+TEST(FilterIndexTest, DedupsPostings) {
+  FilterIndex idx(4, 1);
+  idx.AddTriples({{0, 0, 1}, {0, 0, 1}});
+  EXPECT_EQ(idx.Tails(0, 0).size(), 1u);
+}
+
+TEST(FilterIndexTest, RejectsInverseRelationInput) {
+  FilterIndex idx(4, 2);
+  EXPECT_DEATH(idx.AddTriples({{0, 2, 1}}), "base relations");
+}
+
+}  // namespace
+}  // namespace came::kg

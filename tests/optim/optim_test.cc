@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/random.h"
+#include "nn/init.h"
+#include "optim/optimizer.h"
+
+namespace came::optim {
+namespace {
+
+// Minimises f(x) = ||x - target||^2 and checks convergence.
+double OptimiseQuadratic(Optimizer* opt, ag::Var x,
+                         const tensor::Tensor& target, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    ag::Var loss = ag::SumAll(ag::Square(ag::Sub(x, ag::Const(target))));
+    loss.Backward();
+    opt->Step();
+  }
+  double err = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    err = std::max(err, std::fabs(static_cast<double>(x.value().data()[i]) -
+                                  target.data()[i]));
+  }
+  return err;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  ag::Var x(tensor::Tensor::Zeros({4}), true);
+  tensor::Tensor target = tensor::Tensor::FromVector({4}, {1, -2, 3, 0.5});
+  Sgd opt({x}, 0.1f);
+  EXPECT_LT(OptimiseQuadratic(&opt, x, target, 100), 1e-3);
+}
+
+TEST(SgdTest, MomentumConvergesFaster) {
+  tensor::Tensor target = tensor::Tensor::Full({4}, 2.0f);
+  ag::Var x1(tensor::Tensor::Zeros({4}), true);
+  ag::Var x2(tensor::Tensor::Zeros({4}), true);
+  Sgd plain({x1}, 0.02f);
+  Sgd momentum({x2}, 0.02f, 0.9f);
+  const double e_plain = OptimiseQuadratic(&plain, x1, target, 30);
+  const double e_momentum = OptimiseQuadratic(&momentum, x2, target, 30);
+  EXPECT_LT(e_momentum, e_plain);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  ag::Var x(tensor::Tensor::Zeros({4}), true);
+  tensor::Tensor target = tensor::Tensor::FromVector({4}, {1, -2, 3, 0.5});
+  Adam opt({x}, 0.1f);
+  EXPECT_LT(OptimiseQuadratic(&opt, x, target, 300), 1e-2);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  // Bias correction makes the first Adam step ~lr * sign(grad).
+  ag::Var x(tensor::Tensor::Zeros({1}), true);
+  Adam opt({x}, 0.5f);
+  ag::SumAll(ag::Scale(x, 3.0f)).Backward();
+  opt.Step();
+  EXPECT_NEAR(x.value().data()[0], -0.5f, 1e-3);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  ag::Var a(tensor::Tensor::Full({1}, 1.0f), true);
+  ag::Var b(tensor::Tensor::Full({1}, 1.0f), true);
+  Adam opt({a, b}, 0.1f);
+  ag::SumAll(ag::Square(a)).Backward();  // only a gets a gradient
+  opt.Step();
+  EXPECT_NE(a.value().data()[0], 1.0f);
+  EXPECT_EQ(b.value().data()[0], 1.0f);
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  ag::Var x(tensor::Tensor::Full({1}, 10.0f), true);
+  Adam opt({x}, 0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int i = 0; i < 50; ++i) {
+    opt.ZeroGrad();
+    // Constant-zero loss gradient: only decay acts.
+    ag::Var loss = ag::SumAll(ag::Scale(x, 0.0f));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(x.value().data()[0], 7.0f);
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  ag::Var x(tensor::Tensor::Zeros({4}), true);
+  ag::SumAll(ag::Scale(x, 10.0f)).Backward();  // grad = 10 per element
+  const float norm = ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(norm, 20.0f, 1e-3);  // sqrt(4 * 100)
+  double clipped = 0.0;
+  for (int64_t i = 0; i < 4; ++i) {
+    clipped += static_cast<double>(x.grad().data()[i]) * x.grad().data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(clipped), 1.0, 1e-3);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  ag::Var x(tensor::Tensor::Zeros({2}), true);
+  ag::SumAll(x).Backward();  // grad = 1 each, norm sqrt(2)
+  ClipGradNorm({x}, 10.0f);
+  EXPECT_EQ(x.grad().data()[0], 1.0f);
+}
+
+TEST(OptimizerTest, ZeroGradResetsAll) {
+  ag::Var x(tensor::Tensor::Zeros({2}), true);
+  Adam opt({x}, 0.1f);
+  ag::SumAll(x).Backward();
+  EXPECT_TRUE(x.has_grad());
+  opt.ZeroGrad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(OptimizerTest, RejectsNonTrainableParams) {
+  ag::Var x(tensor::Tensor::Zeros({2}), false);
+  EXPECT_DEATH(Adam({x}, 0.1f), "requires_grad");
+}
+
+}  // namespace
+}  // namespace came::optim

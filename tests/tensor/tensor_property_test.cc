@@ -1,0 +1,159 @@
+// Property-based tests over the tensor kernels: algebraic identities that
+// must hold for arbitrary shapes and random contents. Parameterised over
+// seeds so each run sweeps several random landscapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::tensor {
+namespace {
+
+Tensor RandomTensor(Shape shape, Rng* rng, double scale = 1.0) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Normal() * scale);
+  }
+  return t;
+}
+
+void ExpectNear(const Tensor& a, const Tensor& b, double tol,
+                const char* what) {
+  ASSERT_TRUE(SameShape(a.shape(), b.shape())) << what;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], tol) << what << " @" << i;
+  }
+}
+
+class TensorAlgebraTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam() * 7919 + 1};
+};
+
+TEST_P(TensorAlgebraTest, AdditionCommutesAndAssociates) {
+  Tensor a = RandomTensor({3, 5}, &rng_);
+  Tensor b = RandomTensor({3, 5}, &rng_);
+  Tensor c = RandomTensor({5}, &rng_);  // broadcast operand
+  ExpectNear(Add(a, b), Add(b, a), 1e-6, "commutativity");
+  ExpectNear(Add(Add(a, b), c), Add(a, Add(b, c)), 1e-5, "associativity");
+}
+
+TEST_P(TensorAlgebraTest, MulDistributesOverAdd) {
+  Tensor a = RandomTensor({4, 3}, &rng_);
+  Tensor b = RandomTensor({4, 3}, &rng_);
+  Tensor c = RandomTensor({4, 1}, &rng_);  // broadcast
+  ExpectNear(Mul(c, Add(a, b)), Add(Mul(c, a), Mul(c, b)), 1e-4,
+             "distributivity");
+}
+
+TEST_P(TensorAlgebraTest, MatMulLinearInFirstArgument) {
+  Tensor a1 = RandomTensor({3, 4}, &rng_);
+  Tensor a2 = RandomTensor({3, 4}, &rng_);
+  Tensor b = RandomTensor({4, 2}, &rng_);
+  ExpectNear(MatMul(Add(a1, a2), b), Add(MatMul(a1, b), MatMul(a2, b)),
+             1e-4, "matmul linearity");
+}
+
+TEST_P(TensorAlgebraTest, MatMulAgreesWithTransposedForm) {
+  // (A B)^T == B^T A^T.
+  Tensor a = RandomTensor({3, 4}, &rng_);
+  Tensor b = RandomTensor({4, 2}, &rng_);
+  ExpectNear(Transpose2D(MatMul(a, b)),
+             MatMul(Transpose2D(b), Transpose2D(a)), 1e-4,
+             "transpose identity");
+}
+
+TEST_P(TensorAlgebraTest, SoftmaxInvariantToRowShift) {
+  Tensor a = RandomTensor({4, 6}, &rng_);
+  Tensor shifted = AddScalar(a, 37.5f);
+  ExpectNear(SoftmaxAlong(a, 1), SoftmaxAlong(shifted, 1), 1e-5,
+             "shift invariance");
+}
+
+TEST_P(TensorAlgebraTest, SoftmaxOutputsAreADistribution) {
+  Tensor a = RandomTensor({2, 5, 3}, &rng_, 3.0);
+  for (int64_t dim : {0, 1, 2}) {
+    Tensor s = SoftmaxAlong(a, dim);
+    for (int64_t i = 0; i < s.numel(); ++i) {
+      EXPECT_GE(s.data()[i], 0.0f);
+      EXPECT_LE(s.data()[i], 1.0f);
+    }
+    Tensor sums = SumAlong(s, dim, false);
+    for (int64_t i = 0; i < sums.numel(); ++i) {
+      EXPECT_NEAR(sums.data()[i], 1.0f, 1e-5);
+    }
+  }
+}
+
+TEST_P(TensorAlgebraTest, ConcatThenSliceRecoversParts) {
+  Tensor a = RandomTensor({2, 3}, &rng_);
+  Tensor b = RandomTensor({2, 4}, &rng_);
+  Tensor c = Concat({a, b}, 1);
+  ExpectNear(SliceAlong(c, 1, 0, 3), a, 0.0, "left part");
+  ExpectNear(SliceAlong(c, 1, 3, 4), b, 0.0, "right part");
+}
+
+TEST_P(TensorAlgebraTest, SumAlongPartitionsSumAll) {
+  Tensor a = RandomTensor({3, 4, 2}, &rng_);
+  for (int64_t dim : {0, 1, 2}) {
+    EXPECT_NEAR(SumAllScalar(SumAlong(a, dim, false)), SumAllScalar(a),
+                1e-3);
+  }
+}
+
+TEST_P(TensorAlgebraTest, ReduceToShapeMatchesManualSums) {
+  Tensor g = RandomTensor({3, 4}, &rng_);
+  Tensor reduced = ReduceToShape(g, {4});
+  for (int64_t j = 0; j < 4; ++j) {
+    float manual = 0;
+    for (int64_t i = 0; i < 3; ++i) manual += g.at({i, j});
+    EXPECT_NEAR(reduced.data()[j], manual, 1e-5);
+  }
+}
+
+TEST_P(TensorAlgebraTest, BatchMatMulMatchesBlockDiagonalView) {
+  Tensor a = RandomTensor({2, 3, 4}, &rng_);
+  Tensor b = RandomTensor({2, 4, 5}, &rng_);
+  Tensor c = BatchMatMul(a, b);
+  for (int64_t bi = 0; bi < 2; ++bi) {
+    Tensor as = SliceAlong(a, 0, bi, 1).Reshape({3, 4});
+    Tensor bs = SliceAlong(b, 0, bi, 1).Reshape({4, 5});
+    ExpectNear(SliceAlong(c, 0, bi, 1).Reshape({3, 5}), MatMul(as, bs),
+               1e-4, "batch slice");
+  }
+}
+
+TEST_P(TensorAlgebraTest, SigmoidTanhIdentity) {
+  // tanh(x) == 2*sigmoid(2x) - 1.
+  Tensor x = RandomTensor({4, 4}, &rng_);
+  Tensor lhs = Tanh(x);
+  Tensor rhs = AddScalar(Scale(Sigmoid(Scale(x, 2.0f)), 2.0f), -1.0f);
+  ExpectNear(lhs, rhs, 1e-5, "tanh/sigmoid identity");
+}
+
+TEST_P(TensorAlgebraTest, GatherOfArangeIsIdentityPermutation) {
+  Tensor m = RandomTensor({6, 3}, &rng_);
+  std::vector<int64_t> all = {0, 1, 2, 3, 4, 5};
+  rng_.Shuffle(&all);
+  Tensor g = GatherRows(m, all);
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(g.at({static_cast<int64_t>(i), j}), m.at({all[i], j}));
+    }
+  }
+}
+
+TEST_P(TensorAlgebraTest, Im2ColPreservesMassUnderOnesKernel) {
+  // Convolving with an all-ones 1x1 kernel equals the input itself.
+  Tensor x = RandomTensor({2, 3, 4, 5}, &rng_);
+  Tensor cols = Im2Col(x, 1, 1, 0);
+  EXPECT_NEAR(SumAllScalar(cols), SumAllScalar(x), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorAlgebraTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace came::tensor
