@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_relations.dir/bench_table4_relations.cc.o"
+  "CMakeFiles/bench_table4_relations.dir/bench_table4_relations.cc.o.d"
+  "bench_table4_relations"
+  "bench_table4_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

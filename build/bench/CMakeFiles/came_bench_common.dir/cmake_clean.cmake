@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/came_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/came_bench_common.dir/bench_common.cc.o.d"
+  "libcame_bench_common.a"
+  "libcame_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/came_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/came_cli.dir/came_cli.cpp.o"
+  "CMakeFiles/came_cli.dir/came_cli.cpp.o.d"
+  "came_cli"
+  "came_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/came_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

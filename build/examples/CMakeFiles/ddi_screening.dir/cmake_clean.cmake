@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddi_screening.dir/ddi_screening.cpp.o"
+  "CMakeFiles/ddi_screening.dir/ddi_screening.cpp.o.d"
+  "ddi_screening"
+  "ddi_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddi_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

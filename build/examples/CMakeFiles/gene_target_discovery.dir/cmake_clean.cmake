@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_target_discovery.dir/gene_target_discovery.cpp.o"
+  "CMakeFiles/gene_target_discovery.dir/gene_target_discovery.cpp.o.d"
+  "gene_target_discovery"
+  "gene_target_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_target_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/gradcheck.cc" "src/CMakeFiles/came.dir/autograd/gradcheck.cc.o" "gcc" "src/CMakeFiles/came.dir/autograd/gradcheck.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/came.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/came.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/came.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/came.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/baselines/bilinear.cc" "src/CMakeFiles/came.dir/baselines/bilinear.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/bilinear.cc.o.d"
+  "/root/repo/src/baselines/compgcn.cc" "src/CMakeFiles/came.dir/baselines/compgcn.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/compgcn.cc.o.d"
+  "/root/repo/src/baselines/conve.cc" "src/CMakeFiles/came.dir/baselines/conve.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/conve.cc.o.d"
+  "/root/repo/src/baselines/kgc_model.cc" "src/CMakeFiles/came.dir/baselines/kgc_model.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/kgc_model.cc.o.d"
+  "/root/repo/src/baselines/mkgformer_lite.cc" "src/CMakeFiles/came.dir/baselines/mkgformer_lite.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/mkgformer_lite.cc.o.d"
+  "/root/repo/src/baselines/model_zoo.cc" "src/CMakeFiles/came.dir/baselines/model_zoo.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/model_zoo.cc.o.d"
+  "/root/repo/src/baselines/multimodal_baselines.cc" "src/CMakeFiles/came.dir/baselines/multimodal_baselines.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/multimodal_baselines.cc.o.d"
+  "/root/repo/src/baselines/rotational.cc" "src/CMakeFiles/came.dir/baselines/rotational.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/rotational.cc.o.d"
+  "/root/repo/src/baselines/translational.cc" "src/CMakeFiles/came.dir/baselines/translational.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/translational.cc.o.d"
+  "/root/repo/src/baselines/translational_extensions.cc" "src/CMakeFiles/came.dir/baselines/translational_extensions.cc.o" "gcc" "src/CMakeFiles/came.dir/baselines/translational_extensions.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/came.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/came.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/came.dir/common/random.cc.o" "gcc" "src/CMakeFiles/came.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/came.dir/common/status.cc.o" "gcc" "src/CMakeFiles/came.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/came.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/came.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/table_writer.cc" "src/CMakeFiles/came.dir/common/table_writer.cc.o" "gcc" "src/CMakeFiles/came.dir/common/table_writer.cc.o.d"
+  "/root/repo/src/core/came_model.cc" "src/CMakeFiles/came.dir/core/came_model.cc.o" "gcc" "src/CMakeFiles/came.dir/core/came_model.cc.o.d"
+  "/root/repo/src/core/mmf.cc" "src/CMakeFiles/came.dir/core/mmf.cc.o" "gcc" "src/CMakeFiles/came.dir/core/mmf.cc.o.d"
+  "/root/repo/src/core/ric.cc" "src/CMakeFiles/came.dir/core/ric.cc.o" "gcc" "src/CMakeFiles/came.dir/core/ric.cc.o.d"
+  "/root/repo/src/core/tca.cc" "src/CMakeFiles/came.dir/core/tca.cc.o" "gcc" "src/CMakeFiles/came.dir/core/tca.cc.o.d"
+  "/root/repo/src/datagen/bkg_generator.cc" "src/CMakeFiles/came.dir/datagen/bkg_generator.cc.o" "gcc" "src/CMakeFiles/came.dir/datagen/bkg_generator.cc.o.d"
+  "/root/repo/src/datagen/molecule.cc" "src/CMakeFiles/came.dir/datagen/molecule.cc.o" "gcc" "src/CMakeFiles/came.dir/datagen/molecule.cc.o.d"
+  "/root/repo/src/datagen/textgen.cc" "src/CMakeFiles/came.dir/datagen/textgen.cc.o" "gcc" "src/CMakeFiles/came.dir/datagen/textgen.cc.o.d"
+  "/root/repo/src/encoders/feature_bank.cc" "src/CMakeFiles/came.dir/encoders/feature_bank.cc.o" "gcc" "src/CMakeFiles/came.dir/encoders/feature_bank.cc.o.d"
+  "/root/repo/src/encoders/gin.cc" "src/CMakeFiles/came.dir/encoders/gin.cc.o" "gcc" "src/CMakeFiles/came.dir/encoders/gin.cc.o.d"
+  "/root/repo/src/encoders/structural_pretrain.cc" "src/CMakeFiles/came.dir/encoders/structural_pretrain.cc.o" "gcc" "src/CMakeFiles/came.dir/encoders/structural_pretrain.cc.o.d"
+  "/root/repo/src/encoders/text_encoder.cc" "src/CMakeFiles/came.dir/encoders/text_encoder.cc.o" "gcc" "src/CMakeFiles/came.dir/encoders/text_encoder.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/came.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/came.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/came.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/came.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/kg/dataset.cc" "src/CMakeFiles/came.dir/kg/dataset.cc.o" "gcc" "src/CMakeFiles/came.dir/kg/dataset.cc.o.d"
+  "/root/repo/src/kg/filter_index.cc" "src/CMakeFiles/came.dir/kg/filter_index.cc.o" "gcc" "src/CMakeFiles/came.dir/kg/filter_index.cc.o.d"
+  "/root/repo/src/kg/triple_store.cc" "src/CMakeFiles/came.dir/kg/triple_store.cc.o" "gcc" "src/CMakeFiles/came.dir/kg/triple_store.cc.o.d"
+  "/root/repo/src/kg/vocab.cc" "src/CMakeFiles/came.dir/kg/vocab.cc.o" "gcc" "src/CMakeFiles/came.dir/kg/vocab.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/came.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/came.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/came.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/came.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/came.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/came.dir/nn/module.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/came.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/came.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/came.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/came.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/came.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/came.dir/tensor/tensor_ops.cc.o.d"
+  "/root/repo/src/train/convergence.cc" "src/CMakeFiles/came.dir/train/convergence.cc.o" "gcc" "src/CMakeFiles/came.dir/train/convergence.cc.o.d"
+  "/root/repo/src/train/grid_search.cc" "src/CMakeFiles/came.dir/train/grid_search.cc.o" "gcc" "src/CMakeFiles/came.dir/train/grid_search.cc.o.d"
+  "/root/repo/src/train/negative_sampler.cc" "src/CMakeFiles/came.dir/train/negative_sampler.cc.o" "gcc" "src/CMakeFiles/came.dir/train/negative_sampler.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/came.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/came.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autograd.dir/autograd/autograd_invariants_test.cc.o"
+  "CMakeFiles/test_autograd.dir/autograd/autograd_invariants_test.cc.o.d"
+  "CMakeFiles/test_autograd.dir/autograd/autograd_test.cc.o"
+  "CMakeFiles/test_autograd.dir/autograd/autograd_test.cc.o.d"
+  "CMakeFiles/test_autograd.dir/autograd/gradcheck_test.cc.o"
+  "CMakeFiles/test_autograd.dir/autograd/gradcheck_test.cc.o.d"
+  "test_autograd"
+  "test_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

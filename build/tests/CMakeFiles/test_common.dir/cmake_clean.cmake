@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/fast_math_test.cc.o"
+  "CMakeFiles/test_common.dir/common/fast_math_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/random_test.cc.o"
+  "CMakeFiles/test_common.dir/common/random_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/status_test.cc.o"
+  "CMakeFiles/test_common.dir/common/status_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/table_writer_test.cc.o"
+  "CMakeFiles/test_common.dir/common/table_writer_test.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

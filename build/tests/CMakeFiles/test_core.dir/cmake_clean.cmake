@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/came_model_test.cc.o"
+  "CMakeFiles/test_core.dir/core/came_model_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/mmf_ric_test.cc.o"
+  "CMakeFiles/test_core.dir/core/mmf_ric_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/tca_test.cc.o"
+  "CMakeFiles/test_core.dir/core/tca_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datagen.dir/datagen/datagen_test.cc.o"
+  "CMakeFiles/test_datagen.dir/datagen/datagen_test.cc.o.d"
+  "test_datagen"
+  "test_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

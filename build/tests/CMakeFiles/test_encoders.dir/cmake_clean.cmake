@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encoders.dir/encoders/encoders_test.cc.o"
+  "CMakeFiles/test_encoders.dir/encoders/encoders_test.cc.o.d"
+  "test_encoders"
+  "test_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

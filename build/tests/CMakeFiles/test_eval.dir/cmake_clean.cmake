@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval.dir/eval/evaluator_property_test.cc.o"
+  "CMakeFiles/test_eval.dir/eval/evaluator_property_test.cc.o.d"
+  "test_eval"
+  "test_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

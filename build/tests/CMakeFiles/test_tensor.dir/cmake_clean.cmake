@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/tensor_ops_test.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/tensor_ops_test.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/tensor_property_test.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/tensor_property_test.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/tensor_test.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/tensor_test.cc.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

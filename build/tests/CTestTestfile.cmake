@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tensor "/root/repo/build/tests/test_tensor")
+set_tests_properties(test_tensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_autograd "/root/repo/build/tests/test_autograd")
+set_tests_properties(test_autograd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_nn "/root/repo/build/tests/test_nn")
+set_tests_properties(test_nn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_optim "/root/repo/build/tests/test_optim")
+set_tests_properties(test_optim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_kg "/root/repo/build/tests/test_kg")
+set_tests_properties(test_kg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_datagen "/root/repo/build/tests/test_datagen")
+set_tests_properties(test_datagen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_encoders "/root/repo/build/tests/test_encoders")
+set_tests_properties(test_encoders PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baselines "/root/repo/build/tests/test_baselines")
+set_tests_properties(test_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_train "/root/repo/build/tests/test_train")
+set_tests_properties(test_train PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_eval "/root/repo/build/tests/test_eval")
+set_tests_properties(test_eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;came_add_test;/root/repo/tests/CMakeLists.txt;0;")
