@@ -5,8 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include "autograd/ops.h"
+#include "baselines/model_zoo.h"
+#include "common/parallel_for.h"
 #include "core/mmf.h"
 #include "core/tca.h"
+#include "datagen/bkg_generator.h"
+#include "eval/evaluator.h"
 #include "nn/init.h"
 #include "nn/layers.h"
 #include "tensor/tensor_ops.h"
@@ -15,6 +19,9 @@ namespace came {
 namespace {
 
 namespace ts = tensor;
+
+// Pool size before any benchmark overrides it (captured at static init).
+const int kDefaultThreads = NumThreads();
 
 ts::Tensor RandomTensor(ts::Shape shape, uint64_t seed) {
   Rng rng(seed);
@@ -159,6 +166,61 @@ void BM_GatherScatter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GatherScatter);
+
+// --- threads=1 vs threads=N comparison table ---------------------------
+// The rows of each benchmark below differ only in the worker-pool size
+// (the Arg), so e.g. BM_MatMul512Threads/real_time/1 vs .../4 is the
+// measured speedup of the parallel execution layer on that shape.
+// Real time is the column to read: CPU time sums across workers.
+
+void BM_MatMul512Threads(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  ts::Tensor a = RandomTensor({512, 512}, 21);
+  ts::Tensor b = RandomTensor({512, 512}, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 512 * 512);
+  SetNumThreads(kDefaultThreads);
+}
+BENCHMARK(BM_MatMul512Threads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_BatchMatMulThreads(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  ts::Tensor x = RandomTensor({256, 64, 64}, 23);
+  ts::Tensor y = RandomTensor({256, 64, 64}, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::BatchMatMul(x, y));
+  }
+  SetNumThreads(kDefaultThreads);
+}
+BENCHMARK(BM_BatchMatMulThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// A full filtered-ranking evaluation batch — ScoreAllTails (1-to-N GEMM)
+// plus the per-query rank scans — the shape the CamE decoder evaluates.
+void BM_EvalOneToNBatchThreads(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
+  static datagen::GeneratedBkg* bkg = new datagen::GeneratedBkg(
+      datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.1)));
+  static eval::Evaluator* evaluator = new eval::Evaluator(bkg->dataset);
+  static baselines::KgcModel* model = [] {
+    baselines::ModelContext ctx;
+    ctx.num_entities = bkg->dataset.num_entities();
+    ctx.num_relations = bkg->dataset.num_relations_with_inverses();
+    ctx.train_triples = &bkg->dataset.train;
+    baselines::ZooOptions zoo;
+    zoo.dim = 64;
+    return baselines::CreateModel("DistMult", ctx, zoo).release();
+  }();
+  eval::EvalConfig ec;
+  ec.max_triples = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluator->Evaluate(model, bkg->dataset.test, ec));
+  }
+  SetNumThreads(kDefaultThreads);
+}
+BENCHMARK(BM_EvalOneToNBatchThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 }  // namespace came

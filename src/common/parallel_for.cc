@@ -1,0 +1,201 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace came {
+
+namespace {
+
+// Set while a thread is executing a ParallelFor chunk; nested ParallelFor
+// calls (e.g. MatMul inside a parallel BatchMatMul) see it and run serially
+// instead of re-entering the pool.
+thread_local bool tls_in_parallel_region = false;
+
+int ResolveDefaultThreads() {
+  const char* env = std::getenv("CAME_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 256));
+    }
+    CAME_LOG(Warning) << "ignoring invalid CAME_NUM_THREADS=\"" << env
+                      << "\"; using hardware_concurrency";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Persistent pool of nthreads-1 parked workers (the caller of Run is the
+/// remaining thread and participates in the work). One task is active at a
+/// time; concurrent top-level Run calls serialise on run_mu_. Chunk claims
+/// go through the task mutex — chunks are sized to amortise far more work
+/// than a lock acquisition, and the generation check under the same lock
+/// makes a late-waking worker provably unable to touch a newer task.
+class WorkerPool {
+ public:
+  static WorkerPool& Instance() {
+    // Leaked intentionally: workers may outlive static destruction order.
+    static WorkerPool* pool = new WorkerPool(ResolveDefaultThreads());
+    return *pool;
+  }
+
+  int threads() const { return nthreads_; }
+
+  void Resize(int n) {
+    n = std::max(1, n);
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    if (n == nthreads_) return;
+    StopWorkers();
+    nthreads_ = n;
+    StartWorkers();
+  }
+
+  /// Executes chunk_fn(0..num_chunks-1), each chunk exactly once, across
+  /// the pool plus the calling thread. Rethrows the first chunk exception.
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& chunk_fn) {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    uint64_t generation;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      chunk_fn_ = &chunk_fn;
+      num_chunks_ = num_chunks;
+      next_chunk_ = 0;
+      remaining_ = num_chunks;
+      error_ = nullptr;
+      generation = ++generation_;
+    }
+    cv_work_.notify_all();
+    WorkChunks(generation);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    chunk_fn_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  explicit WorkerPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+    StartWorkers();
+  }
+
+  void StartWorkers() {
+    shutdown_ = false;
+    for (int i = 1; i < nthreads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock, [&] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+      }
+      WorkChunks(seen_generation);
+    }
+  }
+
+  /// Claims and executes chunks of the task identified by `generation`.
+  /// Returns when that task has no unclaimed chunks left (or was already
+  /// superseded — possible only for a worker whose wake-up raced the end
+  /// of the task, which then claims nothing).
+  void WorkChunks(uint64_t generation) {
+    while (true) {
+      const std::function<void(int64_t)>* fn = nullptr;
+      int64_t c = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (generation_ != generation || next_chunk_ >= num_chunks_) return;
+        c = next_chunk_++;
+        fn = chunk_fn_;
+      }
+      tls_in_parallel_region = true;
+      try {
+        (*fn)(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      tls_in_parallel_region = false;
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+
+  // Serialises top-level Run/Resize callers.
+  std::mutex run_mu_;
+
+  // Guards the task state below.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t generation_ = 0;
+  const std::function<void(int64_t)>* chunk_fn_ = nullptr;
+  int64_t num_chunks_ = 0;
+  int64_t next_chunk_ = 0;
+  int64_t remaining_ = 0;
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int NumThreads() { return WorkerPool::Instance().threads(); }
+
+void SetNumThreads(int n) { WorkerPool::Instance().Resize(n); }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t n = end - begin;
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks <= 1 || tls_in_parallel_region ||
+      WorkerPool::Instance().threads() == 1) {
+    // Serial path walks the exact same chunk grid the pool would, keeping
+    // the partition (and thus fn's call sequence) invariant to the thread
+    // count rather than merely equivalent for stateless kernels.
+    for (int64_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  WorkerPool::Instance().Run(num_chunks, [&](int64_t c) {
+    const int64_t lo = begin + c * grain;
+    const int64_t hi = std::min(end, lo + grain);
+    fn(lo, hi);
+  });
+}
+
+}  // namespace came

@@ -1,0 +1,42 @@
+#ifndef CAME_COMMON_PARALLEL_FOR_H_
+#define CAME_COMMON_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace came {
+
+/// Worker-pool size used by ParallelFor. Resolved lazily on first use from
+/// the CAME_NUM_THREADS environment variable; unset, empty or invalid
+/// values fall back to std::thread::hardware_concurrency(). Always >= 1.
+int NumThreads();
+
+/// Overrides the pool size at runtime (re-creating the persistent pool).
+/// Intended for benchmarks and tests that compare thread counts; must not
+/// be called while a ParallelFor is in flight. Clamped to >= 1.
+void SetNumThreads(int n);
+
+/// Invokes `fn(lo, hi)` over disjoint contiguous subranges that exactly
+/// cover [begin, end). The partition is *static*: chunk boundaries depend
+/// only on (begin, end, grain) — never on the thread count — so any kernel
+/// whose chunks write disjoint outputs and carry no state across chunk
+/// boundaries produces bitwise-identical results at every CAME_NUM_THREADS
+/// setting, including 1.
+///
+/// Runs serially on the calling thread (no pool involvement) when the pool
+/// has one thread, when the range fits in a single grain, or when called
+/// from inside another ParallelFor chunk (nested parallelism degrades to
+/// serial rather than deadlocking the pool).
+///
+/// The first exception thrown by `fn` on any worker is captured and
+/// rethrown on the calling thread after all chunks finish.
+///
+/// `grain` is the maximum number of indices per chunk (clamped to >= 1);
+/// callers pick it so one chunk amortises dispatch overhead (~tens of
+/// microseconds of work).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace came
+
+#endif  // CAME_COMMON_PARALLEL_FOR_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "common/random.h"
 
 namespace came::eval {
@@ -17,10 +18,19 @@ Evaluator::Evaluator(const kg::Dataset& dataset)
 namespace {
 
 // Filtered rank of `target` within `scores` (row of length N): known true
-// tails other than the target are skipped entirely.
+// tails other than the target are skipped entirely. A NaN target score
+// ranks worst (below every unfiltered candidate): every comparison against
+// NaN is false, so without the explicit branch a diverging model would
+// rank first and silently report perfect MRR.
 double FilteredRank(const float* scores, int64_t n, int64_t target,
                     const std::vector<int64_t>& known_tails) {
   const float s_target = scores[target];
+  if (std::isnan(s_target)) {
+    int64_t filtered_others = 0;
+    for (int64_t t : known_tails) filtered_others += t != target;
+    // 1 + the number of candidates the target is compared against.
+    return static_cast<double>(n - filtered_others);
+  }
   int64_t better = 0;
   int64_t equal = 0;
   size_t known_idx = 0;
@@ -91,13 +101,21 @@ Metrics Evaluator::Evaluate(baselines::KgcModel* model,
     }
     const tensor::Tensor scores =
         model->ScoreAllTails(heads, rels).value();
-    for (size_t i = start; i < end; ++i) {
-      const Query& q = queries[i];
-      const float* row =
-          scores.data() + static_cast<int64_t>(i - start) * n;
-      metrics.AddRank(
-          FilteredRank(row, n, q.target, filter_.Tails(q.head, q.rel)));
-    }
+    // Each query's O(N) rank scan is independent; compute them across the
+    // pool, then accumulate sequentially so the metric sums (ordered
+    // double additions) stay deterministic at any thread count.
+    const int64_t bsz = static_cast<int64_t>(end - start);
+    std::vector<double> ranks(static_cast<size_t>(bsz));
+    const int64_t grain = std::max<int64_t>(1, 4096 / std::max<int64_t>(1, n));
+    ParallelFor(0, bsz, grain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const Query& q = queries[start + static_cast<size_t>(i)];
+        const float* row = scores.data() + i * n;
+        ranks[static_cast<size_t>(i)] =
+            FilteredRank(row, n, q.target, filter_.Tails(q.head, q.rel));
+      }
+    });
+    for (double r : ranks) metrics.AddRank(r);
   }
   model->SetTraining(was_training);
   return metrics;

@@ -4,10 +4,23 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 
 namespace came::tensor {
 
 namespace {
+
+// Minimum scalar ops per ParallelFor chunk; ranges below this stay serial.
+// Fixed (never derived from the thread count) so chunk boundaries — and
+// therefore results — are identical at every CAME_NUM_THREADS setting.
+constexpr int64_t kElementwiseGrain = 1 << 15;
+
+// Row grain for row-blocked kernels: enough rows that one chunk covers
+// ~kElementwiseGrain scalar ops of per-row cost.
+int64_t RowGrain(int64_t per_row_cost) {
+  return std::max<int64_t>(
+      1, kElementwiseGrain / std::max<int64_t>(1, per_row_cost));
+}
 
 // Pads `shape` on the left with 1s to `ndim` dims.
 Shape PadShape(const Shape& shape, size_t ndim) {
@@ -38,8 +51,10 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F op) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
+    ParallelFor(0, a.numel(), kElementwiseGrain,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) po[i] = op(pa[i], pb[i]);
+                });
     return out;
   }
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
@@ -54,24 +69,35 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F op) {
   const float* pa = a.data();
   const float* pb = b.data();
 
-  std::vector<int64_t> idx(nd, 0);
   const int64_t n = out.numel();
-  int64_t off_a = 0;
-  int64_t off_b = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = op(pa[off_a], pb[off_b]);
-    // Odometer increment.
+  ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    // Seed the odometer at linear index `lo`.
+    std::vector<int64_t> idx(nd, 0);
+    int64_t off_a = 0;
+    int64_t off_b = 0;
+    int64_t rem = lo;
     for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
       const auto du = static_cast<size_t>(d);
-      ++idx[du];
-      off_a += stra[du];
-      off_b += strb[du];
-      if (idx[du] < out_shape[du]) break;
-      off_a -= stra[du] * out_shape[du];
-      off_b -= strb[du] * out_shape[du];
-      idx[du] = 0;
+      idx[du] = rem % out_shape[du];
+      rem /= out_shape[du];
+      off_a += idx[du] * stra[du];
+      off_b += idx[du] * strb[du];
     }
-  }
+    for (int64_t i = lo; i < hi; ++i) {
+      po[i] = op(pa[off_a], pb[off_b]);
+      // Odometer increment.
+      for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
+        const auto du = static_cast<size_t>(d);
+        ++idx[du];
+        off_a += stra[du];
+        off_b += strb[du];
+        if (idx[du] < out_shape[du]) break;
+        off_a -= stra[du] * out_shape[du];
+        off_b -= strb[du] * out_shape[du];
+        idx[du] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -80,8 +106,9 @@ Tensor Unary(const Tensor& t, F op) {
   Tensor out(t.shape());
   const float* pi = t.data();
   float* po = out.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = op(pi[i]);
+  ParallelFor(0, t.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = op(pi[i]);
+  });
   return out;
 }
 
@@ -162,8 +189,9 @@ void Axpy(float alpha, const Tensor& x, Tensor* y) {
   CAME_CHECK(SameShape(x.shape(), y->shape()));
   const float* px = x.data();
   float* py = y->data();
-  const int64_t n = x.numel();
-  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  ParallelFor(0, x.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] += alpha * px[i];
+  });
 }
 
 Tensor Neg(const Tensor& t) {
@@ -212,32 +240,40 @@ namespace {
 
 // C[m,n] += A_block * B_block with explicit index maps for transposes.
 // Plain ikj loop: cache-friendly for row-major operands without copies.
+// Row-blocked across the worker pool: each chunk owns a contiguous band of
+// output rows, so chunks never write the same cache line and the result is
+// bitwise-identical to the serial loop at any thread count.
 void MatMulInto(const float* a, const float* b, float* c, int64_t m, int64_t k,
                 int64_t n, bool trans_a, bool trans_b) {
   auto a_at = [&](int64_t i, int64_t p) {
     return trans_a ? a[p * m + i] : a[i * k + p];
   };
+  const int64_t grain = RowGrain(k * n);
   if (!trans_b) {
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * n;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = a_at(i, p);
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    ParallelFor(0, m, grain, [&](int64_t row_lo, int64_t row_hi) {
+      for (int64_t i = row_lo; i < row_hi; ++i) {
+        float* crow = c + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = a_at(i, p);
+          if (av == 0.0f) continue;
+          const float* brow = b + p * n;
+          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
       }
-    }
+    });
   } else {
     // B is [n, k] accessed as B^T: dot products of rows.
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += a_at(i, p) * brow[p];
-        crow[j] += acc;
+    ParallelFor(0, m, grain, [&](int64_t row_lo, int64_t row_hi) {
+      for (int64_t i = row_lo; i < row_hi; ++i) {
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) {
+          const float* brow = b + j * k;
+          float acc = 0.0f;
+          for (int64_t p = 0; p < k; ++p) acc += a_at(i, p) * brow[p];
+          crow[j] += acc;
+        }
       }
-    }
+    });
   }
 }
 
@@ -273,10 +309,14 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
   const int64_t a_stride = a.dim(1) * a.dim(2);
   const int64_t b_stride = b.dim(1) * b.dim(2);
   const int64_t c_stride = m * n;
-  for (int64_t i = 0; i < batch; ++i) {
-    MatMulInto(a.data() + i * a_stride, b.data() + i * b_stride,
-               c.data() + i * c_stride, m, k, n, trans_a, trans_b);
-  }
+  // Parallel across batch items (each writes its own output slab); the
+  // nested MatMulInto detects it is inside a chunk and runs serially.
+  ParallelFor(0, batch, RowGrain(m * k * n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      MatMulInto(a.data() + i * a_stride, b.data() + i * b_stride,
+                 c.data() + i * c_stride, m, k, n, trans_a, trans_b);
+    }
+  });
   return c;
 }
 
@@ -513,7 +553,8 @@ Tensor Im2Col(const Tensor& input, int64_t kh, int64_t kw, int64_t pad) {
   const float* pi = input.data();
   float* po = cols.data();
   const int64_t col_stride = c * kh * kw * out_h * out_w;
-  for (int64_t bi = 0; bi < b; ++bi) {
+  ParallelFor(0, b, RowGrain(col_stride), [&](int64_t b_lo, int64_t b_hi) {
+  for (int64_t bi = b_lo; bi < b_hi; ++bi) {
     float* col = po + bi * col_stride;
     const float* img = pi + bi * c * h * w;
     int64_t row = 0;
@@ -535,6 +576,7 @@ Tensor Im2Col(const Tensor& input, int64_t kh, int64_t kw, int64_t pad) {
       }
     }
   }
+  });
   return cols;
 }
 
@@ -550,7 +592,9 @@ Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
   const float* pc = cols.data();
   float* po = img.data();
   const int64_t col_stride = channels * kh * kw * out_h * out_w;
-  for (int64_t bi = 0; bi < batch; ++bi) {
+  ParallelFor(0, batch, RowGrain(col_stride),
+              [&](int64_t b_lo, int64_t b_hi) {
+  for (int64_t bi = b_lo; bi < b_hi; ++bi) {
     const float* col = pc + bi * col_stride;
     float* out = po + bi * channels * h * w;
     int64_t row = 0;
@@ -571,6 +615,7 @@ Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
       }
     }
   }
+  });
   return img;
 }
 

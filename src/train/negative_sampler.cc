@@ -10,8 +10,8 @@ NegativeSampler::NegativeSampler(const kg::FilterIndex* filter,
   CAME_CHECK_GT(num_entities, 0);
 }
 
-void NegativeSampler::Sample(int64_t head, int64_t rel, int64_t k,
-                             std::vector<int64_t>* out) {
+void NegativeSampler::AppendSamples(int64_t head, int64_t rel, int64_t k,
+                                    std::vector<int64_t>* out) {
   for (int64_t i = 0; i < k; ++i) {
     int64_t candidate = 0;
     // Rejection sampling with a bounded number of retries; in the worst

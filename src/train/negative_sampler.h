@@ -19,9 +19,16 @@ class NegativeSampler {
   NegativeSampler(const kg::FilterIndex* filter, int64_t num_entities,
                   uint64_t seed);
 
-  /// Appends `k` negative tails for (head, rel) to `out`.
-  void Sample(int64_t head, int64_t rel, int64_t k,
-              std::vector<int64_t>* out);
+  /// Appends `k` negative tails for (head, rel) to `out` — existing
+  /// contents are preserved, never cleared, so a caller can accumulate
+  /// the negatives of a whole batch into one vector (as the trainer
+  /// does). Callers wanting a fresh batch must clear `out` themselves.
+  /// Each draw rejection-samples up to 16 times against the filter; a
+  /// hub entity whose known tails cover almost the whole entity set can
+  /// exhaust the retries, in which case the last draw is kept even if it
+  /// is a known true tail (bounded work beats an unbounded loop).
+  void AppendSamples(int64_t head, int64_t rel, int64_t k,
+                     std::vector<int64_t>* out);
 
  private:
   const kg::FilterIndex* filter_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "tensor/tensor_ops.h"
 
 namespace came::train {
@@ -49,7 +50,12 @@ eval::Metrics Trainer::TrainWithBestValidation(
     if ((e + 1) % eval_every != 0 && e + 1 != config_.epochs) continue;
     const eval::Metrics m =
         evaluator.Evaluate(model_, dataset_.valid, ec);
-    if (best_snapshot.empty() || m.Hits10() > best.Hits10()) {
+    // The paper selects checkpoints on validation MRR; Hits@10 only
+    // breaks exact MRR ties.
+    const bool improved =
+        best_snapshot.empty() || m.Mrr() > best.Mrr() ||
+        (m.Mrr() == best.Mrr() && m.Hits10() > best.Hits10());
+    if (improved) {
       best = m;
       best_snapshot = model_->SnapshotParameters();
     }
@@ -97,14 +103,19 @@ float Trainer::OneToNEpoch() {
     tensor::Tensor labels =
         tensor::Tensor::Full({b, n_entities}, off_value);
     for (size_t i = start; i < end; ++i) {
-      const kg::Triple& t = train_[i];
-      heads.push_back(t.head);
-      rels.push_back(t.rel);
-      const int64_t row = static_cast<int64_t>(i - start);
-      for (int64_t tail : train_filter_.Tails(t.head, t.rel)) {
-        labels.data()[row * n_entities + tail] = on_value;
-      }
+      heads.push_back(train_[i].head);
+      rels.push_back(train_[i].rel);
     }
+    // Rows of the multi-label target are independent slabs; scatter the
+    // known tails across the pool (reads of the filter index are const).
+    ParallelFor(0, b, /*grain=*/16, [&](int64_t lo, int64_t hi) {
+      for (int64_t row = lo; row < hi; ++row) {
+        const kg::Triple& t = train_[start + static_cast<size_t>(row)];
+        for (int64_t tail : train_filter_.Tails(t.head, t.rel)) {
+          labels.data()[row * n_entities + tail] = on_value;
+        }
+      }
+    });
     ag::Var scores = model_->ScoreAllTails(heads, rels);
     ag::Var loss = ag::BceWithLogitsMean(scores, labels);
     optimizer_->ZeroGrad();
@@ -139,7 +150,7 @@ float Trainer::NegativeSamplingEpoch(bool self_adversarial) {
       heads.push_back(t.head);
       rels.push_back(t.rel);
       tails.push_back(t.tail);
-      sampler_.Sample(t.head, t.rel, k, &neg_tails);
+      sampler_.AppendSamples(t.head, t.rel, k, &neg_tails);
       for (int64_t j = 0; j < k; ++j) {
         rep_heads.push_back(t.head);
         rep_rels.push_back(t.rel);

@@ -61,10 +61,11 @@ class Trainer {
   float RunEpoch();
 
   /// The paper's model-selection protocol (Section V-B): trains
-  /// config.epochs epochs, evaluates validation Hits@10 every
-  /// `eval_every` epochs (on up to `valid_sample` triples; -1 = all),
-  /// keeps the best parameter snapshot and restores it when training
-  /// ends. Returns the best validation metrics.
+  /// config.epochs epochs, evaluates validation MRR every `eval_every`
+  /// epochs (on up to `valid_sample` triples; -1 = all), keeps the
+  /// best-MRR parameter snapshot (Hits@10 breaks exact ties) and
+  /// restores it when training ends. Returns the best validation
+  /// metrics.
   eval::Metrics TrainWithBestValidation(const eval::Evaluator& evaluator,
                                         int eval_every = 5,
                                         int64_t valid_sample = -1,

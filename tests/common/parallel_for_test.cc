@@ -1,0 +1,183 @@
+// Unit tests for the worker-pool ParallelFor primitive: exact static
+// partitioning, bitwise determinism across thread counts, serial
+// degradation, nesting, and exception propagation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/random.h"
+#include "tensor/tensor_ops.h"
+
+namespace came {
+namespace {
+
+// Every test leaves the pool at 1 thread so unrelated suites in this
+// binary keep exercising the serial paths they were written against.
+class ParallelForTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetNumThreads(1); }
+};
+
+// Runs fn over the range and returns the chunks it was handed, sorted.
+std::vector<std::pair<int64_t, int64_t>> CollectChunks(int64_t begin,
+                                                       int64_t end,
+                                                       int64_t grain) {
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST_F(ParallelForTest, ChunksTileTheRangeExactly) {
+  SetNumThreads(4);
+  for (const auto& [begin, end, grain] :
+       std::vector<std::tuple<int64_t, int64_t, int64_t>>{
+           {0, 100, 7}, {0, 100, 1}, {5, 32, 8}, {0, 1, 1}, {-10, 10, 3}}) {
+    const auto chunks = CollectChunks(begin, end, grain);
+    ASSERT_FALSE(chunks.empty());
+    EXPECT_EQ(chunks.front().first, begin);
+    EXPECT_EQ(chunks.back().second, end);
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      EXPECT_LT(chunks[i].first, chunks[i].second);
+      EXPECT_LE(chunks[i].second - chunks[i].first, grain);
+      if (i > 0) {
+        EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+      }
+    }
+  }
+}
+
+TEST_F(ParallelForTest, PartitionIsIndependentOfThreadCount) {
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> per_count;
+  for (int threads : {1, 2, 3, 8}) {
+    SetNumThreads(threads);
+    per_count.push_back(CollectChunks(0, 1000, 13));
+  }
+  for (size_t i = 1; i < per_count.size(); ++i) {
+    EXPECT_EQ(per_count[i], per_count[0]) << "thread-count run " << i;
+  }
+}
+
+TEST_F(ParallelForTest, EveryIndexVisitedExactlyOnce) {
+  SetNumThreads(4);
+  std::vector<int> visits(977, 0);
+  ParallelFor(0, 977, 10, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) ++visits[static_cast<size_t>(i)];
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST_F(ParallelForTest, EmptyRangeNeverInvokes) {
+  SetNumThreads(4);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 2, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ParallelForTest, SingleChunkRunsInline) {
+  SetNumThreads(4);
+  int calls = 0;
+  ParallelFor(0, 10, 100, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelForTest, SerialPathWalksTheSameChunkGrid) {
+  SetNumThreads(4);
+  const auto parallel_chunks = CollectChunks(0, 100, 9);
+  SetNumThreads(1);
+  const auto serial_chunks = CollectChunks(0, 100, 9);
+  EXPECT_EQ(serial_chunks, parallel_chunks);
+}
+
+TEST_F(ParallelForTest, MatMulIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(77);
+  tensor::Tensor a({64, 96});
+  tensor::Tensor b({96, 80});
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a.data()[i] = static_cast<float>(rng.Normal());
+  }
+  for (int64_t i = 0; i < b.numel(); ++i) {
+    b.data()[i] = static_cast<float>(rng.Normal());
+  }
+  SetNumThreads(1);
+  const tensor::Tensor serial = tensor::MatMul(a, b);
+  const tensor::Tensor serial_t = tensor::MatMul(a, b, false, false);
+  ASSERT_EQ(std::memcmp(serial.data(), serial_t.data(),
+                        sizeof(float) * static_cast<size_t>(serial.numel())),
+            0);
+  for (int threads : {2, 3, 7}) {
+    SetNumThreads(threads);
+    const tensor::Tensor parallel = tensor::MatMul(a, b);
+    EXPECT_EQ(
+        std::memcmp(serial.data(), parallel.data(),
+                    sizeof(float) * static_cast<size_t>(serial.numel())),
+        0)
+        << "threads=" << threads;
+    // trans_b branch: MatMul(a, b^T) with trans_b hits the dot-product path.
+    const tensor::Tensor bt = tensor::Transpose2D(b);
+    const tensor::Tensor parallel_tb = tensor::MatMul(a, bt, false, true);
+    EXPECT_EQ(
+        std::memcmp(serial.data(), parallel_tb.data(),
+                    sizeof(float) * static_cast<size_t>(serial.numel())),
+        0)
+        << "threads=" << threads << " (trans_b)";
+  }
+}
+
+TEST_F(ParallelForTest, NestedCallDegradesToSerialWithoutDeadlock) {
+  SetNumThreads(4);
+  std::vector<int> visits(40 * 25, 0);
+  ParallelFor(0, 40, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t outer = lo; outer < hi; ++outer) {
+      ParallelFor(0, 25, 1, [&](int64_t ilo, int64_t ihi) {
+        for (int64_t inner = ilo; inner < ihi; ++inner) {
+          ++visits[static_cast<size_t>(outer * 25 + inner)];
+        }
+      });
+    }
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST_F(ParallelForTest, WorkerExceptionPropagatesToCaller) {
+  SetNumThreads(4);
+  EXPECT_THROW(ParallelFor(0, 100, 1,
+                           [&](int64_t lo, int64_t) {
+                             if (lo == 57) {
+                               throw std::runtime_error("chunk 57 failed");
+                             }
+                           }),
+               std::runtime_error);
+  // The pool must survive a failed task and run the next one normally.
+  std::vector<int> visits(64, 0);
+  ParallelFor(0, 64, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) ++visits[static_cast<size_t>(i)];
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST_F(ParallelForTest, SetNumThreadsClampsToOne) {
+  SetNumThreads(-3);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(2);
+  EXPECT_EQ(NumThreads(), 2);
+}
+
+}  // namespace
+}  // namespace came

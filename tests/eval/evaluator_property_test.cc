@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "baselines/kgc_model.h"
@@ -137,6 +138,51 @@ TEST(EvaluatorInvariantTest, BatchSizeDoesNotChangeMetrics) {
   const Metrics b = evaluator.Evaluate(&model, ds.test, large);
   EXPECT_NEAR(a.Mrr(), b.Mrr(), 1e-9);
   EXPECT_EQ(a.hits10, b.hits10);
+}
+
+// Regression: a model whose scores are NaN (e.g. diverged training) used
+// to rank every target FIRST — each `s > s_target` / `s == s_target`
+// comparison against a NaN target is false — and report perfect MRR. A
+// NaN target score must rank worst instead.
+TEST(EvaluatorInvariantTest, NanScoresRankWorstNotFirst) {
+  datagen::GeneratedBkg bkg =
+      datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.05));
+  const kg::Dataset& ds = bkg.dataset;
+  baselines::ModelContext ctx;
+  ctx.num_entities = ds.num_entities();
+  ctx.num_relations = ds.num_relations_with_inverses();
+
+  struct NanModel : baselines::KgcModel {
+    explicit NanModel(const baselines::ModelContext& c) : KgcModel(c) {}
+    std::string Name() const override { return "NaN"; }
+    baselines::TrainingRegime regime() const override {
+      return baselines::TrainingRegime::kOneToN;
+    }
+    ag::Var ScoreTriples(const std::vector<int64_t>&,
+                         const std::vector<int64_t>&,
+                         const std::vector<int64_t>& t) override {
+      return ag::Const(tensor::Tensor::Full(
+          {static_cast<int64_t>(t.size())},
+          std::numeric_limits<float>::quiet_NaN()));
+    }
+    ag::Var ScoreAllTails(const std::vector<int64_t>& h,
+                          const std::vector<int64_t>&) override {
+      return ag::Const(tensor::Tensor::Full(
+          {static_cast<int64_t>(h.size()), num_entities()},
+          std::numeric_limits<float>::quiet_NaN()));
+    }
+  } model(ctx);
+
+  Evaluator evaluator(ds);
+  EvalConfig ec;
+  ec.max_triples = 50;
+  const Metrics m = evaluator.Evaluate(&model, ds.test, ec);
+  EXPECT_EQ(m.hits1, 0);
+  EXPECT_EQ(m.hits10, 0);
+  // Every rank is 1 + n - |filtered|, i.e. essentially last among the
+  // unfiltered candidates.
+  EXPECT_GT(m.Mr(), 0.9 * static_cast<double>(ds.num_entities()));
+  EXPECT_LT(m.Mrr(), 5.0);  // percentage scale: far from the old 100.0
 }
 
 TEST(EvaluatorInvariantTest, RanksAreWithinBounds) {

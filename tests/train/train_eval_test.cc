@@ -64,7 +64,7 @@ TEST(NegativeSamplerTest, AvoidsKnownTails) {
   filter.AddTriples({{0, 0, 0}, {0, 0, 1}, {0, 0, 2}, {0, 0, 3}});
   train::NegativeSampler sampler(&filter, 5, 3);
   std::vector<int64_t> negs;
-  sampler.Sample(0, 0, 50, &negs);
+  sampler.AppendSamples(0, 0, 50, &negs);
   int escaped = 0;
   for (int64_t n : negs) escaped += n != 4;
   // With 16 retries per draw, nearly every sample should be entity 4.
@@ -74,11 +74,45 @@ TEST(NegativeSamplerTest, AvoidsKnownTails) {
 TEST(NegativeSamplerTest, UnfilteredCoversRange) {
   train::NegativeSampler sampler(nullptr, 10, 5);
   std::vector<int64_t> negs;
-  sampler.Sample(0, 0, 200, &negs);
+  sampler.AppendSamples(0, 0, 200, &negs);
   EXPECT_EQ(negs.size(), 200u);
   for (int64_t n : negs) {
     EXPECT_GE(n, 0);
     EXPECT_LT(n, 10);
+  }
+}
+
+TEST(NegativeSamplerTest, AppendPreservesExistingContents) {
+  // The append contract is explicit: accumulating a whole batch into one
+  // vector must never clobber earlier entries.
+  train::NegativeSampler sampler(nullptr, 10, 5);
+  std::vector<int64_t> negs = {101, 102, 103};
+  sampler.AppendSamples(0, 0, 5, &negs);
+  ASSERT_EQ(negs.size(), 8u);
+  EXPECT_EQ(negs[0], 101);
+  EXPECT_EQ(negs[1], 102);
+  EXPECT_EQ(negs[2], 103);
+  for (size_t i = 3; i < negs.size(); ++i) {
+    EXPECT_GE(negs[i], 0);
+    EXPECT_LT(negs[i], 10);
+  }
+}
+
+TEST(NegativeSamplerTest, HubEntityFallbackStaysBoundedAndInRange) {
+  kg::FilterIndex filter(4, 1);
+  // (0, 0) connects to every entity, so rejection sampling can never
+  // succeed and each draw must take the 16-retry fallback.
+  filter.AddTriples({{0, 0, 0}, {0, 0, 1}, {0, 0, 2}, {0, 0, 3}});
+  train::NegativeSampler sampler(&filter, 4, 9);
+  std::vector<int64_t> negs;
+  sampler.AppendSamples(0, 0, 64, &negs);
+  ASSERT_EQ(negs.size(), 64u);
+  for (int64_t n : negs) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 4);
+    // Every sample is necessarily a known tail: the fallback keeps the
+    // last draw instead of looping forever.
+    EXPECT_TRUE(filter.Contains(0, 0, n));
   }
 }
 
@@ -244,6 +278,89 @@ TEST_F(TrainEvalFixture, BestValidationCheckpointIsKept) {
   const eval::Metrics after =
       evaluator.Evaluate(model.get(), bkg_->dataset.valid, ec);
   EXPECT_NEAR(after.Hits10(), best.Hits10(), 1e-6);
+}
+
+// Scripted model for the checkpoint-selection regression test below. Its
+// validation landscape is controlled per evaluation round: round 1 puts
+// every target at rank 4 (MRR 25, Hits@10 100), round 2 at rank 2 (MRR
+// 50, Hits@10 100). MRR and the old Hits@10-based criterion disagree:
+// Hits@10 sees no improvement in round 2 and would keep round 1's
+// snapshot, while the paper's MRR criterion must keep round 2's. The
+// `marker` parameter records the round a snapshot was taken in.
+class ScriptedEvalModel : public baselines::KgcModel {
+ public:
+  ScriptedEvalModel(const baselines::ModelContext& ctx,
+                    const kg::FilterIndex* filter)
+      : KgcModel(ctx), filter_(filter) {
+    marker_ = RegisterParameter("marker", tensor::Tensor::Zeros({1}));
+  }
+  std::string Name() const override { return "ScriptedEval"; }
+  baselines::TrainingRegime regime() const override {
+    return baselines::TrainingRegime::kOneToN;
+  }
+
+  float marker() const { return marker_.value().data()[0]; }
+
+  ag::Var ScoreTriples(const std::vector<int64_t>&,
+                       const std::vector<int64_t>&,
+                       const std::vector<int64_t>& t) override {
+    return ag::Const(
+        tensor::Tensor::Zeros({static_cast<int64_t>(t.size())}));
+  }
+
+  ag::Var ScoreAllTails(const std::vector<int64_t>& h,
+                        const std::vector<int64_t>& r) override {
+    const int64_t b = static_cast<int64_t>(h.size());
+    if (training()) {
+      // One training batch per epoch (the test uses a huge batch size);
+      // counting them tells us which evaluation round comes next.
+      ++epochs_seen_;
+      // Differentiable zeros keep the 1-to-N training loop functional.
+      return ag::Mul(marker_,
+                     ag::Const(tensor::Tensor::Zeros({b, num_entities()})));
+    }
+    marker_.mutable_value().data()[0] = static_cast<float>(epochs_seen_);
+    // Rank of every target = 1 + boosted: true tails score 10, `boosted`
+    // non-true entities score 20, the rest 0 (other true tails are
+    // filtered out of the ranking).
+    const int64_t boosted = epochs_seen_ <= 1 ? 3 : 1;
+    tensor::Tensor scores({b, num_entities()});
+    for (int64_t i = 0; i < b; ++i) {
+      float* row = scores.data() + i * num_entities();
+      const std::vector<int64_t>& tails = filter_->Tails(h[i], r[i]);
+      for (int64_t t : tails) row[t] = 10.0f;
+      int64_t need = boosted;
+      for (int64_t t = num_entities() - 1; t >= 0 && need > 0; --t) {
+        if (row[t] == 0.0f) {
+          row[t] = 20.0f;
+          --need;
+        }
+      }
+    }
+    return ag::Const(scores);
+  }
+
+ private:
+  const kg::FilterIndex* filter_;
+  ag::Var marker_;
+  int epochs_seen_ = 0;
+};
+
+TEST_F(TrainEvalFixture, BestValidationSelectsOnMrrNotHits10) {
+  eval::Evaluator evaluator(bkg_->dataset);
+  ScriptedEvalModel model(Context(), &evaluator.filter());
+  train::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 1 << 30;  // whole epoch in one batch
+  train::Trainer trainer(&model, bkg_->dataset, cfg);
+  const eval::Metrics best = trainer.TrainWithBestValidation(
+      evaluator, /*eval_every=*/1, /*valid_sample=*/40);
+  // Round 2 (rank 2 everywhere) wins on MRR even though its Hits@10 ties
+  // round 1; the restored snapshot must come from round 2.
+  EXPECT_NEAR(best.Mrr(), 50.0, 1e-6);
+  EXPECT_NEAR(best.Hits10(), 100.0, 1e-6);
+  EXPECT_EQ(best.hits1, 0);
+  EXPECT_FLOAT_EQ(model.marker(), 2.0f);
 }
 
 TEST_F(TrainEvalFixture, GridSearchPicksAMarginAndReturnsModel) {
