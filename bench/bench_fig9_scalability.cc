@@ -4,12 +4,16 @@
 // w/o MS). The expected shape: near-linear growth in KG size, training
 // cost dominated by the TCA operator (w/o TCA and w/o M&R cheapest),
 // testing time roughly variant-independent.
+// Alongside the ASCII tables, writes BENCH_fig9_scalability.json: one
+// record per (fraction, variant) with train/test seconds, so the
+// scalability trajectory is machine-readable across commits.
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/json_writer.h"
 #include "common/stopwatch.h"
 #include "common/table_writer.h"
 
@@ -20,6 +24,40 @@ struct Variant {
   const char* name;
   std::function<void(core::CamEConfig*)> apply;
 };
+
+struct Cell {
+  double fraction;
+  int64_t triples;
+  std::string variant;
+  double train_seconds;
+  double test_seconds;
+};
+
+void WriteFig9Json(const std::string& path, const std::vector<Cell>& cells) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("fig9_scalability");
+  w.Key("rows");
+  w.BeginArray();
+  for (const Cell& c : cells) {
+    w.BeginObject();
+    w.Key("kg_fraction");
+    w.Double(c.fraction);
+    w.Key("train_triples");
+    w.Int(c.triples);
+    w.Key("variant");
+    w.String(c.variant);
+    w.Key("train_seconds");
+    w.Double(c.train_seconds);
+    w.Key("test_seconds");
+    w.Double(c.test_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  if (w.WriteFile(path)) std::printf("wrote %s\n", path.c_str());
+}
 
 }  // namespace
 }  // namespace came
@@ -48,6 +86,7 @@ int main(int argc, char** argv) {
       {"KG size", "triples", "CamE", "w/o MMF", "w/o TCA", "w/o M&R",
        "w/o TD", "w/o MS"});
 
+  std::vector<Cell> cells;
   for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
     bench::BenchEnv env = bench::MakeDrkgEnv(args.scale * fraction);
     if (fraction == 0.25) {
@@ -76,6 +115,9 @@ int main(int argc, char** argv) {
 
       train_row.push_back(TableWriter::Num(train_s, 2));
       test_row.push_back(TableWriter::Num(test_s, 2));
+      cells.push_back({fraction,
+                       static_cast<int64_t>(env.bkg.dataset.train.size()),
+                       variant.name, train_s, test_s});
       std::printf("  %3.0f%% %-12s train=%.2fs test=%.2fs\n", 100 * fraction,
                   variant.name, train_s, test_s);
       std::fflush(stdout);
@@ -88,5 +130,6 @@ int main(int argc, char** argv) {
               train_table.ToAscii().c_str());
   std::printf("\nFig 9 — testing seconds (full test set):\n%s",
               test_table.ToAscii().c_str());
+  WriteFig9Json("BENCH_fig9_scalability.json", cells);
   return 0;
 }

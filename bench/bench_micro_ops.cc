@@ -2,17 +2,36 @@
 // dominate CamE training per the RQ7 scalability analysis — GEMM, batched
 // attention, the fused co-attention kernel, the TCA/MMF modules, and the
 // convolutional decoder.
+//
+// Besides the human-readable google-benchmark table, the binary writes a
+// machine-readable trajectory file (default BENCH_micro_ops.json, override
+// with --json_out=PATH) holding GFLOP/s per GEMM shape for each available
+// kernel — including the retained reference ikj loop, so the speedup of
+// the blocked SGEMM subsystem is recorded per commit — plus the latency of
+// a full filtered-ranking eval batch.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "baselines/model_zoo.h"
+#include "common/json_writer.h"
+#include "common/logging.h"
 #include "common/parallel_for.h"
+#include "common/stopwatch.h"
 #include "core/mmf.h"
 #include "core/tca.h"
 #include "datagen/bkg_generator.h"
 #include "eval/evaluator.h"
 #include "nn/init.h"
 #include "nn/layers.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace came {
@@ -222,7 +241,163 @@ void BM_EvalOneToNBatchThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_EvalOneToNBatchThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+// --- machine-readable trajectory (BENCH_micro_ops.json) ----------------
+
+// Best-of-several wall time for one call of `fn`, in seconds. Warms up
+// once, then repeats until ~0.3 s total (at least 3 reps) and keeps the
+// minimum — the standard microbench estimator, robust to scheduler noise.
+template <typename Fn>
+double BestSeconds(const Fn& fn) {
+  fn();  // warm-up (pack buffers, page in operands)
+  double best = 1e30;
+  double total = 0.0;
+  for (int rep = 0; rep < 50 && (rep < 3 || total < 0.3); ++rep) {
+    Stopwatch sw;
+    fn();
+    const double s = sw.ElapsedSeconds();
+    best = std::min(best, s);
+    total += s;
+  }
+  return best;
+}
+
+// GFLOP/s for one (shape, kernel, threads) cell; kernel==nullopt-style
+// empty string means the reference ikj loop.
+void EmitGemmCell(JsonWriter* w, int64_t m, int64_t k, int64_t n,
+                  const std::string& kernel, int threads, double seconds,
+                  double ref_seconds) {
+  const double gflops = 2.0 * static_cast<double>(m * k * n) / seconds / 1e9;
+  w->BeginObject();
+  w->Key("m");
+  w->Int(m);
+  w->Key("k");
+  w->Int(k);
+  w->Key("n");
+  w->Int(n);
+  w->Key("kernel");
+  w->String(kernel);
+  w->Key("threads");
+  w->Int(threads);
+  w->Key("ms");
+  w->Double(seconds * 1e3);
+  w->Key("gflops");
+  w->Double(gflops);
+  if (ref_seconds > 0.0) {
+    w->Key("speedup_vs_reference");
+    w->Double(ref_seconds / seconds);
+  }
+  w->EndObject();
+}
+
 }  // namespace
+
+// Outside the anonymous namespace so main() below can name it.
+void WriteMicroOpsJson(const std::string& path) {
+  namespace gemm = ts::gemm;
+  const std::vector<int> thread_counts =
+      kDefaultThreads == 1 ? std::vector<int>{1}
+                           : std::vector<int>{1, kDefaultThreads};
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("micro_ops");
+  w.Key("default_threads");
+  w.Int(kDefaultThreads);
+
+  // GEMM GFLOP/s per shape: reference ikj at 1 thread, then every kernel
+  // available on this machine at 1 and kDefaultThreads threads.
+  w.Key("gemm");
+  w.BeginArray();
+  const std::vector<std::array<int64_t, 3>> shapes = {
+      {128, 128, 128}, {256, 256, 256}, {512, 512, 512}, {300, 257, 301}};
+  for (const auto& [m, k, n] : shapes) {
+    ts::Tensor a = RandomTensor({m, k}, 25);
+    ts::Tensor b = RandomTensor({k, n}, 26);
+    ts::Tensor c({m, n});
+    const double ref_s = BestSeconds([&] {
+      gemm::ReferenceGemm(a.data(), b.data(), c.data(), m, k, n, false,
+                          false, /*accumulate=*/false);
+    });
+    EmitGemmCell(&w, m, k, n, "reference", 1, ref_s, 0.0);
+    for (const gemm::Kernel kern :
+         {gemm::Kernel::kScalar, gemm::Kernel::kAvx2,
+          gemm::Kernel::kAvx512}) {
+      gemm::SetKernel(kern);
+      if (gemm::ActiveKernel() != kern) continue;  // unavailable here
+      for (const int threads : thread_counts) {
+        SetNumThreads(threads);
+        const double s = BestSeconds([&] {
+          gemm::Gemm(a.data(), b.data(), c.data(), m, k, n, false, false,
+                     /*accumulate=*/false);
+        });
+        EmitGemmCell(&w, m, k, n, gemm::KernelName(kern), threads, s,
+                     threads == 1 ? ref_s : 0.0);
+      }
+      SetNumThreads(kDefaultThreads);
+    }
+    gemm::SetKernel(gemm::Kernel::kAuto);
+  }
+  w.EndArray();
+
+  // One filtered-ranking evaluation batch (the BM_EvalOneToNBatchThreads
+  // workload) at 1 and kDefaultThreads threads.
+  w.Key("eval_one_to_n");
+  w.BeginArray();
+  {
+    datagen::GeneratedBkg bkg(
+        datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.1)));
+    eval::Evaluator evaluator(bkg.dataset);
+    baselines::ModelContext ctx;
+    ctx.num_entities = bkg.dataset.num_entities();
+    ctx.num_relations = bkg.dataset.num_relations_with_inverses();
+    ctx.train_triples = &bkg.dataset.train;
+    baselines::ZooOptions zoo;
+    zoo.dim = 64;
+    std::unique_ptr<baselines::KgcModel> model =
+        baselines::CreateModel("DistMult", ctx, zoo);
+    eval::EvalConfig ec;
+    ec.max_triples = 64;
+    for (const int threads : thread_counts) {
+      SetNumThreads(threads);
+      const double s = BestSeconds(
+          [&] { evaluator.Evaluate(model.get(), bkg.dataset.test, ec); });
+      w.BeginObject();
+      w.Key("threads");
+      w.Int(threads);
+      w.Key("ms");
+      w.Double(s * 1e3);
+      w.EndObject();
+    }
+    SetNumThreads(kDefaultThreads);
+  }
+  w.EndArray();
+
+  w.EndObject();
+  if (w.WriteFile(path)) {
+    CAME_LOG(Info) << "wrote " << path;
+  }
+}
+
 }  // namespace came
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  // Our own flags come after google-benchmark consumed its recognised ones.
+  std::string json_out = "BENCH_micro_ops.json";
+  bool write_json = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      json_out = arg.substr(std::strlen("--json_out="));
+    } else if (arg == "--no_json") {
+      write_json = false;
+    } else {
+      std::fprintf(stderr, "unrecognised flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (write_json) came::WriteMicroOpsJson(json_out);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -56,6 +56,12 @@ Tensor Var::grad() const {
   return state_->grad;
 }
 
+Tensor& Var::mutable_grad() {
+  CAME_CHECK(defined());
+  CAME_CHECK(state_->has_grad) << "mutable_grad() before any backward pass";
+  return state_->grad;
+}
+
 bool Var::has_grad() const { return defined() && state_->has_grad; }
 
 void Var::ZeroGrad() {

@@ -58,8 +58,14 @@ class Var {
   int64_t numel() const { return value().numel(); }
 
   bool requires_grad() const;
-  /// Gradient tensor; zeros if backward has not reached this Var.
+  /// Gradient tensor; zeros if backward has not reached this Var. Callers
+  /// must treat the result as a value: whether it aliases the stored
+  /// accumulator or is a fresh tensor is unspecified. To mutate the stored
+  /// gradient, go through mutable_grad().
   Tensor grad() const;
+  /// Mutable access to the stored gradient accumulator itself (optimizer
+  /// hooks such as gradient clipping). CHECK-fails unless has_grad().
+  Tensor& mutable_grad();
   bool has_grad() const;
   void ZeroGrad();
 

@@ -11,7 +11,13 @@ namespace came {
 /// minimax polynomial for the fractional part (~1e-4 relative error).
 /// Used only where the result feeds a normalised softmax, so the small
 /// relative error cancels; generic tensor ops keep std::exp.
+///
+/// NaN propagates (a diverging attention logit must surface as NaN
+/// downstream, not as garbage); -inf underflows to 0 and +inf saturates
+/// to the finite exp(87) cap like any other out-of-range argument.
 inline float FastExp(float x) {
+  if (std::isnan(x)) return x;  // std::floor(NaN) -> NaN, and casting that
+                                // to int32_t below would be UB
   if (x < -87.0f) return 0.0f;
   if (x > 87.0f) x = 87.0f;
   const float t = x * 1.4426950408889634f;  // x * log2(e)

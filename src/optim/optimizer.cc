@@ -110,7 +110,10 @@ float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {
     const float scale = max_norm / norm;
     for (const auto& p : params) {
       if (!p.has_grad()) continue;
-      tensor::Tensor g = p.grad();  // aliases the stored gradient buffer
+      // Scale through the stored accumulator itself: grad() only promises
+      // a value, so clipping a (potential) copy would silently be a no-op.
+      ag::Var handle = p;  // cheap shared-state handle
+      tensor::Tensor& g = handle.mutable_grad();
       for (int64_t j = 0; j < g.numel(); ++j) g.data()[j] *= scale;
     }
   }

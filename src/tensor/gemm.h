@@ -1,0 +1,68 @@
+#ifndef CAME_TENSOR_GEMM_H_
+#define CAME_TENSOR_GEMM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace came::tensor::gemm {
+
+// ---------------------------------------------------------------------------
+// Single-precision GEMM: C (m x n, row-major) = op(A) * op(B) [+ C].
+//
+// The implementation is a cache-blocked, packed-panel SGEMM with a
+// register-tiled microkernel (see DESIGN.md "GEMM subsystem"). Operands are
+// consumed through their transpose flags by the packing routines, so no
+// transposed copy is ever materialized. Work is distributed over the
+// ParallelFor worker pool with a partition that depends only on the problem
+// shape — never the thread count — so results are bitwise-identical at
+// every CAME_NUM_THREADS setting.
+// ---------------------------------------------------------------------------
+
+/// op(A) is m x k, op(B) is k x n, C is m x n, all dense row-major.
+/// A is m x k (trans_a=false) or k x m (trans_a=true); B is k x n
+/// (trans_b=false) or n x k (trans_b=true). `accumulate=false` overwrites
+/// C; `accumulate=true` adds to it.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool trans_a, bool trans_b, bool accumulate);
+
+/// The retained pre-blocking ikj kernel (serial, unpacked). Kept as the
+/// parity reference for tests and as the before-side of the GEMM benches.
+/// Accumulation order differs from Gemm (straight k-order per output vs
+/// KC-blocked register tiles), so parity is tolerance-based; see
+/// tests/tensor/gemm_test.cc for the policy.
+void ReferenceGemm(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n, bool trans_a, bool trans_b,
+                   bool accumulate);
+
+// ---------------------------------------------------------------------------
+// Microkernel dispatch
+// ---------------------------------------------------------------------------
+
+/// Available microkernel implementations, best-first. Which ones exist in
+/// the binary depends on the compile-time ISA (-march); which one runs is
+/// decided at startup from cpuid, overridable via the CAME_GEMM_KERNEL
+/// environment variable ("avx512" | "avx2" | "scalar" | "auto") or
+/// SetKernel below.
+enum class Kernel {
+  kAuto,    ///< pick the best kernel the CPU and binary support
+  kScalar,  ///< portable blocked C++ (still compiler-autovectorizable)
+  kAvx2,    ///< AVX2 + FMA 6x16 microkernel
+  kAvx512,  ///< AVX-512F 8x32 microkernel
+};
+
+/// The kernel Gemm will actually run (never kAuto). Resolved on first use
+/// from CAME_GEMM_KERNEL, then cpuid; an unavailable request falls back to
+/// the best available kernel with a warning.
+Kernel ActiveKernel();
+
+/// Forces the microkernel at runtime (tests / benches). kAuto restores
+/// cpuid-based selection. Requests for kernels the CPU or binary cannot
+/// run fall back to the best available one.
+void SetKernel(Kernel k);
+
+/// Human-readable name ("avx512", "avx2", "scalar", "auto").
+std::string KernelName(Kernel k);
+
+}  // namespace came::tensor::gemm
+
+#endif  // CAME_TENSOR_GEMM_H_

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "tensor/gemm.h"
 
 namespace came::tensor {
 
@@ -236,49 +237,6 @@ Tensor Abs(const Tensor& t) {
   return Unary(t, [](float x) { return std::fabs(x); });
 }
 
-namespace {
-
-// C[m,n] += A_block * B_block with explicit index maps for transposes.
-// Plain ikj loop: cache-friendly for row-major operands without copies.
-// Row-blocked across the worker pool: each chunk owns a contiguous band of
-// output rows, so chunks never write the same cache line and the result is
-// bitwise-identical to the serial loop at any thread count.
-void MatMulInto(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                int64_t n, bool trans_a, bool trans_b) {
-  auto a_at = [&](int64_t i, int64_t p) {
-    return trans_a ? a[p * m + i] : a[i * k + p];
-  };
-  const int64_t grain = RowGrain(k * n);
-  if (!trans_b) {
-    ParallelFor(0, m, grain, [&](int64_t row_lo, int64_t row_hi) {
-      for (int64_t i = row_lo; i < row_hi; ++i) {
-        float* crow = c + i * n;
-        for (int64_t p = 0; p < k; ++p) {
-          const float av = a_at(i, p);
-          if (av == 0.0f) continue;
-          const float* brow = b + p * n;
-          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    });
-  } else {
-    // B is [n, k] accessed as B^T: dot products of rows.
-    ParallelFor(0, m, grain, [&](int64_t row_lo, int64_t row_hi) {
-      for (int64_t i = row_lo; i < row_hi; ++i) {
-        float* crow = c + i * n;
-        for (int64_t j = 0; j < n; ++j) {
-          const float* brow = b + j * k;
-          float acc = 0.0f;
-          for (int64_t p = 0; p < k; ++p) acc += a_at(i, p) * brow[p];
-          crow[j] += acc;
-        }
-      }
-    });
-  }
-}
-
-}  // namespace
-
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   CAME_CHECK_EQ(a.ndim(), 2);
   CAME_CHECK_EQ(b.ndim(), 2);
@@ -289,7 +247,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   CAME_CHECK_EQ(k, kb) << "matmul inner dim: " << ShapeToString(a.shape())
                        << " x " << ShapeToString(b.shape());
   Tensor c(Shape{m, n});
-  MatMulInto(a.data(), b.data(), c.data(), m, k, n, trans_a, trans_b);
+  gemm::Gemm(a.data(), b.data(), c.data(), m, k, n, trans_a, trans_b,
+             /*accumulate=*/false);
   return c;
 }
 
@@ -310,11 +269,13 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
   const int64_t b_stride = b.dim(1) * b.dim(2);
   const int64_t c_stride = m * n;
   // Parallel across batch items (each writes its own output slab); the
-  // nested MatMulInto detects it is inside a chunk and runs serially.
+  // ParallelFor nested inside Gemm detects it is inside a chunk and runs
+  // that slice serially.
   ParallelFor(0, batch, RowGrain(m * k * n), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      MatMulInto(a.data() + i * a_stride, b.data() + i * b_stride,
-                 c.data() + i * c_stride, m, k, n, trans_a, trans_b);
+      gemm::Gemm(a.data() + i * a_stride, b.data() + i * b_stride,
+                 c.data() + i * c_stride, m, k, n, trans_a, trans_b,
+                 /*accumulate=*/false);
     }
   });
   return c;
@@ -322,8 +283,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
 
 void MatMulRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
                int64_t n, bool trans_a, bool trans_b, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0f);
-  MatMulInto(a, b, c, m, k, n, trans_a, trans_b);
+  gemm::Gemm(a, b, c, m, k, n, trans_a, trans_b, accumulate);
 }
 
 Tensor Transpose2D(const Tensor& t) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace came {
 namespace {
@@ -36,6 +37,34 @@ TEST(FastExpTest, LargePositiveSaturatesFinite) {
 }
 
 TEST(FastExpTest, ExpZeroIsOne) { EXPECT_NEAR(FastExp(0.0f), 1.0f, 1e-4f); }
+
+TEST(FastExpTest, NanPropagates) {
+  // Pre-fix, NaN fell through to std::floor(NaN) -> static_cast<int32_t>,
+  // which is UB and returned an arbitrary finite value, silently masking a
+  // diverged attention logit. The UBSan CI job exercises this path.
+  EXPECT_TRUE(std::isnan(FastExp(std::numeric_limits<float>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(FastExp(-std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(FastExpTest, InfinitiesFollowClampPolicy) {
+  // -inf underflows to exactly 0; +inf saturates at the finite exp(87)
+  // cap (FastExp never returns inf), same as any argument above 87.
+  EXPECT_EQ(FastExp(-std::numeric_limits<float>::infinity()), 0.0f);
+  const float pos = FastExp(std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(std::isfinite(pos));
+  EXPECT_GT(pos, 1e30f);
+  EXPECT_EQ(pos, FastExp(88.0f));  // both clamp to the x=87 value
+}
+
+TEST(FastExpTest, ClampBoundaryIsTight) {
+  // Just inside the clamp window the approximation still tracks exp();
+  // just outside it snaps to the clamp behaviour.
+  EXPECT_NEAR(FastExp(-86.9f) / std::exp(-86.9f), 1.0f, 5e-4f);
+  EXPECT_NEAR(FastExp(86.9f) / std::exp(86.9f), 1.0f, 5e-4f);
+  EXPECT_EQ(FastExp(-87.1f), 0.0f);
+  EXPECT_EQ(FastExp(87.1f), FastExp(87.0f));
+  EXPECT_GT(FastExp(-87.0f), 0.0f);  // the boundary itself is not clamped
+}
 
 TEST(FastExpTest, Monotonic) {
   float prev = FastExp(-10.0f);

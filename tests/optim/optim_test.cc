@@ -96,6 +96,34 @@ TEST(ClipGradNormTest, RescalesLargeGradients) {
   EXPECT_NEAR(std::sqrt(clipped), 1.0, 1e-3);
 }
 
+TEST(ClipGradNormTest, ClipsTheStoredAccumulatorNotACopy) {
+  // Regression: clipping used to mutate the tensor returned by grad(),
+  // silently relying on it aliasing the stored accumulator. Read the
+  // stored gradients back through the autograd state itself and assert
+  // their global norm actually came down to max_norm.
+  ag::Var x(tensor::Tensor::Zeros({8}), true);
+  ag::Var y(tensor::Tensor::Zeros({4}), true);
+  ag::Add(ag::SumAll(ag::Scale(x, 5.0f)), ag::SumAll(ag::Scale(y, -7.0f)))
+      .Backward();
+  const float max_norm = 2.0f;
+  ClipGradNorm({x, y}, max_norm);
+  double stored = 0.0;
+  for (const ag::Var& v : {x, y}) {
+    const tensor::Tensor& g = v.state()->grad;  // the accumulator itself
+    for (int64_t j = 0; j < g.numel(); ++j) {
+      stored += static_cast<double>(g.data()[j]) * g.data()[j];
+    }
+  }
+  EXPECT_NEAR(std::sqrt(stored), max_norm, 1e-4);
+  // mutable_grad() must hand out that same accumulator, not a copy.
+  EXPECT_EQ(x.mutable_grad().data(), x.state()->grad.data());
+}
+
+TEST(ClipGradNormTest, MutableGradBeforeBackwardDies) {
+  ag::Var x(tensor::Tensor::Zeros({2}), true);
+  EXPECT_DEATH(x.mutable_grad(), "backward");
+}
+
 TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
   ag::Var x(tensor::Tensor::Zeros({2}), true);
   ag::SumAll(x).Backward();  // grad = 1 each, norm sqrt(2)

@@ -1,0 +1,205 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/random.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace came::tensor::gemm {
+namespace {
+
+// Tolerance policy (documented in DESIGN.md "GEMM subsystem"): the blocked
+// kernel accumulates each output in KC-sized register-tiled partial sums
+// while the reference accumulates in straight k-order, so results differ
+// by reordered float rounding. For unit-variance operands the per-element
+// error of either order is O(eps * k) in the worst case, so parity is
+// checked against an absolute budget linear in k (the sqrt(k) growth of
+// |c| itself keeps the relative error well below this).
+float ParityTolerance(int64_t k) {
+  return 4e-6f * static_cast<float>(k) + 1e-5f;
+}
+
+void FillNormal(std::vector<float>* v, Rng* rng) {
+  for (float& x : *v) x = static_cast<float>(rng->Normal());
+}
+
+// Runs new-vs-reference parity on one (m, k, n) for all four transpose
+// combinations with accumulate off and on.
+void CheckShape(int64_t m, int64_t k, int64_t n, Rng* rng) {
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  std::vector<float> seed(static_cast<size_t>(m * n));
+  FillNormal(&a, rng);
+  FillNormal(&b, rng);
+  FillNormal(&seed, rng);
+  const float tol = ParityTolerance(k);
+  for (const bool trans_a : {false, true}) {
+    for (const bool trans_b : {false, true}) {
+      for (const bool accumulate : {false, true}) {
+        std::vector<float> ref = seed;
+        std::vector<float> got = seed;
+        ReferenceGemm(a.data(), b.data(), ref.data(), m, k, n, trans_a,
+                      trans_b, accumulate);
+        Gemm(a.data(), b.data(), got.data(), m, k, n, trans_a, trans_b,
+             accumulate);
+        for (int64_t i = 0; i < m * n; ++i) {
+          ASSERT_NEAR(got[static_cast<size_t>(i)], ref[static_cast<size_t>(i)],
+                      tol)
+              << "m=" << m << " k=" << k << " n=" << n << " ta=" << trans_a
+              << " tb=" << trans_b << " acc=" << accumulate << " i=" << i
+              << " kernel=" << KernelName(ActiveKernel());
+        }
+      }
+    }
+  }
+}
+
+void CheckGrid(const std::vector<int64_t>& sizes, uint64_t rng_seed) {
+  Rng rng(rng_seed);
+  for (const int64_t m : sizes) {
+    for (const int64_t k : sizes) {
+      for (const int64_t n : sizes) CheckShape(m, k, n, &rng);
+    }
+  }
+}
+
+// Restores the auto-selected kernel and the ambient pool size when a test
+// exits, however it exits.
+class KernelAndThreadGuard {
+ public:
+  KernelAndThreadGuard() : threads_(NumThreads()) {}
+  ~KernelAndThreadGuard() {
+    SetKernel(Kernel::kAuto);
+    SetNumThreads(threads_);
+  }
+
+ private:
+  int threads_;
+};
+
+TEST(GemmParityTest, AdversarialGridOnActiveKernel) {
+  // Full m/k/n cross product over sizes that hit every edge case: single
+  // rows/columns, sub-tile shapes, exact-tile multiples, off-by-one above
+  // a register tile, and multi-block 512.
+  CheckGrid({1, 3, 7, 64, 129, 512}, /*rng_seed=*/42);
+}
+
+TEST(GemmParityTest, EveryAvailableKernel) {
+  KernelAndThreadGuard guard;
+  for (const Kernel k : {Kernel::kScalar, Kernel::kAvx2, Kernel::kAvx512}) {
+    SetKernel(k);
+    if (ActiveKernel() != k) continue;  // not available on this CPU/binary
+    SCOPED_TRACE("kernel=" + KernelName(k));
+    CheckGrid({1, 7, 129}, /*rng_seed=*/7);
+    CheckShape(512, 512, 512, [] {
+      static Rng rng(11);
+      return &rng;
+    }());
+  }
+}
+
+TEST(GemmDeterminismTest, BitwiseIdenticalAcrossThreadCounts) {
+  KernelAndThreadGuard guard;
+  // Shapes chosen to split into several kMC row blocks (so the pool is
+  // actually exercised) with ragged edges in every dimension.
+  const std::vector<std::array<int64_t, 3>> shapes = {
+      {512, 512, 512}, {300, 257, 301}, {97, 130, 1000}};
+  Rng rng(5);
+  for (const auto& [m, k, n] : shapes) {
+    std::vector<float> a(static_cast<size_t>(m * k));
+    std::vector<float> b(static_cast<size_t>(k * n));
+    FillNormal(&a, &rng);
+    FillNormal(&b, &rng);
+    for (const bool trans_a : {false, true}) {
+      for (const bool trans_b : {false, true}) {
+        SetNumThreads(1);
+        std::vector<float> golden(static_cast<size_t>(m * n));
+        Gemm(a.data(), b.data(), golden.data(), m, k, n, trans_a, trans_b,
+             /*accumulate=*/false);
+        for (const int threads : {2, 4, 8}) {
+          SetNumThreads(threads);
+          std::vector<float> got(static_cast<size_t>(m * n));
+          Gemm(a.data(), b.data(), got.data(), m, k, n, trans_a, trans_b,
+               /*accumulate=*/false);
+          ASSERT_EQ(std::memcmp(golden.data(), got.data(),
+                                golden.size() * sizeof(float)),
+                    0)
+              << "m=" << m << " k=" << k << " n=" << n << " ta=" << trans_a
+              << " tb=" << trans_b << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmDeterminismTest, TensorMatMulIdenticalAcrossThreadCounts) {
+  // End-to-end through the tensor API, including the batched path.
+  KernelAndThreadGuard guard;
+  Rng rng(9);
+  Tensor a({129, 257});
+  Tensor b({257, 303});
+  Tensor ba({5, 64, 96});
+  Tensor bb({5, 96, 64});
+  for (Tensor* t : {&a, &b, &ba, &bb}) {
+    for (int64_t i = 0; i < t->numel(); ++i) {
+      t->data()[i] = static_cast<float>(rng.Normal());
+    }
+  }
+  SetNumThreads(1);
+  Tensor mm1 = MatMul(a, b);
+  Tensor bmm1 = BatchMatMul(ba, bb);
+  for (const int threads : {2, 4, 8}) {
+    SetNumThreads(threads);
+    Tensor mmt = MatMul(a, b);
+    Tensor bmmt = BatchMatMul(ba, bb);
+    EXPECT_EQ(std::memcmp(mm1.data(), mmt.data(),
+                          static_cast<size_t>(mm1.numel()) * sizeof(float)),
+              0)
+        << "MatMul differs at threads=" << threads;
+    EXPECT_EQ(std::memcmp(bmm1.data(), bmmt.data(),
+                          static_cast<size_t>(bmm1.numel()) * sizeof(float)),
+              0)
+        << "BatchMatMul differs at threads=" << threads;
+  }
+}
+
+TEST(GemmKernelTest, SetKernelFallsBackWhenUnavailable) {
+  KernelAndThreadGuard guard;
+  // Scalar is always available; selecting it must stick.
+  SetKernel(Kernel::kScalar);
+  EXPECT_EQ(ActiveKernel(), Kernel::kScalar);
+  // Auto never resolves to kAuto itself.
+  SetKernel(Kernel::kAuto);
+  EXPECT_NE(ActiveKernel(), Kernel::kAuto);
+}
+
+TEST(GemmKernelTest, KernelNamesRoundTrip) {
+  EXPECT_EQ(KernelName(Kernel::kAuto), "auto");
+  EXPECT_EQ(KernelName(Kernel::kScalar), "scalar");
+  EXPECT_EQ(KernelName(Kernel::kAvx2), "avx2");
+  EXPECT_EQ(KernelName(Kernel::kAvx512), "avx512");
+}
+
+TEST(GemmEdgeTest, DegenerateDimensions) {
+  // k == 0 must zero (accumulate=false) or preserve (accumulate=true) C.
+  std::vector<float> a;
+  std::vector<float> b;
+  std::vector<float> c = {1.0f, 2.0f, 3.0f, 4.0f};
+  Gemm(a.data(), b.data(), c.data(), 2, 0, 2, false, false,
+       /*accumulate=*/true);
+  EXPECT_EQ(c, (std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}));
+  Gemm(a.data(), b.data(), c.data(), 2, 0, 2, false, false,
+       /*accumulate=*/false);
+  EXPECT_EQ(c, (std::vector<float>{0.0f, 0.0f, 0.0f, 0.0f}));
+}
+
+}  // namespace
+}  // namespace came::tensor::gemm
