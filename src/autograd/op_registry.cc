@@ -1,0 +1,58 @@
+#include "autograd/op_registry.h"
+
+#include "common/logging.h"
+
+namespace came::ag {
+
+OpRegistry& OpRegistry::Instance() {
+  // Leaked intentionally: op registration from function-local statics may
+  // race static destruction at process exit otherwise.
+  static OpRegistry* registry = new OpRegistry();
+  return *registry;
+}
+
+int OpRegistry::Register(const std::string& name, BroadcastSpec broadcast) {
+  CAME_CHECK(!name.empty()) << "op name must be non-empty";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    CAME_CHECK(ops_[static_cast<size_t>(it->second)].broadcast == broadcast)
+        << "op '" << name << "' re-registered with a different broadcast spec";
+    return it->second;
+  }
+  const int id = static_cast<int>(ops_.size());
+  ops_.push_back(OpInfo{name, broadcast});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+int OpRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+OpInfo OpRegistry::Get(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CAME_CHECK(id >= 0 && id < static_cast<int>(ops_.size()))
+      << "unknown op id " << id;
+  return ops_[static_cast<size_t>(id)];
+}
+
+int OpRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(ops_.size());
+}
+
+std::vector<OpInfo> OpRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+std::string OpName(int id) {
+  OpRegistry& registry = OpRegistry::Instance();
+  if (id < 0 || id >= registry.size()) return "<unregistered>";
+  return registry.Get(id).name;
+}
+
+}  // namespace came::ag

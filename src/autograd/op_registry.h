@@ -1,0 +1,73 @@
+#ifndef CAME_AUTOGRAD_OP_REGISTRY_H_
+#define CAME_AUTOGRAD_OP_REGISTRY_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace came::ag {
+
+/// Gradient contract between an op's output shape and its input shapes.
+enum class BroadcastSpec {
+  /// Input and output shapes are related by op-specific rules; the backward
+  /// pass must produce gradients already shaped like each input.
+  kNone,
+  /// NumPy right-aligned broadcasting: the output shape is the broadcast of
+  /// the two input shapes and the backward pass must REDUCE gradients back
+  /// to each operand's shape before accumulating.
+  kNumpy,
+};
+
+/// Static metadata for one differentiable op.
+struct OpInfo {
+  std::string name;
+  BroadcastSpec broadcast = BroadcastSpec::kNone;
+};
+
+/// Process-wide registry of differentiable ops. Every op in autograd/ops.cc
+/// registers itself on first use and stamps its id into the tape nodes it
+/// records, which turns the tape from a bag of opaque closures into an
+/// introspectable DAG: the tape auditor (autograd/tape_audit.h) resolves
+/// node ids back to op names for diagnostics, and tools/check_op_coverage.py
+/// cross-checks the registered set against ops.h and the gradcheck suite.
+///
+/// Registration is idempotent by name and thread-safe; ids are dense and
+/// stable for the lifetime of the process.
+class OpRegistry {
+ public:
+  static OpRegistry& Instance();
+
+  /// Registers `name` (or returns its existing id). The broadcast spec of
+  /// the first registration wins; re-registering with a conflicting spec
+  /// CHECK-fails, catching copy-paste bugs between op implementations.
+  int Register(const std::string& name,
+               BroadcastSpec broadcast = BroadcastSpec::kNone);
+
+  /// Id for `name`, or -1 if never registered.
+  int Find(const std::string& name) const;
+
+  /// Copy of the metadata for `id`; CHECK-fails on out-of-range ids.
+  OpInfo Get(int id) const;
+
+  int size() const;
+
+  /// Snapshot of every registered op, in registration order.
+  std::vector<OpInfo> Snapshot() const;
+
+ private:
+  OpRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<OpInfo> ops_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+/// Resolves a tape node's op id to a printable name. Returns
+/// "<unregistered>" for ids the registry does not know (e.g. -1, the
+/// default for nodes recorded outside the op library).
+std::string OpName(int id);
+
+}  // namespace came::ag
+
+#endif  // CAME_AUTOGRAD_OP_REGISTRY_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "autograd/op_registry.h"
 #include "common/fast_math.h"
 #include "common/logging.h"
 #include "tensor/tensor_ops.h"
@@ -17,10 +18,19 @@ using internal::VarState;
 
 bool NeedsGrad(const Var& v) { return v.defined() && v.requires_grad(); }
 
+/// Registers `name` in the process-wide OpRegistry (idempotent); every op
+/// below calls this once via a function-local static and stamps the id on
+/// the tape nodes it records, keeping the tape introspectable for the
+/// auditor (autograd/tape_audit.h) and the op-coverage linter.
+int RegisterOp(const char* name,
+               BroadcastSpec broadcast = BroadcastSpec::kNone) {
+  return OpRegistry::Instance().Register(name, broadcast);
+}
+
 /// Creates the result Var, recording a tape node when needed. `backward`
 /// receives the output gradient; it must accumulate into the captured
 /// input states (guarding each on requires_grad).
-Var MakeResult(Tensor value, const std::vector<Var>& inputs,
+Var MakeResult(int op_id, Tensor value, const std::vector<Var>& inputs,
                std::function<void(const Tensor&)> backward) {
   bool any = false;
   if (GradModeEnabled()) {
@@ -28,6 +38,7 @@ Var MakeResult(Tensor value, const std::vector<Var>& inputs,
   }
   if (!any) return Const(std::move(value));
   auto node = std::make_shared<Node>();
+  node->op_id = op_id;
   node->inputs.reserve(inputs.size());
   for (const auto& v : inputs) node->inputs.push_back(v.state());
   auto out = std::make_shared<VarState>();
@@ -58,44 +69,48 @@ void Accum(const StatePtr& s, const Tensor& g) {
 // ---------------------------------------------------------------------------
 
 Var Add(const Var& a, const Var& b) {
+  static const int kOp = RegisterOp("Add", BroadcastSpec::kNumpy);
   Tensor out = ts::Add(a.value(), b.value());
   auto as = a.state();
   auto bs = b.state();
-  return MakeResult(std::move(out), {a, b}, [as, bs](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {a, b}, [as, bs](const Tensor& g) {
     AccumReduced(as, g);
     AccumReduced(bs, g);
   });
 }
 
 Var Sub(const Var& a, const Var& b) {
+  static const int kOp = RegisterOp("Sub", BroadcastSpec::kNumpy);
   Tensor out = ts::Sub(a.value(), b.value());
   auto as = a.state();
   auto bs = b.state();
-  return MakeResult(std::move(out), {a, b}, [as, bs](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {a, b}, [as, bs](const Tensor& g) {
     AccumReduced(as, g);
     AccumReduced(bs, ts::Neg(g));
   });
 }
 
 Var Mul(const Var& a, const Var& b) {
+  static const int kOp = RegisterOp("Mul", BroadcastSpec::kNumpy);
   Tensor out = ts::Mul(a.value(), b.value());
   auto as = a.state();
   auto bs = b.state();
   Tensor av = a.value();
   Tensor bv = b.value();
-  return MakeResult(std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
     AccumReduced(as, ts::Mul(g, bv));
     AccumReduced(bs, ts::Mul(g, av));
   });
 }
 
 Var Div(const Var& a, const Var& b) {
+  static const int kOp = RegisterOp("Div", BroadcastSpec::kNumpy);
   Tensor out = ts::Div(a.value(), b.value());
   auto as = a.state();
   auto bs = b.state();
   Tensor av = a.value();
   Tensor bv = b.value();
-  return MakeResult(std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
     AccumReduced(as, ts::Div(g, bv));
     // db = -g * a / b^2
     AccumReduced(bs, ts::Neg(ts::Div(ts::Mul(g, av), ts::Square(bv))));
@@ -107,51 +122,57 @@ Var Div(const Var& a, const Var& b) {
 // ---------------------------------------------------------------------------
 
 Var Neg(const Var& v) {
+  static const int kOp = RegisterOp("Neg");
   auto s = v.state();
-  return MakeResult(ts::Neg(v.value()), {v},
+  return MakeResult(kOp, ts::Neg(v.value()), {v},
                     [s](const Tensor& g) { Accum(s, ts::Neg(g)); });
 }
 
 Var Exp(const Var& v) {
+  static const int kOp = RegisterOp("Exp");
   Tensor out = ts::Exp(v.value());
   auto s = v.state();
   Tensor saved = out;
-  return MakeResult(std::move(out), {v}, [s, saved](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, saved](const Tensor& g) {
     Accum(s, ts::Mul(g, saved));
   });
 }
 
 Var Log(const Var& v) {
+  static const int kOp = RegisterOp("Log");
   auto s = v.state();
   Tensor x = v.value();
-  return MakeResult(ts::Log(v.value()), {v}, [s, x](const Tensor& g) {
+  return MakeResult(kOp, ts::Log(v.value()), {v}, [s, x](const Tensor& g) {
     Accum(s, ts::Div(g, x));
   });
 }
 
 Var Sqrt(const Var& v) {
+  static const int kOp = RegisterOp("Sqrt");
   Tensor out = ts::Sqrt(v.value());
   auto s = v.state();
   Tensor saved = out;
-  return MakeResult(std::move(out), {v}, [s, saved](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, saved](const Tensor& g) {
     // d sqrt(x) = 1 / (2 sqrt(x))
     Accum(s, ts::Div(g, ts::Scale(saved, 2.0f)));
   });
 }
 
 Var Square(const Var& v) {
+  static const int kOp = RegisterOp("Square");
   auto s = v.state();
   Tensor x = v.value();
-  return MakeResult(ts::Square(v.value()), {v}, [s, x](const Tensor& g) {
+  return MakeResult(kOp, ts::Square(v.value()), {v}, [s, x](const Tensor& g) {
     Accum(s, ts::Mul(g, ts::Scale(x, 2.0f)));
   });
 }
 
 Var Sigmoid(const Var& v) {
+  static const int kOp = RegisterOp("Sigmoid");
   Tensor out = ts::Sigmoid(v.value());
   auto s = v.state();
   Tensor y = out;
-  return MakeResult(std::move(out), {v}, [s, y](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, y](const Tensor& g) {
     // y' = y (1 - y)
     Tensor one_minus = ts::AddScalar(ts::Neg(y), 1.0f);
     Accum(s, ts::Mul(g, ts::Mul(y, one_minus)));
@@ -159,20 +180,22 @@ Var Sigmoid(const Var& v) {
 }
 
 Var Tanh(const Var& v) {
+  static const int kOp = RegisterOp("Tanh");
   Tensor out = ts::Tanh(v.value());
   auto s = v.state();
   Tensor y = out;
-  return MakeResult(std::move(out), {v}, [s, y](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, y](const Tensor& g) {
     Tensor d = ts::AddScalar(ts::Neg(ts::Square(y)), 1.0f);
     Accum(s, ts::Mul(g, d));
   });
 }
 
 Var Relu(const Var& v) {
+  static const int kOp = RegisterOp("Relu");
   Tensor out = ts::Relu(v.value());
   auto s = v.state();
   Tensor x = v.value();
-  return MakeResult(std::move(out), {v}, [s, x](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, x](const Tensor& g) {
     Tensor d(g.shape());
     const float* px = x.data();
     const float* pg = g.data();
@@ -183,19 +206,22 @@ Var Relu(const Var& v) {
 }
 
 Var Scale(const Var& v, float k) {
+  static const int kOp = RegisterOp("Scale");
   auto s = v.state();
-  return MakeResult(ts::Scale(v.value(), k), {v}, [s, k](const Tensor& g) {
+  return MakeResult(kOp, ts::Scale(v.value(), k), {v}, [s, k](const Tensor& g) {
     Accum(s, ts::Scale(g, k));
   });
 }
 
 Var AddScalar(const Var& v, float k) {
+  static const int kOp = RegisterOp("AddScalar");
   auto s = v.state();
-  return MakeResult(ts::AddScalar(v.value(), k), {v},
+  return MakeResult(kOp, ts::AddScalar(v.value(), k), {v},
                     [s](const Tensor& g) { Accum(s, g); });
 }
 
 Var LogSigmoid(const Var& v) {
+  static const int kOp = RegisterOp("LogSigmoid");
   // log sigmoid(x) = min(x, 0) - log(1 + exp(-|x|))
   Tensor x = v.value();
   Tensor out(x.shape());
@@ -205,7 +231,7 @@ Var LogSigmoid(const Var& v) {
                     std::log1p(std::exp(-std::fabs(xi)));
   }
   auto s = v.state();
-  return MakeResult(std::move(out), {v}, [s, x](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, x](const Tensor& g) {
     // d/dx log sigmoid(x) = sigmoid(-x)
     Accum(s, ts::Mul(g, ts::Sigmoid(ts::Neg(x))));
   });
@@ -220,9 +246,10 @@ Tensor MapTensor(const Tensor& t, float (*f)(float)) {
 }  // namespace
 
 Var Cos(const Var& v) {
+  static const int kOp = RegisterOp("Cos");
   Tensor x = v.value();
   auto s = v.state();
-  return MakeResult(MapTensor(x, [](float a) { return std::cos(a); }), {v},
+  return MakeResult(kOp, MapTensor(x, [](float a) { return std::cos(a); }), {v},
                     [s, x](const Tensor& g) {
                       Accum(s, ts::Mul(g, ts::Neg(MapTensor(x, [](float a) {
                                          return std::sin(a);
@@ -231,9 +258,10 @@ Var Cos(const Var& v) {
 }
 
 Var Sin(const Var& v) {
+  static const int kOp = RegisterOp("Sin");
   Tensor x = v.value();
   auto s = v.state();
-  return MakeResult(MapTensor(x, [](float a) { return std::sin(a); }), {v},
+  return MakeResult(kOp, MapTensor(x, [](float a) { return std::sin(a); }), {v},
                     [s, x](const Tensor& g) {
                       Accum(s, ts::Mul(g, MapTensor(x, [](float a) {
                                          return std::cos(a);
@@ -242,9 +270,10 @@ Var Sin(const Var& v) {
 }
 
 Var Abs(const Var& v) {
+  static const int kOp = RegisterOp("Abs");
   Tensor x = v.value();
   auto s = v.state();
-  return MakeResult(ts::Abs(x), {v}, [s, x](const Tensor& g) {
+  return MakeResult(kOp, ts::Abs(x), {v}, [s, x](const Tensor& g) {
     Tensor d(g.shape());
     for (int64_t i = 0; i < d.numel(); ++i) {
       d.data()[i] = x.data()[i] >= 0 ? g.data()[i] : -g.data()[i];
@@ -258,12 +287,13 @@ Var Abs(const Var& v) {
 // ---------------------------------------------------------------------------
 
 Var MatMul(const Var& a, const Var& b) {
+  static const int kOp = RegisterOp("MatMul");
   Tensor out = ts::MatMul(a.value(), b.value());
   auto as = a.state();
   auto bs = b.state();
   Tensor av = a.value();
   Tensor bv = b.value();
-  return MakeResult(std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
     if (as->requires_grad) {
       as->AccumulateGrad(ts::MatMul(g, bv, false, /*trans_b=*/true));
     }
@@ -274,12 +304,13 @@ Var MatMul(const Var& a, const Var& b) {
 }
 
 Var BatchMatMul(const Var& a, const Var& b) {
+  static const int kOp = RegisterOp("BatchMatMul");
   Tensor out = ts::BatchMatMul(a.value(), b.value());
   auto as = a.state();
   auto bs = b.state();
   Tensor av = a.value();
   Tensor bv = b.value();
-  return MakeResult(std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {a, b}, [as, bs, av, bv](const Tensor& g) {
     if (as->requires_grad) {
       as->AccumulateGrad(ts::BatchMatMul(g, bv, false, /*trans_b=*/true));
     }
@@ -290,15 +321,17 @@ Var BatchMatMul(const Var& a, const Var& b) {
 }
 
 Var Transpose(const Var& v) {
+  static const int kOp = RegisterOp("Transpose");
   auto s = v.state();
-  return MakeResult(ts::Transpose2D(v.value()), {v}, [s](const Tensor& g) {
+  return MakeResult(kOp, ts::Transpose2D(v.value()), {v}, [s](const Tensor& g) {
     Accum(s, ts::Transpose2D(g));
   });
 }
 
 Var BatchTranspose(const Var& v) {
+  static const int kOp = RegisterOp("BatchTranspose");
   auto s = v.state();
-  return MakeResult(ts::BatchTranspose(v.value()), {v}, [s](const Tensor& g) {
+  return MakeResult(kOp, ts::BatchTranspose(v.value()), {v}, [s](const Tensor& g) {
     Accum(s, ts::BatchTranspose(g));
   });
 }
@@ -308,16 +341,18 @@ Var BatchTranspose(const Var& v) {
 // ---------------------------------------------------------------------------
 
 Var Reshape(const Var& v, Shape new_shape) {
+  static const int kOp = RegisterOp("Reshape");
   auto s = v.state();
   Shape old_shape = v.shape();
   // Clone to keep value buffers private to each Var on the tape.
   Tensor out = v.value().Clone().Reshape(std::move(new_shape));
-  return MakeResult(std::move(out), {v}, [s, old_shape](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, old_shape](const Tensor& g) {
     Accum(s, g.Clone().Reshape(old_shape));
   });
 }
 
 Var Concat(const std::vector<Var>& parts, int64_t dim) {
+  static const int kOp = RegisterOp("Concat");
   CAME_CHECK(!parts.empty());
   std::vector<Tensor> values;
   values.reserve(parts.size());
@@ -332,7 +367,7 @@ Var Concat(const std::vector<Var>& parts, int64_t dim) {
     states.push_back(p.state());
     extents.push_back(p.value().dim(dim_pos));
   }
-  return MakeResult(std::move(out), parts,
+  return MakeResult(kOp, std::move(out), parts,
                     [states, extents, dim_pos](const Tensor& g) {
                       int64_t offset = 0;
                       for (size_t i = 0; i < states.size(); ++i) {
@@ -346,12 +381,13 @@ Var Concat(const std::vector<Var>& parts, int64_t dim) {
 }
 
 Var Slice(const Var& v, int64_t dim, int64_t start, int64_t len) {
+  static const int kOp = RegisterOp("Slice");
   const int64_t nd = v.value().ndim();
   const int64_t dim_pos = dim < 0 ? dim + nd : dim;
   Tensor out = ts::SliceAlong(v.value(), dim_pos, start, len);
   auto s = v.state();
   Shape in_shape = v.shape();
-  return MakeResult(std::move(out), {v},
+  return MakeResult(kOp, std::move(out), {v},
                     [s, in_shape, dim_pos, start, len](const Tensor& g) {
                       if (!s->requires_grad) return;
                       Tensor full = Tensor::Zeros(in_shape);
@@ -381,31 +417,34 @@ Var Slice(const Var& v, int64_t dim, int64_t start, int64_t len) {
 // ---------------------------------------------------------------------------
 
 Var SumAll(const Var& v) {
+  static const int kOp = RegisterOp("SumAll");
   auto s = v.state();
   Shape in_shape = v.shape();
-  return MakeResult(ts::SumAll(v.value()), {v},
+  return MakeResult(kOp, ts::SumAll(v.value()), {v},
                     [s, in_shape](const Tensor& g) {
                       Accum(s, Tensor::Full(in_shape, g.data()[0]));
                     });
 }
 
 Var MeanAll(const Var& v) {
+  static const int kOp = RegisterOp("MeanAll");
   const float inv = 1.0f / static_cast<float>(v.numel());
   auto s = v.state();
   Shape in_shape = v.shape();
   Tensor out = Tensor::Scalar(ts::SumAllScalar(v.value()) * inv);
-  return MakeResult(std::move(out), {v}, [s, in_shape, inv](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, in_shape, inv](const Tensor& g) {
     Accum(s, Tensor::Full(in_shape, g.data()[0] * inv));
   });
 }
 
 Var SumAlong(const Var& v, int64_t dim, bool keepdim) {
+  static const int kOp = RegisterOp("SumAlong");
   const int64_t nd = v.value().ndim();
   const int64_t dim_pos = dim < 0 ? dim + nd : dim;
   Tensor out = ts::SumAlong(v.value(), dim_pos, keepdim);
   auto s = v.state();
   Shape in_shape = v.shape();
-  return MakeResult(std::move(out), {v},
+  return MakeResult(kOp, std::move(out), {v},
                     [s, in_shape, dim_pos](const Tensor& g) {
                       if (!s->requires_grad) return;
                       // Broadcast g back along the reduced axis.
@@ -418,6 +457,10 @@ Var SumAlong(const Var& v, int64_t dim, bool keepdim) {
 }
 
 Var MeanAlong(const Var& v, int64_t dim, bool keepdim) {
+  // Composite op (Scale of SumAlong): records no node of its own, but is
+  // registered so the registry reflects the full public op surface.
+  static const int kOp = RegisterOp("MeanAlong");
+  (void)kOp;
   const int64_t nd = v.value().ndim();
   const int64_t dim_pos = dim < 0 ? dim + nd : dim;
   const float inv =
@@ -426,12 +469,13 @@ Var MeanAlong(const Var& v, int64_t dim, bool keepdim) {
 }
 
 Var SoftmaxAlong(const Var& v, int64_t dim) {
+  static const int kOp = RegisterOp("SoftmaxAlong");
   const int64_t nd = v.value().ndim();
   const int64_t dim_pos = dim < 0 ? dim + nd : dim;
   Tensor out = ts::SoftmaxAlong(v.value(), dim_pos);
   auto s = v.state();
   Tensor y = out;
-  return MakeResult(std::move(out), {v}, [s, y, dim_pos](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, y, dim_pos](const Tensor& g) {
     if (!s->requires_grad) return;
     // dx = y * (g - sum(g*y, dim))
     Tensor gy = ts::Mul(g, y);
@@ -443,7 +487,9 @@ Var SoftmaxAlong(const Var& v, int64_t dim) {
 namespace {
 
 // Shared LayerNorm implementation; gamma/beta may be undefined Vars.
-Var LayerNormImpl(const Var& v, const Var& gamma, const Var& beta, float eps) {
+// `op_id` is the registered id of the public wrapper being recorded.
+Var LayerNormImpl(int op_id, const Var& v, const Var& gamma, const Var& beta,
+                  float eps) {
   const Tensor& x = v.value();
   const int64_t nd = x.ndim();
   CAME_CHECK_GE(nd, 1);
@@ -493,7 +539,7 @@ Var LayerNormImpl(const Var& v, const Var& gamma, const Var& beta, float eps) {
   }
   Tensor gamma_v = affine ? gamma.value() : Tensor();
   return MakeResult(
-      std::move(out), inputs,
+      op_id, std::move(out), inputs,
       [xs, gs, bs, xhat, inv_sigma, gamma_v, rows, d,
        affine](const Tensor& g) {
         const float* pgo = g.data();
@@ -550,13 +596,15 @@ Var LayerNormImpl(const Var& v, const Var& gamma, const Var& beta, float eps) {
 }  // namespace
 
 Var LayerNorm(const Var& v, const Var& gamma, const Var& beta, float eps) {
+  static const int kOp = RegisterOp("LayerNorm");
   CAME_CHECK(gamma.defined());
   CAME_CHECK(beta.defined());
-  return LayerNormImpl(v, gamma, beta, eps);
+  return LayerNormImpl(kOp, v, gamma, beta, eps);
 }
 
 Var LayerNormNoAffine(const Var& v, float eps) {
-  return LayerNormImpl(v, Var(), Var(), eps);
+  static const int kOp = RegisterOp("LayerNormNoAffine");
+  return LayerNormImpl(kOp, v, Var(), Var(), eps);
 }
 
 // ---------------------------------------------------------------------------
@@ -564,10 +612,11 @@ Var LayerNormNoAffine(const Var& v, float eps) {
 // ---------------------------------------------------------------------------
 
 Var Gather(const Var& matrix, const std::vector<int64_t>& indices) {
+  static const int kOp = RegisterOp("Gather");
   Tensor out = ts::GatherRows(matrix.value(), indices);
   auto s = matrix.state();
   const int64_t rows = matrix.value().dim(0);
-  return MakeResult(std::move(out), {matrix},
+  return MakeResult(kOp, std::move(out), {matrix},
                     [s, indices, rows](const Tensor& g) {
                       if (!s->requires_grad) return;
                       s->AccumulateGrad(ts::ScatterAddRows(g, indices, rows));
@@ -576,9 +625,10 @@ Var Gather(const Var& matrix, const std::vector<int64_t>& indices) {
 
 Var Scatter(const Var& src, const std::vector<int64_t>& indices,
             int64_t num_rows) {
+  static const int kOp = RegisterOp("Scatter");
   Tensor out = ts::ScatterAddRows(src.value(), indices, num_rows);
   auto s = src.state();
-  return MakeResult(std::move(out), {src}, [s, indices](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {src}, [s, indices](const Tensor& g) {
     if (!s->requires_grad) return;
     s->AccumulateGrad(ts::GatherRows(g, indices));
   });
@@ -589,11 +639,12 @@ Var Scatter(const Var& src, const std::vector<int64_t>& indices,
 // ---------------------------------------------------------------------------
 
 Var WhereConst(const Tensor& mask, const Var& a, const Var& b) {
+  static const int kOp = RegisterOp("WhereConst");
   Tensor out = ts::Where(mask, a.value(), b.value());
   auto as = a.state();
   auto bs = b.state();
   Tensor m = mask;
-  return MakeResult(std::move(out), {a, b}, [as, bs, m](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {a, b}, [as, bs, m](const Tensor& g) {
     Tensor zeros = Tensor::Zeros(g.shape());
     if (as->requires_grad) as->AccumulateGrad(ts::Where(m, g, zeros));
     if (bs->requires_grad) bs->AccumulateGrad(ts::Where(m, zeros, g));
@@ -605,6 +656,7 @@ Var WhereConst(const Tensor& mask, const Var& a, const Var& b) {
 // ---------------------------------------------------------------------------
 
 Var Conv2d(const Var& input, const Var& weight, const Var& bias, int64_t pad) {
+  static const int kOp = RegisterOp("Conv2d");
   const Tensor& x = input.value();
   const Tensor& w = weight.value();
   CAME_CHECK_EQ(x.ndim(), 4);
@@ -650,7 +702,7 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias, int64_t pad) {
   if (has_bias) inputs.push_back(bias);
   Tensor saved_cols = cols;
   Tensor saved_w2d = w2d;
-  return MakeResult(
+  return MakeResult(kOp, 
       std::move(out), inputs,
       [xs, ws, bs, saved_cols, saved_w2d, batch, cin, h, wdt, filters, kh, kw,
        pad, l, col_stride, has_bias](const Tensor& g) {
@@ -695,7 +747,8 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias, int64_t pad) {
 }
 
 Var Dropout(const Var& v, float p, Rng* rng, bool training) {
-  if (!training || p <= 0.0f) return v;
+  static const int kOp = RegisterOp("Dropout");
+  if (!training || p <= 0.0f) return v;  // identity: no node recorded
   CAME_CHECK_LT(p, 1.0f);
   CAME_CHECK(rng != nullptr);
   const float scale = 1.0f / (1.0f - p);
@@ -705,7 +758,7 @@ Var Dropout(const Var& v, float p, Rng* rng, bool training) {
   }
   Tensor out = ts::Mul(v.value(), mask);
   auto s = v.state();
-  return MakeResult(std::move(out), {v}, [s, mask](const Tensor& g) {
+  return MakeResult(kOp, std::move(out), {v}, [s, mask](const Tensor& g) {
     Accum(s, ts::Mul(g, mask));
   });
 }
@@ -716,6 +769,7 @@ Var Dropout(const Var& v, float p, Rng* rng, bool training) {
 
 Var CoAttentionApply(const Var& x, const Var& a, const Var& b,
                      const Var& inv_tau) {
+  static const int kOp = RegisterOp("CoAttentionApply");
   const Tensor& xv = x.value();
   const Tensor& av = a.value();
   const Tensor& bv = b.value();
@@ -768,7 +822,7 @@ Var CoAttentionApply(const Var& x, const Var& a, const Var& b,
   Tensor b_saved = bv;
   Tensor s_saved = softmax_t;
   Tensor o_saved = out;
-  return MakeResult(
+  return MakeResult(kOp, 
       std::move(out), {x, a, b, inv_tau},
       [xs, as, bs, us, x_saved, a_saved, b_saved, s_saved, o_saved, batch, d,
        u](const Tensor& g) {
@@ -825,6 +879,7 @@ Var CoAttentionApply(const Var& x, const Var& a, const Var& b,
 // ---------------------------------------------------------------------------
 
 Var BceWithLogitsMean(const Var& logits, const Tensor& targets) {
+  static const int kOp = RegisterOp("BceWithLogitsMean");
   const Tensor& x = logits.value();
   CAME_CHECK(ts::SameShape(x.shape(), targets.shape()));
   const int64_t n = x.numel();
@@ -840,7 +895,7 @@ Var BceWithLogitsMean(const Var& logits, const Tensor& targets) {
   auto s = logits.state();
   Tensor x_saved = x;
   Tensor t_saved = targets;
-  return MakeResult(std::move(out), {logits},
+  return MakeResult(kOp, std::move(out), {logits},
                     [s, x_saved, t_saved, n](const Tensor& g) {
                       if (!s->requires_grad) return;
                       // d/dx = (sigmoid(x) - t) / n

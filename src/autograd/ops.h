@@ -13,6 +13,13 @@ namespace came::ag {
 // any input requires grad) record a tape node. Broadcasting follows NumPy
 // right-aligned semantics; gradients of broadcast operands are reduced
 // back to their shape.
+//
+// Every op here registers itself (name + broadcast contract) in the
+// OpRegistry (autograd/op_registry.h) and stamps its id on the recorded
+// node, so the tape auditor (autograd/tape_audit.h, CAME_TAPE_AUDIT) can
+// name the offending op in its diagnostics. New ops must follow suit —
+// tools/check_op_coverage.py fails the lint suite for any op declared
+// here without a registration and a gradcheck case.
 
 // -- elementwise binary ------------------------------------------------------
 Var Add(const Var& a, const Var& b);

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "autograd/tape_audit.h"
 #include "common/logging.h"
 #include "tensor/tensor_ops.h"
 
@@ -21,7 +22,8 @@ namespace internal {
 void VarState::AccumulateGrad(const Tensor& g) {
   CAME_CHECK(tensor::SameShape(g.shape(), value.shape()))
       << "grad shape " << tensor::ShapeToString(g.shape()) << " vs value "
-      << tensor::ShapeToString(value.shape());
+      << tensor::ShapeToString(value.shape())
+      << audit::detail::CurrentBackwardContext();
   if (!has_grad) {
     grad = g.Clone();
     has_grad = true;
@@ -115,6 +117,12 @@ void Var::Backward() {
     }
   }
 
+  // Opt-in structural/numeric auditing (CAME_TAPE_AUDIT). At kOff the
+  // auditor costs one branch per node; the sweep below is otherwise
+  // unchanged.
+  audit::detail::BackwardAuditor auditor(state_);
+  if (auditor.enabled()) auditor.BeforeSweep();
+
   state_->AccumulateGrad(Tensor::Full(state_->value.shape(), 1.0f));
 
   // Post-order lists children first; iterate reversed so each node sees
@@ -125,9 +133,16 @@ void Var::Backward() {
     internal::Node* node = it->get();
     std::shared_ptr<internal::VarState> out = node->output.lock();
     if (out != nullptr && out->has_grad && node->backward) {
-      node->backward(out->grad);
+      if (auditor.enabled()) {
+        auditor.BeginNode(node);
+        node->backward(out->grad);
+        auditor.EndNode(node);
+      } else {
+        node->backward(out->grad);
+      }
     }
   }
+  if (auditor.enabled()) auditor.AfterSweep();
   // Consume the tape: free interior activations and make double-backward
   // a no-op rather than a silent double-count.
   for (const auto& node : order) {

@@ -32,6 +32,9 @@ struct VarState {
 /// producer Node; a Node owns its input VarStates but holds its output
 /// weakly, so the tape is an acyclic ownership DAG rooted at live Vars.
 struct Node {
+  /// OpRegistry id of the op that recorded this node (-1 when recorded
+  /// outside the op library). Resolved back to a name by the tape auditor.
+  int op_id = -1;
   std::vector<std::shared_ptr<VarState>> inputs;
   std::weak_ptr<VarState> output;
   std::function<void(const Tensor& grad_out)> backward;

@@ -50,7 +50,11 @@ TextEncoder::TextEncoder(const Config& config) : config_(config) {
 tensor::Tensor TextEncoder::HashedNgrams(
     const datagen::EntityText& text) const {
   tensor::Tensor bag(tensor::Shape{config_.hash_dim});
-  const std::string name = "^" + Lower(text.name) + "$";
+  // Built via insert/push_back rather than operator+ chaining: GCC 12's
+  // -Wrestrict mis-fires on the inlined temporary concat (GCC PR105329).
+  std::string name = Lower(text.name);
+  name.insert(name.begin(), '^');
+  name.push_back('$');
   CountNgrams(name, config_.ngram_min, config_.ngram_max,
               config_.name_weight, config_.hash_dim, bag.data());
   CountNgrams(Lower(text.description), config_.ngram_min, config_.ngram_max,

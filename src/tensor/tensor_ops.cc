@@ -408,7 +408,9 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   for (const auto& p : parts) {
     CAME_CHECK_EQ(p.ndim(), nd);
     for (int64_t d = 0; d < nd; ++d) {
-      if (d != dim) CAME_CHECK_EQ(p.dim(d), parts[0].dim(d));
+      if (d != dim) {
+        CAME_CHECK_EQ(p.dim(d), parts[0].dim(d));
+      }
     }
     total += p.dim(dim);
   }

@@ -67,7 +67,9 @@ INSTANTIATE_TEST_SUITE_P(
                       UnaryCase{"Square", &Square, 1.0, false},
                       UnaryCase{"Sigmoid", &Sigmoid, 1.0, false},
                       UnaryCase{"Tanh", &Tanh, 1.0, false},
-                      UnaryCase{"LogSigmoid", &LogSigmoid, 1.0, false}),
+                      UnaryCase{"LogSigmoid", &LogSigmoid, 1.0, false},
+                      UnaryCase{"Cos", &Cos, 1.0, false},
+                      UnaryCase{"Sin", &Sin, 1.0, false}),
     [](const auto& info) { return info.param.name; });
 
 TEST(GradCheckTest, Add) {
@@ -114,6 +116,66 @@ TEST(GradCheckTest, SubAndDiv) {
     return WeightedSum(Div(Sub(v[0], v[1]), v[1]), 10);
   };
   EXPECT_LT(GradCheck(fn, {a, b}), kTol);
+}
+
+TEST(GradCheckTest, SubBroadcastRow) {
+  Rng rng(33);
+  Var a = RandomVar({3, 4}, &rng);
+  Var b = RandomVar({4}, &rng);
+  auto fn = [](const std::vector<Var>& v) {
+    return WeightedSum(Sub(v[0], v[1]), 31);
+  };
+  EXPECT_LT(GradCheck(fn, {a, b}), kTol);
+}
+
+TEST(GradCheckTest, DivBroadcastColumn) {
+  Rng rng(34);
+  Var a = RandomVar({3, 4}, &rng);
+  Var b = RandomVar({3, 1}, &rng);
+  // Keep divisor away from zero.
+  Tensor& t = b.mutable_value();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = (t.data()[i] >= 0 ? 1.0f : -1.0f) *
+                  (std::fabs(t.data()[i]) + 1.0f);
+  }
+  auto fn = [](const std::vector<Var>& v) {
+    return WeightedSum(Div(v[0], v[1]), 32);
+  };
+  EXPECT_LT(GradCheck(fn, {a, b}), kTol);
+}
+
+TEST(GradCheckTest, ScaleAndAddScalar) {
+  Rng rng(35);
+  Var a = RandomVar({3, 4}, &rng);
+  auto fn = [](const std::vector<Var>& v) {
+    return WeightedSum(AddScalar(Scale(v[0], -1.7f), 0.3f), 33);
+  };
+  EXPECT_LT(GradCheck(fn, {a}), kTol);
+}
+
+TEST(GradCheckTest, MeanAlongKeepAndDrop) {
+  Rng rng(36);
+  Var a = RandomVar({3, 4}, &rng);
+  auto fn_keep = [](const std::vector<Var>& v) {
+    return WeightedSum(MeanAlong(v[0], 0, true), 34);
+  };
+  EXPECT_LT(GradCheck(fn_keep, {a}), kTol);
+  auto fn_drop = [](const std::vector<Var>& v) {
+    return WeightedSum(MeanAlong(v[0], 1, false), 35);
+  };
+  EXPECT_LT(GradCheck(fn_drop, {a}), kTol);
+}
+
+TEST(GradCheckTest, DropoutDeterministicMask) {
+  Rng rng(37);
+  Var a = RandomVar({4, 4}, &rng);
+  // Re-seeding per invocation pins the mask, making the op a fixed linear
+  // map that finite differences can verify.
+  auto fn = [](const std::vector<Var>& v) {
+    Rng mask_rng(123);
+    return WeightedSum(Dropout(v[0], 0.4f, &mask_rng, true), 36);
+  };
+  EXPECT_LT(GradCheck(fn, {a}), kTol);
 }
 
 TEST(GradCheckTest, MatMul) {

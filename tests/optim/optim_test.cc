@@ -140,6 +140,33 @@ TEST(OptimizerTest, ZeroGradResetsAll) {
   EXPECT_FALSE(x.has_grad());
 }
 
+TEST(OptimizerTest, StepReadsButNeverMutatesTheAccumulator) {
+  // Pins the read-only contract from the grad() call-site audit: Sgd
+  // (with momentum + weight decay) and Adam may read the stored gradient
+  // during Step() but must not write through it — a Step that scaled or
+  // zeroed the accumulator in place would corrupt any later consumer
+  // (gradient logging, clipping, accumulation across micro-batches).
+  for (int use_adam = 0; use_adam <= 1; ++use_adam) {
+    ag::Var x(tensor::Tensor::Full({6}, 0.5f), true);
+    ag::SumAll(ag::Square(x)).Backward();
+    const tensor::Tensor before = x.state()->grad.Clone();
+    if (use_adam) {
+      Adam opt({x}, 0.05f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.01f);
+      opt.Step();
+    } else {
+      Sgd opt({x}, 0.05f, /*momentum=*/0.9f, /*weight_decay=*/0.01f);
+      opt.Step();
+    }
+    const tensor::Tensor& after = x.state()->grad;
+    ASSERT_EQ(after.numel(), before.numel());
+    for (int64_t i = 0; i < after.numel(); ++i) {
+      EXPECT_EQ(after.data()[i], before.data()[i])
+          << (use_adam ? "Adam" : "Sgd") << " mutated the accumulator at "
+          << i;
+    }
+  }
+}
+
 TEST(OptimizerTest, RejectsNonTrainableParams) {
   ag::Var x(tensor::Tensor::Zeros({2}), false);
   EXPECT_DEATH(Adam({x}, 0.1f), "requires_grad");

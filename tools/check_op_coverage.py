@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Op-coverage linter: every autograd op must carry its own safety net.
+
+Cross-checks three sources of truth and fails the build when they drift:
+
+  1. ``src/autograd/ops.h``   — the public op surface (``Var Name(...)``).
+  2. ``src/autograd/ops.cc``  — the registry (``RegisterOp("Name"[, spec])``).
+  3. ``tests/autograd/gradcheck_test.cc`` — finite-difference coverage.
+
+Rules enforced:
+
+  R1  Every public op declared in ops.h is registered in the op registry
+      (so the tape auditor can name it in diagnostics).
+  R2  Every registered op is exercised by gradcheck_test.cc — either as a
+      function reference (``&Name``) or a direct call (``Name(``).
+  R3  Every op registered with BroadcastSpec::kNumpy is additionally
+      called inside at least one TEST whose name contains "Broadcast",
+      so the unequal-shape gradient-reduction path is covered, not just
+      the same-shape path.
+
+Exit status 0 when clean, 1 with a per-op listing otherwise.
+
+Usage:
+  check_op_coverage.py [--repo DIR]   # lint the repository (default: cwd)
+  check_op_coverage.py --self-test    # verify the linter catches drift
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+OPS_HEADER = "src/autograd/ops.h"
+OPS_SOURCE = "src/autograd/ops.cc"
+GRADCHECK_TEST = "tests/autograd/gradcheck_test.cc"
+
+# Ops excused from R2/R3 with the reason on record. Keep this empty unless
+# an op is genuinely untestable by finite differences.
+GRADCHECK_EXEMPT: dict = {}
+
+DECL_RE = re.compile(r"^Var\s+(\w+)\s*\(", re.MULTILINE)
+REGISTER_RE = re.compile(
+    r'RegisterOp\(\s*"(\w+)"\s*(?:,\s*BroadcastSpec::(\w+))?\s*\)')
+TEST_BLOCK_RE = re.compile(
+    r"TEST(?:_P|_F)?\s*\(\s*(\w+)\s*,\s*(\w+)\s*\)", re.MULTILINE)
+
+
+def parse_declared_ops(header_text):
+    """Public op names declared in ops.h."""
+    return sorted(set(DECL_RE.findall(header_text)))
+
+
+def parse_registered_ops(source_text):
+    """Map of registered op name -> broadcast spec ('kNone'/'kNumpy')."""
+    ops = {}
+    for name, spec in REGISTER_RE.findall(source_text):
+        ops[name] = spec or "kNone"
+    return ops
+
+
+def op_mentioned(test_text, name):
+    """True if the op is gradcheck-covered: ``&Name`` or ``Name(``."""
+    return re.search(r"(&%s\b|\b%s\s*\()" % (name, name), test_text) is not None
+
+
+def split_test_blocks(test_text):
+    """Yields (test_suite, test_name, body) by brace matching from TEST(."""
+    for m in TEST_BLOCK_RE.finditer(test_text):
+        depth = 0
+        start = test_text.index("{", m.end())
+        for i in range(start, len(test_text)):
+            if test_text[i] == "{":
+                depth += 1
+            elif test_text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    yield m.group(1), m.group(2), test_text[start:i + 1]
+                    break
+
+
+def broadcast_covered(test_text, name):
+    """True if the op is called in a TEST whose name mentions Broadcast."""
+    for _suite, test_name, body in split_test_blocks(test_text):
+        if "Broadcast" in test_name and re.search(r"\b%s\s*\(" % name, body):
+            return True
+    return False
+
+
+def lint(header_text, source_text, test_text):
+    """Returns a list of violation strings (empty when clean)."""
+    declared = parse_declared_ops(header_text)
+    registered = parse_registered_ops(source_text)
+    problems = []
+
+    for name in declared:
+        if name not in registered:
+            problems.append(
+                f"R1 {name}: declared in {OPS_HEADER} but never registered "
+                f"via RegisterOp in {OPS_SOURCE} — the tape auditor cannot "
+                f"name it in diagnostics")
+
+    for name, spec in sorted(registered.items()):
+        if name in GRADCHECK_EXEMPT:
+            continue
+        if not op_mentioned(test_text, name):
+            problems.append(
+                f"R2 {name}: registered but not exercised in "
+                f"{GRADCHECK_TEST} — add a gradcheck (finite-difference) "
+                f"case before shipping the op")
+        elif spec == "kNumpy" and not broadcast_covered(test_text, name):
+            problems.append(
+                f"R3 {name}: registered as a broadcasting op but never "
+                f"called inside a TEST named *Broadcast* in "
+                f"{GRADCHECK_TEST} — the gradient-reduction path for "
+                f"unequal shapes is untested")
+    return problems
+
+
+def lint_repo(repo):
+    paths = [repo / OPS_HEADER, repo / OPS_SOURCE, repo / GRADCHECK_TEST]
+    for p in paths:
+        if not p.is_file():
+            print(f"check_op_coverage: missing {p}", file=sys.stderr)
+            return 2
+    problems = lint(*(p.read_text() for p in paths))
+    if problems:
+        print(f"check_op_coverage: {len(problems)} violation(s):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    declared = parse_declared_ops((repo / OPS_HEADER).read_text())
+    registered = parse_registered_ops((repo / OPS_SOURCE).read_text())
+    n_bcast = sum(1 for s in registered.values() if s == "kNumpy")
+    print(f"check_op_coverage: OK — {len(declared)} declared ops, "
+          f"{len(registered)} registered ({n_bcast} broadcasting), "
+          f"all gradcheck-covered")
+    return 0
+
+
+def self_test():
+    """Negative fixtures: the linter must catch each drift class."""
+    header = "Var Foo(const Var& v);\nVar Bar(const Var& a, const Var& b);\n"
+    source = ('static const int kOp = RegisterOp("Foo");\n'
+              'static const int kOp2 = '
+              'RegisterOp("Bar", BroadcastSpec::kNumpy);\n')
+    covered = ("TEST(GradCheckTest, Foo) { Foo(x); }\n"
+               "TEST(GradCheckTest, BarBroadcastRow) { Bar(a, b); }\n")
+
+    failures = []
+
+    def expect(label, problems, rule):
+        hits = [p for p in problems if p.startswith(rule)]
+        if not hits:
+            failures.append(f"{label}: expected a {rule} violation, got "
+                            f"{problems or 'none'}")
+
+    # Clean fixture passes.
+    if lint(header, source, covered):
+        failures.append("clean fixture should produce no violations")
+    # R1: declared but unregistered.
+    expect("unregistered decl",
+           lint(header + "Var Baz(const Var& v);\n", source, covered), "R1")
+    # R2: registered but no gradcheck mention.
+    expect("uncovered op",
+           lint(header, source + 'RegisterOp("Qux");\n', covered), "R2")
+    # R3: broadcast op mentioned only outside Broadcast-named tests.
+    no_bcast = "TEST(GradCheckTest, Foo) { Foo(x); Bar(a, b); }\n"
+    expect("missing broadcast case", lint(header, source, no_bcast), "R3")
+    # R3 must not fire when the op *is* broadcast-covered.
+    if any(p.startswith("R3") for p in lint(header, source, covered)):
+        failures.append("R3 fired on a covered broadcast op")
+    # &Name references count as coverage (parameterised unary tests).
+    ref_style = ("TEST(GradCheckTest, Unary) { run(&Foo); }\n"
+                 "TEST(GradCheckTest, BarBroadcastRow) { Bar(a, b); }\n")
+    if any(p.startswith("R2") and "Foo" in p
+           for p in lint(header, source, ref_style)):
+        failures.append("&Foo reference should count as coverage")
+    # Substring op names must not shadow each other (MatMul vs BatchMatMul).
+    sub_header = "Var MatMul(const Var& a, const Var& b);\n"
+    sub_source = 'RegisterOp("MatMul");\n'
+    sub_test = "TEST(GradCheckTest, Batch) { BatchMatMul(a, b); }\n"
+    expect("substring shadowing", lint(sub_header, sub_source, sub_test), "R2")
+
+    if failures:
+        print("check_op_coverage --self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("check_op_coverage --self-test OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=".", help="repository root")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the linter's own negative fixtures")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    return lint_repo(Path(args.repo))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

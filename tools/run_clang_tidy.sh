@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the library sources using the checks in .clang-tidy.
+#
+# Usage: tools/run_clang_tidy.sh [--require] [BUILD_DIR]
+#
+#   --require   fail (exit 2) when clang-tidy is not installed — used by CI
+#               so a missing tool can never silently pass the lint job.
+#               Without it the script prints a notice and exits 0, so local
+#               builds without clang-tidy are not blocked.
+#   BUILD_DIR   directory holding compile_commands.json (default: build).
+set -euo pipefail
+
+require=0
+if [[ "${1:-}" == "--require" ]]; then
+  require=1
+  shift
+fi
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+# Accept both relative-to-repo and absolute build dirs.
+if [[ "$build_dir" != /* ]]; then
+  build_dir="$repo_root/$build_dir"
+fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  if [[ "$require" == 1 ]]; then
+    echo "run_clang_tidy: clang-tidy not found and --require given" >&2
+    exit 2
+  fi
+  echo "run_clang_tidy: clang-tidy not installed; skipping (use --require to fail instead)"
+  exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [[ ! -f "$db" ]]; then
+  echo "run_clang_tidy: $db missing — configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+cd "$repo_root"
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "run_clang_tidy: checking ${#sources[@]} files against .clang-tidy"
+clang-tidy -p "$build_dir" --quiet "${sources[@]}"
+echo "run_clang_tidy: clean"
