@@ -4,10 +4,17 @@
 //   3. Train CamE with the 1-to-N objective.
 //   4. Evaluate with filtered ranking and answer one link query.
 //
-// Run:  ./quickstart [scale=0.1] [epochs=10]
+// Run:  ./quickstart [scale=0.1] [epochs=10] [--ckpt=PATH] [--resume]
+//
+//   --ckpt=PATH  write a crash-safe checkpoint to PATH after every epoch
+//   --resume     restore trainer state from --ckpt before training; the
+//                continued run is bitwise-identical to one that never
+//                stopped
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "baselines/model_zoo.h"
@@ -18,8 +25,28 @@
 
 int main(int argc, char** argv) {
   using namespace came;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
-  const int epochs = argc > 2 ? std::atoi(argv[2]) : 10;
+  double scale = 0.1;
+  int epochs = 10;
+  std::string ckpt_path;
+  bool resume = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ckpt=", 7) == 0) {
+      ckpt_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (positional == 0) {
+      scale = std::atof(argv[i]);
+      ++positional;
+    } else {
+      epochs = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
+  if (resume && ckpt_path.empty()) {
+    std::fprintf(stderr, "--resume requires --ckpt=PATH\n");
+    return 1;
+  }
 
   // 1. Data: a DRKG-like multimodal BKG (drugs carry molecular graphs,
   //    every entity carries a textual description).
@@ -51,7 +78,17 @@ int main(int argc, char** argv) {
 
   train::TrainConfig cfg;
   cfg.epochs = epochs;
+  cfg.checkpoint_path = ckpt_path;
   train::Trainer trainer(model.get(), ds, cfg);
+  if (resume) {
+    const Status st = trainer.Resume(ckpt_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("resumed from %s at epoch %d\n", ckpt_path.c_str(),
+                trainer.epochs_run());
+  }
   trainer.Train([](const train::EpochStats& s) {
     std::printf("epoch %2d  loss %.4f  (%.1fs)\n", s.epoch, s.loss,
                 s.seconds_elapsed);

@@ -24,7 +24,6 @@ class DistMult : public InnerProductKgcModel {
   ag::Var CandidateTable() override { return entities_; }
 
  private:
-  Rng rng_;
   ag::Var entities_;
   ag::Var relations_;
 };
@@ -51,7 +50,6 @@ class ComplEx : public InnerProductKgcModel {
 
  private:
   int64_t half_;
-  Rng rng_;
   ag::Var entities_;   // [N, 2*half]: [re ; im]
   ag::Var relations_;  // [2R, 2*half]
 };

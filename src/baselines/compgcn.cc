@@ -6,7 +6,7 @@
 namespace came::baselines {
 
 CompGcn::CompGcn(const ModelContext& context, const Config& config)
-    : KgcModel(context), config_(config), rng_(context.seed) {
+    : KgcModel(context), config_(config) {
   CAME_CHECK(context.train_triples != nullptr)
       << "CompGCN needs the training graph";
   entity_embedding_ = RegisterParameter(

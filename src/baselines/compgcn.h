@@ -47,7 +47,6 @@ class CompGcn : public KgcModel {
   Convolved RunGcn();
 
   Config config_;
-  Rng rng_;
   ag::Var entity_embedding_;
   ag::Var relation_embedding_;
   std::vector<std::unique_ptr<nn::Linear>> w_original_;

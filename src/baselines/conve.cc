@@ -22,10 +22,8 @@ ag::Var Stack2d(const std::vector<ag::Var>& vectors, int64_t reshape_h) {
 }
 
 ConvE::ConvE(const ModelContext& context, const ConvDecoderConfig& config)
-    : InnerProductKgcModel(context, config.dim, /*entity_bias=*/true,
-                           nullptr),
-      config_(config),
-      rng_(context.seed) {
+    : InnerProductKgcModel(context, config.dim, /*entity_bias=*/true),
+      config_(config) {
   entities_ = RegisterParameter(
       "entities",
       nn::EmbeddingInit({context.num_entities, config.dim}, &rng_));

@@ -36,7 +36,6 @@ class ConvE : public InnerProductKgcModel {
 
  private:
   ConvDecoderConfig config_;
-  Rng rng_;
   ag::Var entities_;
   ag::Var relations_;
   std::unique_ptr<nn::Conv2d> conv_;

@@ -6,11 +6,9 @@
 namespace came::baselines {
 
 InnerProductKgcModel::InnerProductKgcModel(const ModelContext& context,
-                                           int64_t query_dim, bool entity_bias,
-                                           Rng* rng) 
+                                           int64_t query_dim, bool entity_bias)
     : KgcModel(context) {
   (void)query_dim;
-  (void)rng;
   if (entity_bias) {
     bias_ = RegisterParameter("entity_bias",
                               tensor::Tensor::Zeros({context.num_entities}));

@@ -64,10 +64,20 @@ class KgcModel : public nn::Module {
   int64_t num_entities() const { return context_.num_entities; }
   int64_t num_relations() const { return context_.num_relations; }
 
+  /// The model's single Rng stream (parameter init at construction,
+  /// dropout masks during training). Exposed so the checkpoint subsystem
+  /// can capture and restore it for bitwise-identical resume.
+  Rng* mutable_rng() { return &rng_; }
+
  protected:
-  explicit KgcModel(const ModelContext& context) : context_(context) {}
+  explicit KgcModel(const ModelContext& context)
+      : context_(context), rng_(context.seed) {}
 
   ModelContext context_;
+  /// Every concrete model draws init and dropout randomness from this one
+  /// stream (seeded with context.seed), keeping the full set of training
+  /// Rng streams enumerable for checkpointing.
+  Rng rng_;
 };
 
 /// Helper base for models whose score is an inner product
@@ -83,7 +93,7 @@ class InnerProductKgcModel : public KgcModel {
 
  protected:
   InnerProductKgcModel(const ModelContext& context, int64_t query_dim,
-                       bool entity_bias, Rng* rng);
+                       bool entity_bias);
 
   /// [B, query_dim] query vectors.
   virtual ag::Var Query(const std::vector<int64_t>& heads,

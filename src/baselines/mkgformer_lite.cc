@@ -9,10 +9,8 @@ namespace came::baselines {
 
 MkgformerLite::MkgformerLite(const ModelContext& context,
                              const ConvDecoderConfig& config)
-    : InnerProductKgcModel(context, config.dim, /*entity_bias=*/true,
-                           nullptr),
-      config_(config),
-      rng_(context.seed) {
+    : InnerProductKgcModel(context, config.dim, /*entity_bias=*/true),
+      config_(config) {
   CAME_CHECK(context.features != nullptr);
   entities_ = RegisterParameter(
       "entities",

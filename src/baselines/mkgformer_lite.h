@@ -34,7 +34,6 @@ class MkgformerLite : public InnerProductKgcModel {
   ag::Var MEncoder(const std::vector<int64_t>& heads);
 
   ConvDecoderConfig config_;
-  Rng rng_;
   ag::Var entities_;
   ag::Var relations_;
   // Prefix-guided interaction.

@@ -14,7 +14,7 @@ tensor::Tensor ConcatModalFeatures(const encoders::FeatureBank& bank) {
 CrossModalTransE::CrossModalTransE(const ModelContext& context, int64_t dim,
                                    tensor::Tensor feature_table,
                                    const std::string& prefix)
-    : KgcModel(context), rng_(context.seed), features_(std::move(feature_table)) {
+    : KgcModel(context), features_(std::move(feature_table)) {
   CAME_CHECK_EQ(features_.dim(0), context.num_entities);
   entities_ = RegisterParameter(
       prefix + "_entities",
@@ -90,7 +90,7 @@ Mtakgr::Mtakgr(const ModelContext& context, int64_t dim)
                        ConcatModalFeatures(*context.features), "mtakgr") {}
 
 TransAe::TransAe(const ModelContext& context, int64_t dim)
-    : KgcModel(context), rng_(context.seed) {
+    : KgcModel(context) {
   CAME_CHECK(context.features != nullptr);
   features_ = ConcatModalFeatures(*context.features);
   relations_ = RegisterParameter(

@@ -35,8 +35,6 @@ class CrossModalTransE : public KgcModel {
   ag::Var ModalEmbedding(const std::vector<int64_t>& entities);
   /// Projected modality embeddings for all entities: [N, dim].
   ag::Var ModalTable();
-
-  Rng rng_;
   ag::Var entities_;      // [N, dim] structural
   ag::Var relations_;     // [2R, dim]
   tensor::Tensor features_;  // frozen [N, feat]
@@ -83,8 +81,6 @@ class TransAe : public KgcModel {
   /// Encoder over the frozen features of the given entities: [B, dim].
   ag::Var Encode(const std::vector<int64_t>& entities);
   ag::Var EncodeAll();
-
-  Rng rng_;
   tensor::Tensor features_;  // frozen [N, feat] (molecule ++ text)
   ag::Var relations_;
   std::unique_ptr<nn::Linear> enc1_;

@@ -12,8 +12,7 @@ RotatE::RotatE(const ModelContext& context, int64_t dim,
                bool self_adversarial)
     : KgcModel(context),
       self_adversarial_(self_adversarial),
-      half_(dim / 2),
-      rng_(context.seed) {
+      half_(dim / 2) {
   CAME_CHECK_EQ(dim % 2, 0);
   entities_ = RegisterParameter(
       "entities", nn::EmbeddingInit({context.num_entities, dim}, &rng_));
@@ -51,9 +50,8 @@ ag::Var RotatE::ScoreAllTails(const std::vector<int64_t>& heads,
 }
 
 DualE::DualE(const ModelContext& context, int64_t dim)
-    : InnerProductKgcModel(context, dim, /*entity_bias=*/false, nullptr),
-      block_(dim / 8),
-      rng_(context.seed) {
+    : InnerProductKgcModel(context, dim, /*entity_bias=*/false),
+      block_(dim / 8) {
   CAME_CHECK_EQ(dim % 8, 0) << "DualE needs dim divisible by 8";
   entities_ = RegisterParameter(
       "entities", nn::EmbeddingInit({context.num_entities, dim}, &rng_));

@@ -36,7 +36,6 @@ class RotatE : public KgcModel {
 
   bool self_adversarial_;
   int64_t half_;
-  Rng rng_;
   ag::Var entities_;  // [N, 2*half]
   ag::Var phases_;    // [2R, half]
 };
@@ -62,7 +61,6 @@ class DualE : public InnerProductKgcModel {
 
  private:
   int64_t block_;  // dim / 8
-  Rng rng_;
   ag::Var entities_;
   ag::Var relations_;
 };

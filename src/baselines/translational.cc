@@ -32,7 +32,7 @@ ag::Var NegativeL1Distance(const ag::Var& a, const ag::Var& b) {
 }
 
 TransE::TransE(const ModelContext& context, int64_t dim)
-    : KgcModel(context), rng_(context.seed) {
+    : KgcModel(context) {
   entities_ = RegisterParameter(
       "entities", nn::EmbeddingInit({context.num_entities, dim}, &rng_));
   relations_ = RegisterParameter(
@@ -57,7 +57,7 @@ ag::Var TransE::ScoreAllTails(const std::vector<int64_t>& heads,
 }
 
 PairRe::PairRe(const ModelContext& context, int64_t dim)
-    : KgcModel(context), rng_(context.seed) {
+    : KgcModel(context) {
   entities_ = RegisterParameter(
       "entities", nn::EmbeddingInit({context.num_entities, dim}, &rng_));
   rel_head_ = RegisterParameter(

@@ -31,8 +31,6 @@ class TransE : public KgcModel {
  private:
   ag::Var Translate(const std::vector<int64_t>& heads,
                     const std::vector<int64_t>& rels);
-
-  Rng rng_;
   ag::Var entities_;   // [N, d]
   ag::Var relations_;  // [2R, d]
 };
@@ -54,7 +52,6 @@ class PairRe : public KgcModel {
                         const std::vector<int64_t>& rels) override;
 
  private:
-  Rng rng_;
   ag::Var entities_;       // [N, d]
   ag::Var rel_head_;       // [2R, d]
   ag::Var rel_tail_;       // [2R, d]

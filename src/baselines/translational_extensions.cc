@@ -6,7 +6,7 @@
 namespace came::baselines {
 
 TransH::TransH(const ModelContext& context, int64_t dim)
-    : KgcModel(context), rng_(context.seed) {
+    : KgcModel(context) {
   entities_ = RegisterParameter(
       "entities", nn::EmbeddingInit({context.num_entities, dim}, &rng_));
   translate_ = RegisterParameter(
@@ -65,7 +65,7 @@ ag::Var TransH::ScoreAllTails(const std::vector<int64_t>& heads,
 }
 
 TransD::TransD(const ModelContext& context, int64_t dim)
-    : KgcModel(context), rng_(context.seed) {
+    : KgcModel(context) {
   entities_ = RegisterParameter(
       "entities", nn::EmbeddingInit({context.num_entities, dim}, &rng_));
   entity_proj_ = RegisterParameter(
@@ -126,7 +126,7 @@ ag::Var TransD::ScoreAllTails(const std::vector<int64_t>& heads,
 namespace came::baselines {
 
 TransR::TransR(const ModelContext& context, int64_t dim)
-    : KgcModel(context), dim_(dim), rng_(context.seed) {
+    : KgcModel(context), dim_(dim) {
   entities_ = RegisterParameter(
       "entities", nn::EmbeddingInit({context.num_entities, dim}, &rng_));
   relations_ = RegisterParameter(

@@ -34,8 +34,6 @@ class TransH : public KgcModel {
  private:
   /// Relation normals, L2-normalised on the fly: [B, d].
   ag::Var UnitNormals(const std::vector<int64_t>& rels);
-
-  Rng rng_;
   ag::Var entities_;   // [N, d]
   ag::Var translate_;  // d_r: [2R, d]
   ag::Var normals_;    // w_r: [2R, d] (normalised in forward)
@@ -66,7 +64,6 @@ class TransR : public KgcModel {
                             const std::vector<int64_t>& rels);
 
   int64_t dim_;
-  Rng rng_;
   ag::Var entities_;     // [N, d]
   ag::Var relations_;    // [2R, d]
   ag::Var projections_;  // M_r: [2R, d*d]
@@ -91,8 +88,6 @@ class TransD : public KgcModel {
 
  private:
   ag::Var Project(const ag::Var& e, const ag::Var& e_p, const ag::Var& r_p);
-
-  Rng rng_;
   ag::Var entities_;         // [N, d]
   ag::Var entity_proj_;      // e_p: [N, d]
   ag::Var relations_;        // r: [2R, d]

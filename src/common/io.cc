@@ -1,0 +1,217 @@
+#include "common/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace came::io {
+
+namespace {
+
+// Nibble-driven CRC-32: a 16-entry table is cache-friendly and the
+// checkpoint payloads are small enough that throughput is irrelevant.
+constexpr uint32_t kCrcNibble[16] = {
+    0x00000000, 0x1db71064, 0x3b6e20c8, 0x26d930ac, 0x76dc4190, 0x6b6b51f4,
+    0x4db26158, 0x5005713c, 0xedb88320, 0xf00f9344, 0xd6d6a3e8, 0xcb61b38c,
+    0x9b64c2b0, 0x86d3d2d4, 0xa00ae278, 0xbdbdf21c};
+
+struct FailpointState {
+  Failpoint fp;
+  uint64_t bytes_seen = 0;  // cumulative across writers while installed
+  bool crashed = false;     // kCrashAfterBytes tripped
+};
+
+FailpointState g_failpoint;
+
+bool FailpointActive() {
+  return g_failpoint.fp.kind != FailpointKind::kNone;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc ^= p[i];
+    crc = (crc >> 4) ^ kCrcNibble[crc & 0xf];
+    crc = (crc >> 4) ^ kCrcNibble[crc & 0xf];
+  }
+  return ~crc;
+}
+
+ScopedFailpoint::ScopedFailpoint(Failpoint fp) {
+  CAME_CHECK(!FailpointActive()) << "failpoint scopes do not nest";
+  g_failpoint = FailpointState{fp, 0, false};
+}
+
+ScopedFailpoint::~ScopedFailpoint() { g_failpoint = FailpointState{}; }
+
+FileWriter::~FileWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileWriter::Open(const std::string& path) {
+  CAME_CHECK(fd_ < 0) << "FileWriter already open";
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status FileWriter::Append(const void* data, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("FileWriter not open");
+  size_t to_write = n;
+  Status injected = Status::OK();
+  if (FailpointActive()) {
+    if (g_failpoint.crashed) {
+      return Status::IOError("injected crash: process is dead");
+    }
+    const uint64_t budget = g_failpoint.fp.at_bytes;
+    const uint64_t seen = g_failpoint.bytes_seen;
+    if (seen + n > budget) {
+      const size_t partial = budget > seen ? static_cast<size_t>(budget - seen)
+                                           : 0;
+      switch (g_failpoint.fp.kind) {
+        case FailpointKind::kShortWrite:
+          to_write = partial;
+          injected = Status::IOError("injected short write on " + path_);
+          break;
+        case FailpointKind::kEnospc:
+          to_write = 0;
+          injected = Status::IOError("injected ENOSPC on " + path_);
+          break;
+        case FailpointKind::kCrashAfterBytes:
+          to_write = partial;
+          g_failpoint.crashed = true;
+          injected = Status::IOError("injected crash while writing " + path_);
+          break;
+        case FailpointKind::kNone:
+          break;
+      }
+    }
+    g_failpoint.bytes_seen = seen + to_write;
+  }
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (to_write > 0) {
+    const ssize_t w = ::write(fd_, p, to_write);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write " + path_ + ": " + std::strerror(errno));
+    }
+    p += w;
+    to_write -= static_cast<size_t>(w);
+    bytes_written_ += static_cast<uint64_t>(w);
+  }
+  return injected;
+}
+
+Status FileWriter::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("FileWriter not open");
+  if (FailpointActive() && g_failpoint.crashed) {
+    return Status::IOError("injected crash: process is dead");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FileWriter::Close() {
+  if (fd_ < 0) return Status::FailedPrecondition("FileWriter not open");
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    return Status::IOError("close " + path_ + ": " + std::strerror(errno));
+  }
+  if (FailpointActive() && g_failpoint.crashed) {
+    return Status::IOError("injected crash: process is dead");
+  }
+  return Status::OK();
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp." + std::to_string(::getpid())) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) Abort();
+}
+
+Status AtomicFileWriter::Open() { return writer_.Open(tmp_path_); }
+
+Status AtomicFileWriter::Append(const void* data, size_t n) {
+  return writer_.Append(data, n);
+}
+
+Status AtomicFileWriter::Commit() {
+  CAME_CHECK(!committed_) << "Commit called twice";
+  CAME_RETURN_IF_ERROR(writer_.Sync());
+  CAME_RETURN_IF_ERROR(writer_.Close());
+  if (FailpointActive() && g_failpoint.crashed) {
+    return Status::IOError("injected crash before rename of " + tmp_path_);
+  }
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("rename " + tmp_path_ + " -> " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  committed_ = true;
+  // Make the rename itself durable: fsync the containing directory.
+  const size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+void AtomicFileWriter::Abort() {
+  if (committed_) return;
+  if (writer_.is_open()) writer_.Close();  // ignore errors: best-effort
+  ::unlink(tmp_path_.c_str());
+}
+
+Status WriteFileAtomic(const std::string& path, const void* data, size_t n) {
+  AtomicFileWriter w(path);
+  CAME_RETURN_IF_ERROR(w.Open());
+  CAME_RETURN_IF_ERROR(w.Append(data, n));
+  return w.Commit();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  CAME_CHECK(out != nullptr);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status st =
+          Status::IOError("read " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    if (r == 0) break;
+    out->append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace came::io

@@ -1,0 +1,111 @@
+#ifndef CAME_COMMON_IO_H_
+#define CAME_COMMON_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace came::io {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding every
+/// checkpoint section. Pass the previous return value as `crc` to extend a
+/// running checksum over multiple buffers.
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+/// Injectable write failures for crash-safety tests. A failpoint applies
+/// process-wide to every FileWriter; production code never installs one.
+enum class FailpointKind {
+  kNone = 0,
+  /// The write that crosses `at_bytes` persists only the bytes up to the
+  /// threshold, then reports an I/O error (a torn write, e.g. EIO mid-way).
+  kShortWrite,
+  /// Writes past `at_bytes` fail without persisting anything (ENOSPC).
+  kEnospc,
+  /// Simulated process death: bytes up to `at_bytes` persist, then every
+  /// subsequent operation on any writer — Append, Sync, Close, and an
+  /// AtomicFileWriter's Commit/rename — fails. Whatever reached the
+  /// filesystem stays there, exactly like a real crash.
+  kCrashAfterBytes,
+};
+
+struct Failpoint {
+  FailpointKind kind = FailpointKind::kNone;
+  /// Cumulative byte threshold across all writers while the failpoint is
+  /// installed.
+  uint64_t at_bytes = 0;
+};
+
+/// Installs `fp` for the lifetime of the scope (tests only; not
+/// thread-safe against concurrent writers). Scopes do not nest.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(Failpoint fp);
+  ~ScopedFailpoint();
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+};
+
+/// Sequential unbuffered writer over a POSIX fd. Every byte it persists is
+/// metered against the active failpoint, so fault-injection tests can kill
+/// a write at any offset.
+class FileWriter {
+ public:
+  FileWriter() = default;
+  /// Closes the fd if still open (errors are lost; call Close() to see
+  /// them).
+  ~FileWriter();
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  /// Creates/truncates `path` for writing.
+  Status Open(const std::string& path);
+  Status Append(const void* data, size_t n);
+  /// fsync(2) — the data is durable after this returns OK.
+  Status Sync();
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Crash-safe whole-file replacement: writes to `<path>.tmp.<pid>`, then
+/// Commit() does fsync + rename + directory fsync. At every instant `path`
+/// either keeps its previous contents or holds the complete new ones —
+/// never a torn mix. Destroying an uncommitted writer removes the temp.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  Status Open();
+  Status Append(const void* data, size_t n);
+  /// Durably publishes the new contents under the final path.
+  Status Commit();
+  /// Drops the temp file; the final path is untouched. Idempotent.
+  void Abort();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  FileWriter writer_;
+  bool committed_ = false;
+};
+
+/// One-shot atomic replacement of `path` with `data`.
+Status WriteFileAtomic(const std::string& path, const void* data, size_t n);
+
+/// Reads the whole file into `out` (replacing its contents).
+Status ReadFile(const std::string& path, std::string* out);
+
+}  // namespace came::io
+
+#endif  // CAME_COMMON_IO_H_

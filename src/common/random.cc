@@ -116,4 +116,18 @@ int64_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng::State Rng::GetState() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace came

@@ -13,7 +13,20 @@ namespace came {
 /// for the distributions the codebase needs.
 class Rng {
  public:
+  /// Complete serialisable generator state: the four xoshiro256** words
+  /// plus the Box-Muller spare. Restoring it continues the stream exactly
+  /// where GetState() left off — Normal() parity included — which the
+  /// checkpoint subsystem relies on for bitwise-identical resume.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
   explicit Rng(uint64_t seed);
+
+  State GetState() const;
+  void SetState(const State& state);
 
   /// Uniform in [0, 2^64).
   uint64_t NextU64();

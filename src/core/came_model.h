@@ -76,7 +76,6 @@ class CamE : public baselines::InnerProductKgcModel {
   std::vector<ag::Var> GatherModalities(const std::vector<int64_t>& heads);
 
   CamEConfig config_;
-  Rng rng_;
   std::vector<std::string> modality_names_;
   std::vector<int64_t> modality_dims_;
   int molecule_slot_ = -1;  // index into the modality list, -1 if absent

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 
+#include "common/io.h"
 #include "common/logging.h"
 
 namespace came::nn {
@@ -78,32 +79,61 @@ void Module::RestoreParameters(const std::vector<tensor::Tensor>& snapshot) {
   }
 }
 
+Status Module::LoadParameterValues(
+    const std::vector<std::pair<std::string, tensor::Tensor>>& named_values) {
+  auto named = NamedParameters();
+  if (named_values.size() != named.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch (given " +
+        std::to_string(named_values.size()) + ", module " +
+        std::to_string(named.size()) + ")");
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    if (named_values[i].first != named[i].first) {
+      return Status::InvalidArgument("parameter name mismatch: given " +
+                                     named_values[i].first +
+                                     ", module expects " + named[i].first);
+    }
+    if (!tensor::SameShape(named_values[i].second.shape(),
+                           named[i].second.shape())) {
+      return Status::InvalidArgument("shape mismatch for " + named[i].first);
+    }
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    const tensor::Tensor& src = named_values[i].second;
+    ag::Var p = named[i].second;
+    std::copy(src.data(), src.data() + src.numel(),
+              p.mutable_value().data());
+  }
+  return Status::OK();
+}
+
 namespace {
 constexpr uint32_t kMagic = 0x43414d45;  // "CAME"
 }  // namespace
 
 Status Module::SaveParameters(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path);
+  // Serialise into memory, then publish with a single atomic replacement:
+  // a torn save (crash, ENOSPC) leaves any previous file intact.
+  std::string buf;
+  auto append = [&buf](const void* p, size_t n) {
+    buf.append(static_cast<const char*>(p), n);
+  };
   const auto named = NamedParameters();
   const uint32_t magic = kMagic;
   const uint64_t count = named.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  append(&magic, sizeof(magic));
+  append(&count, sizeof(count));
   for (const auto& [name, p] : named) {
     const uint64_t name_len = name.size();
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(name.data(), static_cast<std::streamsize>(name_len));
+    append(&name_len, sizeof(name_len));
+    append(name.data(), name_len);
     const uint64_t ndim = p.shape().size();
-    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
-    for (int64_t d : p.shape()) {
-      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
-    }
-    out.write(reinterpret_cast<const char*>(p.value().data()),
-              static_cast<std::streamsize>(p.numel() * sizeof(float)));
+    append(&ndim, sizeof(ndim));
+    for (int64_t d : p.shape()) append(&d, sizeof(d));
+    append(p.value().data(), static_cast<size_t>(p.numel()) * sizeof(float));
   }
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return io::WriteFileAtomic(path, buf.data(), buf.size());
 }
 
 Status Module::LoadParameters(const std::string& path) {
@@ -116,37 +146,38 @@ Status Module::LoadParameters(const std::string& path) {
   if (!in || magic != kMagic) {
     return Status::Corruption(path + ": not a CamE parameter file");
   }
-  auto named = NamedParameters();
-  if (count != named.size()) {
-    return Status::InvalidArgument(
-        path + ": parameter count mismatch (file " + std::to_string(count) +
-        ", module " + std::to_string(named.size()) + ")");
-  }
-  for (auto& [expected_name, p] : named) {
+  if (count > (1u << 20)) return Status::Corruption("bad parameter count");
+  // Decode the whole file into memory first; the module is only touched by
+  // the final LoadParameterValues, so a truncated or mismatched file
+  // cannot leave it half-loaded.
+  std::vector<std::pair<std::string, tensor::Tensor>> decoded;
+  decoded.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_len = 0;
     in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
     if (!in || name_len > 4096) return Status::Corruption("bad name length");
     std::string name(name_len, 0);
     in.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (name != expected_name) {
-      return Status::InvalidArgument("parameter name mismatch: file has " +
-                                     name + ", module expects " +
-                                     expected_name);
-    }
     uint64_t ndim = 0;
     in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
     if (!in || ndim > 8) return Status::Corruption("bad ndim");
     tensor::Shape shape(ndim);
     for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
-    if (!tensor::SameShape(shape, p.shape())) {
-      return Status::InvalidArgument("shape mismatch for " + name);
+    if (!in) return Status::Corruption("truncated shape for " + name);
+    int64_t numel = 1;
+    for (int64_t d : shape) {
+      if (d < 0 || (d > 0 && numel > (int64_t{1} << 40) / d)) {
+        return Status::Corruption("bad dimension for " + name);
+      }
+      numel *= d;
     }
-    ag::Var v = p;
-    in.read(reinterpret_cast<char*>(v.mutable_value().data()),
-            static_cast<std::streamsize>(v.numel() * sizeof(float)));
+    tensor::Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
     if (!in) return Status::Corruption("truncated data for " + name);
+    decoded.emplace_back(std::move(name), std::move(t));
   }
-  return Status::OK();
+  return LoadParameterValues(decoded);
 }
 
 }  // namespace came::nn

@@ -41,7 +41,16 @@ class Module {
   /// Restores values captured by SnapshotParameters (shape-checked).
   void RestoreParameters(const std::vector<tensor::Tensor>& snapshot);
 
+  /// Restores parameter values from (name, tensor) pairs in
+  /// NamedParameters order. Unlike RestoreParameters this is a fallible
+  /// load of external state: names and shapes are validated up front and
+  /// no parameter is touched unless everything matches.
+  Status LoadParameterValues(
+      const std::vector<std::pair<std::string, tensor::Tensor>>& named_values);
+
   /// Binary serialisation of named parameters (name, shape, float data).
+  /// The file is written atomically (temp + fsync + rename), so a crash
+  /// mid-save can never corrupt a previous save under the same path.
   Status SaveParameters(const std::string& path) const;
   /// Loads parameters saved by SaveParameters; names and shapes must
   /// match this module exactly.

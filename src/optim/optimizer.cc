@@ -96,6 +96,34 @@ void Adam::Step() {
   }
 }
 
+Status Adam::RestoreState(int64_t step_count,
+                          const std::vector<tensor::Tensor>& m,
+                          const std::vector<tensor::Tensor>& v) {
+  if (step_count < 0) {
+    return Status::InvalidArgument("Adam step count must be >= 0, got " +
+                                   std::to_string(step_count));
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "Adam moment count mismatch: optimizer has " +
+        std::to_string(params_.size()) + " params, state has " +
+        std::to_string(m.size()) + "/" + std::to_string(v.size()));
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!tensor::SameShape(m[i].shape(), params_[i].shape()) ||
+        !tensor::SameShape(v[i].shape(), params_[i].shape())) {
+      return Status::InvalidArgument("Adam moment shape mismatch at index " +
+                                     std::to_string(i));
+    }
+  }
+  t_ = step_count;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i] = m[i].Clone();
+    v_[i] = v[i].Clone();
+  }
+  return Status::OK();
+}
+
 float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {
   double total = 0.0;
   for (const auto& p : params) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/status.h"
 
 namespace came::optim {
 
@@ -50,6 +51,20 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
 
   void Step() override;
+
+  /// Serialisation accessors (checkpointing). The moment vectors are
+  /// aligned with the constructor's parameter order.
+  int64_t step_count() const { return t_; }
+  const std::vector<tensor::Tensor>& first_moments() const { return m_; }
+  const std::vector<tensor::Tensor>& second_moments() const { return v_; }
+
+  /// Restores state captured from another Adam over identically-shaped
+  /// parameters; the next Step() is then bitwise-identical to the one the
+  /// donor would have taken. Fails on count/shape mismatch without
+  /// modifying this optimizer.
+  Status RestoreState(int64_t step_count,
+                      const std::vector<tensor::Tensor>& m,
+                      const std::vector<tensor::Tensor>& v);
 
  private:
   float beta1_;

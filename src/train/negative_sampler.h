@@ -30,6 +30,11 @@ class NegativeSampler {
   void AppendSamples(int64_t head, int64_t rel, int64_t k,
                      std::vector<int64_t>* out);
 
+  /// Generator state accessors for checkpoint/resume: restoring the state
+  /// continues the negative stream exactly where it left off.
+  Rng::State rng_state() const { return rng_.GetState(); }
+  void set_rng_state(const Rng::State& state) { rng_.SetState(state); }
+
  private:
   const kg::FilterIndex* filter_;
   int64_t num_entities_;

@@ -1,10 +1,12 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "tensor/tensor_ops.h"
+#include "train/checkpoint.h"
 
 namespace came::train {
 
@@ -19,6 +21,7 @@ Trainer::Trainer(baselines::KgcModel* model, const kg::Dataset& dataset,
       rng_(config.seed) {
   CAME_CHECK(model != nullptr);
   CAME_CHECK(!dataset.train.empty());
+  order_.resize(train_.size());
   train_filter_.AddTriples(dataset.train);
   optimizer_ = std::make_unique<optim::Adam>(
       model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
@@ -28,9 +31,21 @@ Trainer::Trainer(baselines::KgcModel* model, const kg::Dataset& dataset,
 
 void Trainer::Train(const EpochCallback& cb) {
   model_->SetTraining(true);
-  for (int e = 0; e < config_.epochs; ++e) {
+  while (epochs_run_ < config_.epochs) {
     const float loss = RunEpoch();
     if (cb) cb({epochs_run_, loss, stopwatch_.ElapsedSeconds()});
+    MaybeCheckpoint();
+  }
+}
+
+void Trainer::MaybeCheckpoint() const {
+  if (config_.checkpoint_path.empty()) return;
+  const int every = std::max(1, config_.checkpoint_every);
+  if (epochs_run_ % every != 0 && epochs_run_ != config_.epochs) return;
+  const Status st = SaveCheckpoint(config_.checkpoint_path);
+  if (!st.ok()) {
+    CAME_LOG(Warning) << "checkpoint save failed (training continues): "
+                      << st.ToString();
   }
 }
 
@@ -41,32 +56,39 @@ eval::Metrics Trainer::TrainWithBestValidation(
   CAME_CHECK(!dataset_.valid.empty()) << "no validation split";
   eval::EvalConfig ec;
   ec.max_triples = valid_sample;
-  eval::Metrics best;
-  std::vector<tensor::Tensor> best_snapshot;
   model_->SetTraining(true);
-  for (int e = 0; e < config_.epochs; ++e) {
+  while (epochs_run_ < config_.epochs) {
     const float loss = RunEpoch();
     if (cb) cb({epochs_run_, loss, stopwatch_.ElapsedSeconds()});
-    if ((e + 1) % eval_every != 0 && e + 1 != config_.epochs) continue;
+    if (epochs_run_ % eval_every != 0 && epochs_run_ != config_.epochs) {
+      MaybeCheckpoint();
+      continue;
+    }
     const eval::Metrics m =
         evaluator.Evaluate(model_, dataset_.valid, ec);
     // The paper selects checkpoints on validation MRR; Hits@10 only
     // breaks exact MRR ties.
     const bool improved =
-        best_snapshot.empty() || m.Mrr() > best.Mrr() ||
-        (m.Mrr() == best.Mrr() && m.Hits10() > best.Hits10());
+        best_snapshot_.empty() || m.Mrr() > best_.Mrr() ||
+        (m.Mrr() == best_.Mrr() && m.Hits10() > best_.Hits10());
     if (improved) {
-      best = m;
-      best_snapshot = model_->SnapshotParameters();
+      best_ = m;
+      best_snapshot_ = model_->SnapshotParameters();
     }
+    MaybeCheckpoint();
   }
-  if (!best_snapshot.empty()) model_->RestoreParameters(best_snapshot);
-  return best;
+  if (!best_snapshot_.empty()) model_->RestoreParameters(best_snapshot_);
+  return best_;
 }
 
 float Trainer::RunEpoch() {
   model_->SetTraining(true);
-  rng_.Shuffle(&train_);
+  // Shuffle a fresh identity permutation rather than the triples in
+  // place: the epoch's visit order then depends only on the Rng state at
+  // epoch start, so a resumed run replays the same order as an
+  // uninterrupted one.
+  std::iota(order_.begin(), order_.end(), size_t{0});
+  rng_.Shuffle(&order_);
   float loss = 0.0f;
   switch (model_->regime()) {
     case baselines::TrainingRegime::kOneToN:
@@ -103,14 +125,14 @@ float Trainer::OneToNEpoch() {
     tensor::Tensor labels =
         tensor::Tensor::Full({b, n_entities}, off_value);
     for (size_t i = start; i < end; ++i) {
-      heads.push_back(train_[i].head);
-      rels.push_back(train_[i].rel);
+      heads.push_back(EpochTriple(i).head);
+      rels.push_back(EpochTriple(i).rel);
     }
     // Rows of the multi-label target are independent slabs; scatter the
     // known tails across the pool (reads of the filter index are const).
     ParallelFor(0, b, /*grain=*/16, [&](int64_t lo, int64_t hi) {
       for (int64_t row = lo; row < hi; ++row) {
-        const kg::Triple& t = train_[start + static_cast<size_t>(row)];
+        const kg::Triple& t = EpochTriple(start + static_cast<size_t>(row));
         for (int64_t tail : train_filter_.Tails(t.head, t.rel)) {
           labels.data()[row * n_entities + tail] = on_value;
         }
@@ -130,6 +152,79 @@ float Trainer::OneToNEpoch() {
   return static_cast<float>(total / std::max<int64_t>(1, batches));
 }
 
+Status Trainer::SaveCheckpoint(const std::string& path) const {
+  CheckpointState st;
+  for (const auto& [name, p] : model_->NamedParameters()) {
+    st.params.emplace_back(name, p.value());
+  }
+  st.adam_step = optimizer_->step_count();
+  st.adam_m = optimizer_->first_moments();
+  st.adam_v = optimizer_->second_moments();
+  st.rng_streams = {rng_.GetState(), sampler_.rng_state(),
+                    model_->mutable_rng()->GetState()};
+  st.epochs_run = epochs_run_;
+  st.has_best = !best_snapshot_.empty();
+  st.best = best_;
+  st.best_snapshot = best_snapshot_;
+  return WriteCheckpoint(path, st);
+}
+
+Status Trainer::Resume(const std::string& path) {
+  CheckpointState st;
+  CAME_RETURN_IF_ERROR(ReadCheckpoint(path, &st));
+
+  // Validate every cross-reference before mutating anything, so a bad
+  // checkpoint leaves the trainer in its pre-Resume state.
+  if (st.rng_streams.size() != 3) {
+    return Status::InvalidArgument(
+        path + ": expected 3 rng streams (trainer, sampler, model), found " +
+        std::to_string(st.rng_streams.size()));
+  }
+  const auto named = model_->NamedParameters();
+  if (st.has_best && st.best_snapshot.size() != named.size()) {
+    return Status::InvalidArgument(path + ": best-snapshot tensor count " +
+                                   std::to_string(st.best_snapshot.size()) +
+                                   " does not match the model's " +
+                                   std::to_string(named.size()));
+  }
+  for (size_t i = 0; st.has_best && i < named.size(); ++i) {
+    if (!tensor::SameShape(st.best_snapshot[i].shape(),
+                           named[i].second.shape())) {
+      return Status::InvalidArgument(path +
+                                     ": best-snapshot shape mismatch for " +
+                                     named[i].first);
+    }
+  }
+  // Pre-check the optimizer state against the model's parameters (the
+  // optimizer was built from them, in the same order) so that once any
+  // application starts, nothing can fail halfway.
+  if (st.adam_m.size() != named.size() || st.adam_v.size() != named.size()) {
+    return Status::InvalidArgument(path + ": Adam moment count mismatch");
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    if (!tensor::SameShape(st.adam_m[i].shape(), named[i].second.shape()) ||
+        !tensor::SameShape(st.adam_v[i].shape(), named[i].second.shape())) {
+      return Status::InvalidArgument(path + ": Adam moment shape mismatch for " +
+                                     named[i].first);
+    }
+  }
+  CAME_RETURN_IF_ERROR(model_->LoadParameterValues(st.params));
+  CAME_RETURN_IF_ERROR(
+      optimizer_->RestoreState(st.adam_step, st.adam_m, st.adam_v));
+
+  rng_.SetState(st.rng_streams[0]);
+  sampler_.set_rng_state(st.rng_streams[1]);
+  model_->mutable_rng()->SetState(st.rng_streams[2]);
+  epochs_run_ = static_cast<int>(st.epochs_run);
+  best_ = st.best;
+  best_snapshot_ = std::move(st.best_snapshot);
+  if (!st.has_best) {
+    best_ = eval::Metrics{};
+    best_snapshot_.clear();
+  }
+  return Status::OK();
+}
+
 float Trainer::NegativeSamplingEpoch(bool self_adversarial) {
   const int64_t k = config_.negatives;
   double total = 0.0;
@@ -146,7 +241,7 @@ float Trainer::NegativeSamplingEpoch(bool self_adversarial) {
     std::vector<int64_t> rep_rels;
     std::vector<int64_t> neg_tails;
     for (size_t i = start; i < end; ++i) {
-      const kg::Triple& t = train_[i];
+      const kg::Triple& t = EpochTriple(i);
       heads.push_back(t.head);
       rels.push_back(t.rel);
       tails.push_back(t.tail);

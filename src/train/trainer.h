@@ -3,9 +3,11 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/kgc_model.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "eval/evaluator.h"
 #include "kg/dataset.h"
@@ -35,6 +37,12 @@ struct TrainConfig {
   float margin = 6.0f;
   /// Self-adversarial temperature alpha.
   float adv_temperature = 1.0f;
+
+  /// When non-empty, the trainer writes a full checkpoint here every
+  /// `checkpoint_every` epochs (atomically — a crash leaves the previous
+  /// checkpoint intact). A failed save is logged and training continues.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
 };
 
 struct EpochStats {
@@ -54,7 +62,9 @@ class Trainer {
 
   using EpochCallback = std::function<void(const EpochStats&)>;
 
-  /// Runs config.epochs epochs; invokes `cb` after each.
+  /// Trains until config.epochs total epochs have run (a freshly
+  /// constructed trainer runs all of them; a resumed one only the
+  /// remainder); invokes `cb` after each.
   void Train(const EpochCallback& cb = nullptr);
 
   /// Runs a single epoch and returns its mean batch loss.
@@ -71,6 +81,21 @@ class Trainer {
                                         int64_t valid_sample = -1,
                                         const EpochCallback& cb = nullptr);
 
+  /// Serialises the complete training state — model parameters, Adam
+  /// moments + step, all three Rng streams, epoch counter and the
+  /// best-validation state — atomically under `path`. A crash at any
+  /// point leaves either the previous checkpoint or the new one, never a
+  /// torn file.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores state saved by SaveCheckpoint into this trainer and its
+  /// model. Everything is validated (parameter names/shapes, optimizer
+  /// shapes, stream count, section checksums) before any mutation, so a
+  /// failed Resume leaves the trainer untouched. After a successful
+  /// Resume, continuing with Train()/TrainWithBestValidation() is
+  /// bitwise-identical to a run that never stopped.
+  Status Resume(const std::string& path);
+
   double elapsed_seconds() const { return stopwatch_.ElapsedSeconds(); }
   int epochs_run() const { return epochs_run_; }
 
@@ -78,16 +103,35 @@ class Trainer {
   float OneToNEpoch();
   float NegativeSamplingEpoch(bool self_adversarial);
 
+  /// Writes the periodic checkpoint configured by
+  /// TrainConfig::checkpoint_path, if due this epoch.
+  void MaybeCheckpoint() const;
+
+  /// The triple visited at position `i` of the current epoch.
+  const kg::Triple& EpochTriple(size_t i) const {
+    return train_[order_[i]];
+  }
+
   baselines::KgcModel* model_;
   const kg::Dataset& dataset_;
   TrainConfig config_;
-  std::vector<kg::Triple> train_;  // with inverses
+  /// Training triples with inverses, in pristine generation order. Epoch
+  /// ordering lives in `order_`: each epoch shuffles a fresh identity
+  /// permutation, so the visit order is a pure function of the Rng state
+  /// at epoch start — the property that makes checkpoint/resume
+  /// bitwise-identical to an uninterrupted run.
+  std::vector<kg::Triple> train_;
+  std::vector<size_t> order_;
   kg::FilterIndex train_filter_;
   std::unique_ptr<optim::Adam> optimizer_;
   NegativeSampler sampler_;
   Rng rng_;
   Stopwatch stopwatch_;
   int epochs_run_ = 0;
+  /// Best-validation state for TrainWithBestValidation, held as members
+  /// (rather than locals) so checkpoints capture model selection too.
+  eval::Metrics best_;
+  std::vector<tensor::Tensor> best_snapshot_;
 };
 
 }  // namespace came::train

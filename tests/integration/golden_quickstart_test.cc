@@ -1,0 +1,60 @@
+// Golden end-to-end regression: the quickstart pipeline (synthetic BKG ->
+// frozen features -> CamE -> filtered evaluation) at a fixed seed must
+// keep producing the pinned metrics. A drift here means something changed
+// the numerics of the whole stack — intentionally or not.
+//
+// Registered with ctest under the `slow` label and pinned to the scalar
+// GEMM kernel (CAME_GEMM_KERNEL=scalar in the test's environment), so the
+// numbers do not depend on which SIMD path the host happens to dispatch.
+#include <gtest/gtest.h>
+
+#include "baselines/model_zoo.h"
+#include "datagen/bkg_generator.h"
+#include "encoders/feature_bank.h"
+#include "eval/evaluator.h"
+#include "train/trainer.h"
+
+namespace came {
+namespace {
+
+TEST(GoldenQuickstartTest, TwoEpochCamEMetricsStayPinned) {
+  datagen::GeneratedBkg bkg =
+      datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.05));
+  encoders::FeatureBankConfig fb;
+  encoders::FeatureBank bank = BuildFeatureBank(bkg, fb);
+
+  baselines::ModelContext ctx;
+  ctx.num_entities = bkg.dataset.num_entities();
+  ctx.num_relations = bkg.dataset.num_relations_with_inverses();
+  ctx.features = &bank;
+  ctx.train_triples = &bkg.dataset.train;
+  baselines::ZooOptions zoo;
+  zoo.dim = 32;
+  zoo.came.fusion_dim = 32;
+  zoo.came.reshape_h = 4;
+  auto model = baselines::CreateModel("CamE", ctx, zoo);
+
+  train::TrainConfig cfg;
+  cfg.epochs = 2;
+  train::Trainer trainer(model.get(), bkg.dataset, cfg);
+  trainer.Train();
+
+  eval::Evaluator evaluator(bkg.dataset);
+  eval::EvalConfig ec;
+  ec.max_triples = 300;
+  const eval::Metrics m =
+      evaluator.Evaluate(model.get(), bkg.dataset.test, ec);
+
+  // Pinned from a scalar-kernel run at the default seeds (two epochs is a
+  // smoke-level budget, so absolute numbers are small). The tolerance
+  // (percentage points) absorbs libm differences across hosts while still
+  // catching real regressions.
+  EXPECT_NEAR(m.Mrr(), 4.51, 3.0);
+  EXPECT_NEAR(m.Hits1(), 0.50, 3.0);
+  EXPECT_NEAR(m.Hits3(), 2.00, 3.0);
+  EXPECT_NEAR(m.Hits10(), 9.50, 4.0);
+  EXPECT_EQ(m.count, 200);  // the whole test split, both directions
+}
+
+}  // namespace
+}  // namespace came

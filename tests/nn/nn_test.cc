@@ -6,6 +6,7 @@
 
 #include "autograd/gradcheck.h"
 #include "autograd/ops.h"
+#include "common/io.h"
 #include "nn/init.h"
 #include "nn/layers.h"
 #include "nn/module.h"
@@ -214,6 +215,75 @@ TEST(ModuleTest, LoadRejectsGarbageFile) {
   EXPECT_EQ(m.LoadParameters(path).code(), Status::Code::kCorruption);
   EXPECT_EQ(m.LoadParameters("/no/such/file").code(),
             Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, LoadRejectsTruncatedFileWithoutMutating) {
+  Rng rng(24);
+  ToyModule a(&rng);
+  const std::string path = "/tmp/came_module_trunc.bin";
+  ASSERT_TRUE(a.SaveParameters(path).ok());
+  std::string data;
+  ASSERT_TRUE(io::ReadFile(path, &data).ok());
+
+  Rng rng2(77);
+  ToyModule b(&rng2);
+  const auto before = b.SnapshotParameters();
+  // Truncation anywhere strictly inside the payload must be rejected and
+  // must leave every parameter of `b` untouched (all-or-nothing load).
+  const size_t len = data.size();
+  for (size_t cut : {size_t{2}, size_t{10}, size_t{21}, len / 2, len - 1}) {
+    ASSERT_LT(cut, len);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(data.data(), static_cast<std::streamsize>(cut));
+    }
+    EXPECT_FALSE(b.LoadParameters(path).ok()) << "cut at " << cut;
+    const auto after = b.SnapshotParameters();
+    for (size_t i = 0; i < before.size(); ++i) {
+      for (int64_t j = 0; j < before[i].numel(); ++j) {
+        ASSERT_EQ(after[i].data()[j], before[i].data()[j])
+            << "param " << i << " mutated by truncated load (cut " << cut
+            << ")";
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, LoadRejectsShapeMismatch) {
+  Rng rng(25);
+  Linear small(4, 2, &rng);
+  const std::string path = "/tmp/came_module_shape.bin";
+  ASSERT_TRUE(small.SaveParameters(path).ok());
+  Linear big(8, 2, &rng);  // same parameter names, different shapes
+  Status st = big.LoadParameters(path);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(st.message().find("shape"), std::string::npos) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, FailedSaveLeavesPreviousFileIntact) {
+  Rng rng(26);
+  ToyModule a(&rng);
+  const std::string path = "/tmp/came_module_atomic.bin";
+  ASSERT_TRUE(a.SaveParameters(path).ok());
+  std::string before;
+  ASSERT_TRUE(io::ReadFile(path, &before).ok());
+
+  {
+    io::ScopedFailpoint fp({io::FailpointKind::kEnospc, /*at_bytes=*/8});
+    Rng rng2(55);
+    ToyModule other(&rng2);
+    EXPECT_FALSE(other.SaveParameters(path).ok());
+  }
+  std::string after;
+  ASSERT_TRUE(io::ReadFile(path, &after).ok());
+  EXPECT_EQ(before, after);
+  // And the original module still loads from it.
+  Rng rng3(66);
+  ToyModule c(&rng3);
+  EXPECT_TRUE(c.LoadParameters(path).ok());
   std::remove(path.c_str());
 }
 

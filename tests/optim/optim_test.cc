@@ -84,6 +84,72 @@ TEST(AdamTest, WeightDecayShrinksParameters) {
   EXPECT_LT(x.value().data()[0], 7.0f);
 }
 
+TEST(AdamTest, StateRoundTripTakesIdenticalNextStep) {
+  // Two optimizers over identically-valued parameters: the donor takes a
+  // few real steps, then its (t, m, v) state is transplanted into a fresh
+  // Adam. Given the same gradient, the next update must match bitwise —
+  // the moments and the bias-correction step count all feed the step size.
+  auto make_param = [] {
+    return ag::Var(tensor::Tensor::FromVector({4}, {1, -2, 3, 0.5}), true);
+  };
+  auto grad_step = [](ag::Var x, Adam* opt) {
+    opt->ZeroGrad();
+    // Non-uniform gradients so the per-element moments actually differ.
+    ag::Var coeffs =
+        ag::Const(tensor::Tensor::FromVector({4}, {0.3f, -1.7f, 2.1f, 0.9f}));
+    ag::SumAll(ag::Mul(ag::Square(x), coeffs)).Backward();
+    opt->Step();
+  };
+
+  ag::Var a = make_param();
+  Adam donor({a}, 0.05f);
+  for (int i = 0; i < 5; ++i) grad_step(a, &donor);
+
+  ag::Var b(a.value().Clone(), true);
+  Adam restored({b}, 0.05f);
+  const Status st = restored.RestoreState(donor.step_count(),
+                                          donor.first_moments(),
+                                          donor.second_moments());
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  grad_step(a, &donor);
+  grad_step(b, &restored);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(a.value().data()[j], b.value().data()[j]) << "element " << j;
+  }
+}
+
+TEST(AdamTest, RestoreStateIsCopiedNotAliased) {
+  ag::Var a(tensor::Tensor::Zeros({2}), true);
+  ag::Var b(tensor::Tensor::Zeros({2}), true);
+  Adam donor({a}, 0.1f);
+  ag::SumAll(ag::Square(a)).Backward();
+  donor.Step();
+  Adam restored({b}, 0.1f);
+  ASSERT_TRUE(restored
+                  .RestoreState(donor.step_count(), donor.first_moments(),
+                                donor.second_moments())
+                  .ok());
+  // Further donor steps must not leak into the restored optimizer.
+  EXPECT_NE(restored.first_moments()[0].data(),
+            donor.first_moments()[0].data());
+}
+
+TEST(AdamTest, RestoreStateRejectsBadShapesAndCounts) {
+  ag::Var x(tensor::Tensor::Zeros({3}), true);
+  Adam opt({x}, 0.1f);
+  // Count mismatch.
+  EXPECT_FALSE(opt.RestoreState(1, {}, {}).ok());
+  // Shape mismatch.
+  std::vector<tensor::Tensor> wrong = {tensor::Tensor::Zeros({4})};
+  EXPECT_FALSE(opt.RestoreState(1, wrong, wrong).ok());
+  // Negative step count.
+  std::vector<tensor::Tensor> right = {tensor::Tensor::Zeros({3})};
+  EXPECT_FALSE(opt.RestoreState(-1, right, right).ok());
+  // A rejected restore leaves the optimizer untouched.
+  EXPECT_EQ(opt.step_count(), 0);
+}
+
 TEST(ClipGradNormTest, RescalesLargeGradients) {
   ag::Var x(tensor::Tensor::Zeros({4}), true);
   ag::SumAll(ag::Scale(x, 10.0f)).Backward();  // grad = 10 per element
