@@ -28,11 +28,14 @@
 #include "core/mmf.h"
 #include "core/tca.h"
 #include "datagen/bkg_generator.h"
+#include "encoders/feature_bank.h"
 #include "eval/evaluator.h"
 #include "nn/init.h"
 #include "nn/layers.h"
 #include "tensor/gemm.h"
+#include "tensor/storage_pool.h"
 #include "tensor/tensor_ops.h"
+#include "train/trainer.h"
 
 namespace came {
 namespace {
@@ -368,6 +371,74 @@ void WriteMicroOpsJson(const std::string& path) {
       w.Double(s * 1e3);
       w.EndObject();
     }
+    SetNumThreads(kDefaultThreads);
+  }
+  w.EndArray();
+
+  // One CamE training epoch with the storage pool on vs off, at 1 and
+  // kDefaultThreads threads: allocations per step (tensor-storage heap
+  // buffers; with the pool off every acquire hits the heap, so the on/off
+  // ratio is the steady-state allocation reduction) and step latency.
+  w.Key("came_training_step");
+  w.BeginArray();
+  {
+    namespace pool = ts::pool;
+    const pool::Mode saved_mode = pool::ActiveMode();
+    datagen::GeneratedBkg bkg(
+        datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.05)));
+    encoders::FeatureBankConfig fbc;
+    encoders::FeatureBank bank = BuildFeatureBank(bkg, fbc);
+    const int64_t batches =
+        (static_cast<int64_t>(bkg.dataset.TrainWithInverses().size()) +
+         255) / 256;  // TrainConfig default batch_size
+    for (const pool::Mode mode : {pool::Mode::kOn, pool::Mode::kOff}) {
+      for (const int threads : thread_counts) {
+        pool::SetMode(mode);
+        SetNumThreads(threads);
+        baselines::ModelContext ctx;
+        ctx.num_entities = bkg.dataset.num_entities();
+        ctx.num_relations = bkg.dataset.num_relations_with_inverses();
+        ctx.features = &bank;
+        ctx.train_triples = &bkg.dataset.train;
+        baselines::ZooOptions zoo;
+        zoo.dim = 32;
+        zoo.came.fusion_dim = 32;
+        zoo.came.reshape_h = 4;
+        std::unique_ptr<baselines::KgcModel> model =
+            baselines::CreateModel("CamE", ctx, zoo);
+        train::TrainConfig cfg;
+        cfg.epochs = 4;
+        train::Trainer trainer(model.get(), bkg.dataset, cfg);
+        // Two warm-up epochs: the first populates the free lists, the
+        // second settles them; the measured epoch is steady state.
+        trainer.RunEpoch();
+        trainer.RunEpoch();
+        const int64_t h0 = pool::HeapAllocCount();
+        const int64_t a0 = pool::AcquireCount();
+        Stopwatch sw;
+        trainer.RunEpoch();
+        const double seconds = sw.ElapsedSeconds();
+        const int64_t heap_allocs = pool::HeapAllocCount() - h0;
+        const int64_t acquires = pool::AcquireCount() - a0;
+        w.BeginObject();
+        w.Key("pool");
+        w.String(pool::ModeName(mode));
+        w.Key("threads");
+        w.Int(threads);
+        w.Key("batches");
+        w.Int(batches);
+        w.Key("allocs_per_step");
+        w.Double(static_cast<double>(heap_allocs) /
+                 static_cast<double>(batches));
+        w.Key("acquires_per_step");
+        w.Double(static_cast<double>(acquires) /
+                 static_cast<double>(batches));
+        w.Key("step_ms");
+        w.Double(seconds * 1e3 / static_cast<double>(batches));
+        w.EndObject();
+      }
+    }
+    pool::SetMode(saved_mode);
     SetNumThreads(kDefaultThreads);
   }
   w.EndArray();

@@ -196,7 +196,7 @@ Var Relu(const Var& v) {
   auto s = v.state();
   Tensor x = v.value();
   return MakeResult(kOp, std::move(out), {v}, [s, x](const Tensor& g) {
-    Tensor d(g.shape());
+    Tensor d = Tensor::Uninitialized(g.shape());
     const float* px = x.data();
     const float* pg = g.data();
     float* pd = d.data();
@@ -224,7 +224,7 @@ Var LogSigmoid(const Var& v) {
   static const int kOp = RegisterOp("LogSigmoid");
   // log sigmoid(x) = min(x, 0) - log(1 + exp(-|x|))
   Tensor x = v.value();
-  Tensor out(x.shape());
+  Tensor out = Tensor::Uninitialized(x.shape());
   for (int64_t i = 0; i < x.numel(); ++i) {
     const float xi = x.data()[i];
     out.data()[i] = std::min(xi, 0.0f) -
@@ -239,7 +239,7 @@ Var LogSigmoid(const Var& v) {
 
 namespace {
 Tensor MapTensor(const Tensor& t, float (*f)(float)) {
-  Tensor out(t.shape());
+  Tensor out = Tensor::Uninitialized(t.shape());
   for (int64_t i = 0; i < t.numel(); ++i) out.data()[i] = f(t.data()[i]);
   return out;
 }
@@ -274,7 +274,7 @@ Var Abs(const Var& v) {
   Tensor x = v.value();
   auto s = v.state();
   return MakeResult(kOp, ts::Abs(x), {v}, [s, x](const Tensor& g) {
-    Tensor d(g.shape());
+    Tensor d = Tensor::Uninitialized(g.shape());
     for (int64_t i = 0; i < d.numel(); ++i) {
       d.data()[i] = x.data()[i] >= 0 ? g.data()[i] : -g.data()[i];
     }
@@ -501,9 +501,9 @@ Var LayerNormImpl(int op_id, const Var& v, const Var& gamma, const Var& beta,
     CAME_CHECK_EQ(beta.numel(), d);
   }
 
-  Tensor xhat(x.shape());
-  Tensor inv_sigma(Shape{rows});
-  Tensor out(x.shape());
+  Tensor xhat = Tensor::Uninitialized(x.shape());
+  Tensor inv_sigma = Tensor::Uninitialized(Shape{rows});
+  Tensor out = Tensor::Uninitialized(x.shape());
   const float* px = x.data();
   float* ph = xhat.data();
   float* po = out.data();
@@ -546,6 +546,7 @@ Var LayerNormImpl(int op_id, const Var& v, const Var& gamma, const Var& beta,
         const float* ph = xhat.data();
         const float* pgm = affine ? gamma_v.data() : nullptr;
         if (affine && gs->requires_grad) {
+          // Accumulates over rows with += — zeroed allocation.
           Tensor dgamma(gamma_v.shape());
           for (int64_t r = 0; r < rows; ++r) {
             for (int64_t j = 0; j < d; ++j) {
@@ -564,7 +565,7 @@ Var LayerNormImpl(int op_id, const Var& v, const Var& gamma, const Var& beta,
           bs->AccumulateGrad(dbeta);
         }
         if (xs->requires_grad) {
-          Tensor dx(xs->value.shape());
+          Tensor dx = Tensor::Uninitialized(xs->value.shape());
           for (int64_t r = 0; r < rows; ++r) {
             // ghat = g * gamma (or g); dx = (ghat - mean(ghat)
             //        - xhat * mean(ghat*xhat)) * inv_sigma
@@ -674,8 +675,9 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias, int64_t pad) {
 
   Tensor cols = ts::Im2Col(x, kh, kw, pad);  // [B, cin*kh*kw, L]
   Tensor w2d = w.Reshape(Shape{filters, cin * kh * kw});
-  // out[b] = w2d x cols[b], multiplied in place on raw slices.
-  Tensor out(Shape{batch, filters, out_h, out_w});
+  // out[b] = w2d x cols[b], multiplied in place on raw slices; every slab
+  // is fully written by the accumulate=false GEMM below.
+  Tensor out = Tensor::Uninitialized(Shape{batch, filters, out_h, out_w});
   const int64_t l = out_h * out_w;
   const int64_t col_stride = cin * kh * kw * l;
   for (int64_t b = 0; b < batch; ++b) {
@@ -719,8 +721,10 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias, int64_t pad) {
           }
           bs->AccumulateGrad(dbias);
         }
+        // dw2d accumulates across the batch (accumulate=true GEMM), so it
+        // must start zeroed; dcols is fully overwritten per slab.
         Tensor dw2d(Shape{filters, cin * kh * kw});
-        Tensor dcols(Shape{batch, cin * kh * kw, l});
+        Tensor dcols = Tensor::Uninitialized(Shape{batch, cin * kh * kw, l});
         for (int64_t b = 0; b < batch; ++b) {
           const float* gb = g.data() + b * filters * l;
           const float* cb = saved_cols.data() + b * col_stride;
@@ -752,7 +756,7 @@ Var Dropout(const Var& v, float p, Rng* rng, bool training) {
   CAME_CHECK_LT(p, 1.0f);
   CAME_CHECK(rng != nullptr);
   const float scale = 1.0f / (1.0f - p);
-  Tensor mask(v.shape());
+  Tensor mask = Tensor::Uninitialized(v.shape());
   for (int64_t i = 0; i < mask.numel(); ++i) {
     mask.data()[i] = rng->Bernoulli(p) ? 0.0f : scale;
   }
@@ -783,8 +787,8 @@ Var CoAttentionApply(const Var& x, const Var& a, const Var& b,
 
   // The softmax is stored TRANSPOSED — st[j][i] = S[i][j] — so both the
   // forward column pass and the backward pass touch contiguous memory.
-  Tensor softmax_t(Shape{batch, d, d});
-  Tensor out(Shape{batch, d});
+  Tensor softmax_t = Tensor::Uninitialized(Shape{batch, d, d});
+  Tensor out = Tensor::Uninitialized(Shape{batch, d});
   for (int64_t r = 0; r < batch; ++r) {
     const float* ar = av.data() + r * d;
     const float* br = bv.data() + r * d;
@@ -826,6 +830,7 @@ Var CoAttentionApply(const Var& x, const Var& a, const Var& b,
       std::move(out), {x, a, b, inv_tau},
       [xs, as, bs, us, x_saved, a_saved, b_saved, s_saved, o_saved, batch, d,
        u](const Tensor& g) {
+        // All three accumulate with += across j — zeroed allocations.
         Tensor dx(Shape{batch, d});
         Tensor da(Shape{batch, d});
         Tensor db(Shape{batch, d});

@@ -89,12 +89,18 @@ Metrics Evaluator::Evaluate(baselines::KgcModel* model,
 
   Metrics metrics;
   const int64_t n = dataset_.num_entities();
+  // Reused across batches: the index vectors keep their capacity, and the
+  // score tensor the model returns recycles the same pooled buffer every
+  // batch (identical shape -> same size class).
+  std::vector<int64_t> heads;
+  std::vector<int64_t> rels;
+  std::vector<double> ranks;
   for (size_t start = 0; start < queries.size();
        start += static_cast<size_t>(config.batch_size)) {
     const size_t end = std::min(
         queries.size(), start + static_cast<size_t>(config.batch_size));
-    std::vector<int64_t> heads;
-    std::vector<int64_t> rels;
+    heads.clear();
+    rels.clear();
     for (size_t i = start; i < end; ++i) {
       heads.push_back(queries[i].head);
       rels.push_back(queries[i].rel);
@@ -105,7 +111,7 @@ Metrics Evaluator::Evaluate(baselines::KgcModel* model,
     // pool, then accumulate sequentially so the metric sums (ordered
     // double additions) stay deterministic at any thread count.
     const int64_t bsz = static_cast<int64_t>(end - start);
-    std::vector<double> ranks(static_cast<size_t>(bsz));
+    ranks.assign(static_cast<size_t>(bsz), 0.0);
     const int64_t grain = std::max<int64_t>(1, 4096 / std::max<int64_t>(1, n));
     ParallelFor(0, bsz, grain, [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {

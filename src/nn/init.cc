@@ -47,7 +47,7 @@ tensor::Tensor EmbeddingInit(tensor::Shape shape, Rng* rng) {
 }
 
 tensor::Tensor NormalInit(tensor::Shape shape, Rng* rng, double stddev) {
-  tensor::Tensor t(std::move(shape));
+  tensor::Tensor t = tensor::Tensor::Uninitialized(std::move(shape));
   for (int64_t i = 0; i < t.numel(); ++i) {
     t.data()[i] = static_cast<float>(rng->Normal(0.0, stddev));
   }
@@ -56,7 +56,7 @@ tensor::Tensor NormalInit(tensor::Shape shape, Rng* rng, double stddev) {
 
 tensor::Tensor UniformInit(tensor::Shape shape, Rng* rng, double lo,
                            double hi) {
-  tensor::Tensor t(std::move(shape));
+  tensor::Tensor t = tensor::Tensor::Uninitialized(std::move(shape));
   for (int64_t i = 0; i < t.numel(); ++i) {
     t.data()[i] = static_cast<float>(rng->Uniform(lo, hi));
   }

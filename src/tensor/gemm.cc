@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "common/parallel_for.h"
+#include "tensor/storage_pool.h"
 
 namespace came::tensor::gemm {
 
@@ -290,36 +291,35 @@ void BlockedGemm(const float* a, const float* b, float* c, int64_t m,
   const int64_t b_sp = trans_b ? 1 : n;  // stride of p in op(B)(p, j)
   const int64_t b_sj = trans_b ? k : 1;  // stride of j
 
-  thread_local std::vector<float> bp_buf;
+  // Packing scratch comes from the storage pool on a per-panel lease
+  // instead of thread_local vectors, which grew to the largest panel ever
+  // packed and held it for the life of the thread. Leases return the
+  // buffer at panel-loop exit; PackA/PackB fully write the padded region
+  // (zeroed edges), so uninitialised scratch is safe.
   for (int64_t jc = 0; jc < n; jc += kNC) {
     const int64_t nc = std::min(kNC, n - jc);
     const int64_t nc_pad = RoundUp(nc, NR);
     for (int64_t pc = 0; pc < k; pc += kKC) {
       const int64_t kc = std::min(kKC, k - pc);
-      if (bp_buf.size() < static_cast<size_t>(nc_pad * kc)) {
-        bp_buf.resize(static_cast<size_t>(nc_pad * kc));
-      }
-      float* bp = bp_buf.data();  // raw pointer: workers must share the
-                                  // calling thread's panel, and lambdas do
-                                  // not capture thread_local variables
+      const pool::ScratchLease bp_lease(nc_pad * kc);
+      float* bp = bp_lease.data();  // raw pointer: workers share the
+                                    // calling thread's packed panel
       PackB<NR>(b, b_sp, b_sj, pc, jc, kc, nc, bp);
 
+      const int64_t ap_numel = RoundUp(std::min(kMC, m), MR) * kc;
       ParallelFor(0, CeilDiv(m, kMC), /*grain=*/1,
                   [&, bp](int64_t blk_lo, int64_t blk_hi) {
-        thread_local std::vector<float> ap_buf;
+        const pool::ScratchLease ap_lease(ap_numel);
+        float* ap_buf = ap_lease.data();
         for (int64_t blk = blk_lo; blk < blk_hi; ++blk) {
           const int64_t ic = blk * kMC;
           const int64_t mc = std::min(kMC, m - ic);
-          const int64_t mc_pad = RoundUp(mc, MR);
-          if (ap_buf.size() < static_cast<size_t>(mc_pad * kc)) {
-            ap_buf.resize(static_cast<size_t>(mc_pad * kc));
-          }
-          PackA<MR>(a, a_si, a_sp, ic, pc, mc, kc, ap_buf.data());
+          PackA<MR>(a, a_si, a_sp, ic, pc, mc, kc, ap_buf);
           for (int64_t jr = 0; jr < nc; jr += NR) {
             const float* bpan = bp + (jr / NR) * NR * kc;
             const int cols = static_cast<int>(std::min<int64_t>(NR, nc - jr));
             for (int64_t ir = 0; ir < mc; ir += MR) {
-              const float* apan = ap_buf.data() + (ir / MR) * MR * kc;
+              const float* apan = ap_buf + (ir / MR) * MR * kc;
               const int rows =
                   static_cast<int>(std::min<int64_t>(MR, mc - ir));
               MK(apan, bpan, kc, c + (ic + ir) * n + (jc + jr), n, rows,

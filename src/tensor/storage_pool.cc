@@ -1,0 +1,316 @@
+#include "tensor/storage_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace came::tensor::pool {
+
+namespace {
+
+// Size classes: 2^k and 3*2^(k-1), from 64 floats (256 B) up to 2^33
+// floats (32 GiB) — geometric spacing with at most 33% internal waste.
+// Requests above the largest class bypass the pool entirely.
+constexpr int64_t kMinClassFloats = 64;
+constexpr int64_t kMaxClassFloats = int64_t{1} << 33;
+
+// Per-class depth of a thread's free list before the excess spills to the
+// shared pool. Kept small so buffers freed on a thread that never
+// re-acquires them (e.g. worker-side frees of main-thread tensors) reach
+// the shared pool within a few steps instead of stranding in the cache.
+constexpr size_t kMaxPerClass = 4;
+
+const std::vector<int64_t>& ClassTable() {
+  static const std::vector<int64_t>* table = [] {
+    auto* t = new std::vector<int64_t>;
+    for (int64_t pow2 = kMinClassFloats; pow2 <= kMaxClassFloats; pow2 *= 2) {
+      t->push_back(pow2);
+      const int64_t mid = pow2 + pow2 / 2;  // 3 * 2^(k-1)
+      if (mid <= kMaxClassFloats) t->push_back(mid);
+    }
+    return t;
+  }();
+  return *table;
+}
+
+// Index of the smallest class with capacity >= numel; -1 when the request
+// is larger than every class.
+int ClassIndexFor(int64_t numel) {
+  const auto& table = ClassTable();
+  const auto it = std::lower_bound(table.begin(), table.end(), numel);
+  if (it == table.end()) return -1;
+  return static_cast<int>(it - table.begin());
+}
+
+// --- counters -----------------------------------------------------------
+
+std::atomic<int64_t> g_live_bytes{0};
+std::atomic<int64_t> g_pooled_bytes{0};
+std::atomic<int64_t> g_hits{0};
+std::atomic<int64_t> g_misses{0};
+std::atomic<int64_t> g_heap_allocs{0};
+
+// --- mode ---------------------------------------------------------------
+
+constexpr int kModeUnresolved = -1;
+std::atomic<int> g_mode{kModeUnresolved};
+
+Mode ResolveFromEnv() {
+  const char* env = std::getenv("CAME_TENSOR_POOL");
+  if (env == nullptr || *env == '\0') return Mode::kOn;
+  const std::string v(env);
+  if (v == "on") return Mode::kOn;
+  if (v == "off") return Mode::kOff;
+  if (v == "scrub") return Mode::kScrub;
+  CAME_LOG(Warning) << "ignoring invalid CAME_TENSOR_POOL=\"" << v
+                    << "\" (want on|off|scrub)";
+  return Mode::kOn;
+}
+
+// --- raw buffers --------------------------------------------------------
+
+constexpr std::align_val_t kAlignment{64};  // one cache line / zmm vector
+
+float* HeapAlloc(int64_t numel) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<float*>(::operator new(
+      static_cast<size_t>(numel) * sizeof(float), kAlignment));
+}
+
+void HeapFree(float* p) { ::operator delete(p, kAlignment); }
+
+void Poison(float* p, int64_t numel) {
+  const float snan = ScrubPattern();
+  for (int64_t i = 0; i < numel; ++i) p[i] = snan;
+}
+
+// --- shared pool + thread caches ----------------------------------------
+
+struct SharedPool {
+  std::mutex mu;
+  std::vector<std::vector<float*>> lists;  // one stack per size class
+};
+
+// Leaked singleton: thread caches flush into it from thread_local
+// destructors, which may run during process teardown.
+SharedPool& Shared() {
+  static SharedPool* pool = [] {
+    auto* p = new SharedPool;
+    p->lists.resize(ClassTable().size());
+    return p;
+  }();
+  return *pool;
+}
+
+struct ThreadCache {
+  std::vector<std::vector<float*>> lists;
+
+  ThreadCache() { lists.resize(ClassTable().size()); }
+
+  ~ThreadCache() { FlushTo(Shared()); }
+
+  void FlushTo(SharedPool& shared) {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    for (size_t cls = 0; cls < lists.size(); ++cls) {
+      auto& src = lists[cls];
+      auto& dst = shared.lists[cls];
+      dst.insert(dst.end(), src.begin(), src.end());
+      src.clear();
+    }
+  }
+};
+
+ThreadCache& Cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+// Returns `p` (capacity floats, known pool class) to the free lists.
+void ReleaseToPool(float* p, int64_t capacity) {
+  if (ActiveMode() == Mode::kScrub) Poison(p, capacity);
+  const int cls = ClassIndexFor(capacity);
+  CAME_CHECK_GE(cls, 0);
+  ThreadCache& cache = Cache();
+  auto& list = cache.lists[static_cast<size_t>(cls)];
+  list.push_back(p);
+  g_pooled_bytes.fetch_add(capacity * static_cast<int64_t>(sizeof(float)),
+                           std::memory_order_relaxed);
+  if (list.size() > kMaxPerClass) {
+    // Spill the older half so repeated cross-thread frees reach threads
+    // that actually re-acquire this class.
+    const size_t spill = list.size() / 2;
+    SharedPool& shared = Shared();
+    std::lock_guard<std::mutex> lock(shared.mu);
+    auto& dst = shared.lists[static_cast<size_t>(cls)];
+    dst.insert(dst.end(), list.begin(),
+               list.begin() + static_cast<int64_t>(spill));
+    list.erase(list.begin(), list.begin() + static_cast<int64_t>(spill));
+  }
+}
+
+// Pops a cached buffer of class `cls`, or nullptr.
+float* TryAcquireFromPool(int cls, int64_t capacity) {
+  ThreadCache& cache = Cache();
+  auto& list = cache.lists[static_cast<size_t>(cls)];
+  float* p = nullptr;
+  if (!list.empty()) {
+    p = list.back();
+    list.pop_back();
+  } else {
+    SharedPool& shared = Shared();
+    std::lock_guard<std::mutex> lock(shared.mu);
+    auto& dst = shared.lists[static_cast<size_t>(cls)];
+    if (!dst.empty()) {
+      p = dst.back();
+      dst.pop_back();
+    }
+  }
+  if (p != nullptr) {
+    g_pooled_bytes.fetch_sub(capacity * static_cast<int64_t>(sizeof(float)),
+                             std::memory_order_relaxed);
+  }
+  return p;
+}
+
+// shared_ptr deleter. Captures at acquire time how the buffer must be
+// freed, so flipping the mode while tensors are live stays correct.
+struct Deleter {
+  int64_t capacity;
+  bool pooled;
+
+  void operator()(float* p) const {
+    g_live_bytes.fetch_sub(capacity * static_cast<int64_t>(sizeof(float)),
+                           std::memory_order_relaxed);
+    if (pooled) {
+      ReleaseToPool(p, capacity);
+    } else {
+      HeapFree(p);
+    }
+  }
+};
+
+}  // namespace
+
+Mode ActiveMode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m == kModeUnresolved) {
+    m = static_cast<int>(ResolveFromEnv());
+    g_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<Mode>(m);
+}
+
+void SetMode(Mode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+std::string ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kOn:
+      return "on";
+    case Mode::kScrub:
+      return "scrub";
+  }
+  return "unknown";
+}
+
+Stats GetStats() {
+  Stats s;
+  s.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  s.pooled_bytes = g_pooled_bytes.load(std::memory_order_relaxed);
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.acquires = s.hits + s.misses;
+  s.heap_allocs = g_heap_allocs.load(std::memory_order_relaxed);
+  return s;
+}
+
+int64_t HeapAllocCount() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+int64_t AcquireCount() {
+  return g_hits.load(std::memory_order_relaxed) +
+         g_misses.load(std::memory_order_relaxed);
+}
+
+int64_t ClassCapacity(int64_t numel) {
+  const int cls = ClassIndexFor(numel);
+  if (cls < 0) return numel;
+  return ClassTable()[static_cast<size_t>(cls)];
+}
+
+float ScrubPattern() {
+  // Signalling NaN: exponent all ones, quiet bit clear, payload non-zero.
+  constexpr uint32_t kBits = 0x7FA0DEAD;
+  float f;
+  std::memcpy(&f, &kBits, sizeof(f));
+  return f;
+}
+
+StorageHandle Acquire(int64_t numel, bool zero) {
+  CAME_CHECK_GE(numel, 0);
+  if (numel == 0) return nullptr;
+
+  const Mode mode = ActiveMode();
+  const int cls = mode == Mode::kOff ? -1 : ClassIndexFor(numel);
+  const int64_t capacity =
+      cls < 0 ? numel : ClassTable()[static_cast<size_t>(cls)];
+  const bool pooled = cls >= 0;
+
+  float* p = pooled ? TryAcquireFromPool(cls, capacity) : nullptr;
+  if (p != nullptr) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    p = HeapAlloc(capacity);
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_live_bytes.fetch_add(capacity * static_cast<int64_t>(sizeof(float)),
+                         std::memory_order_relaxed);
+
+  if (zero) {
+    std::memset(p, 0, static_cast<size_t>(numel) * sizeof(float));
+  } else if (mode == Mode::kScrub) {
+    // Poison unconditionally (not just recycled buffers): fresh heap
+    // memory is just as unread, and buffers released before the mode
+    // flipped to scrub were not poisoned on the way in.
+    Poison(p, numel);
+  }
+  return StorageHandle(p, Deleter{capacity, pooled});
+}
+
+void FlushThreadCache() { Cache().FlushTo(Shared()); }
+
+void Clear() {
+  const auto& table = ClassTable();
+  int64_t freed_bytes = 0;
+  ThreadCache& cache = Cache();
+  for (size_t cls = 0; cls < cache.lists.size(); ++cls) {
+    for (float* p : cache.lists[cls]) {
+      HeapFree(p);
+      freed_bytes += table[cls] * static_cast<int64_t>(sizeof(float));
+    }
+    cache.lists[cls].clear();
+  }
+  SharedPool& shared = Shared();
+  std::lock_guard<std::mutex> lock(shared.mu);
+  for (size_t cls = 0; cls < shared.lists.size(); ++cls) {
+    for (float* p : shared.lists[cls]) {
+      HeapFree(p);
+      freed_bytes += table[cls] * static_cast<int64_t>(sizeof(float));
+    }
+    shared.lists[cls].clear();
+  }
+  // pooled_bytes keeps covering buffers cached on *other* live threads.
+  g_pooled_bytes.fetch_sub(freed_bytes, std::memory_order_relaxed);
+}
+
+}  // namespace came::tensor::pool

@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/logging.h"
@@ -33,12 +34,20 @@ Tensor::Tensor() : Tensor(Shape{0}) {}
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       numel_(NumElements(shape_)),
-      data_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+      data_(pool::Acquire(numel_, /*zero=*/true)) {}
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 
+Tensor Tensor::Uninitialized(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = NumElements(t.shape_);
+  t.data_ = pool::Acquire(t.numel_, /*zero=*/false);
+  return t;
+}
+
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   t.Fill(value);
   return t;
 }
@@ -48,7 +57,13 @@ Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
   Tensor t;
   t.shape_ = std::move(shape);
   t.numel_ = static_cast<int64_t>(values.size());
-  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  if (t.numel_ > 0) {
+    // Adopt the vector's buffer directly (zero-copy): an aliasing handle
+    // keeps the vector alive and points at its elements. These buffers
+    // never enter the pool and are not counted in its stats.
+    auto holder = std::make_shared<std::vector<float>>(std::move(values));
+    t.data_ = pool::StorageHandle(holder, holder->data());
+  }
   return t;
 }
 
@@ -89,10 +104,10 @@ void Tensor::set(std::initializer_list<int64_t> idx, float value) {
 }
 
 Tensor Tensor::Clone() const {
-  Tensor t;
-  t.shape_ = shape_;
-  t.numel_ = numel_;
-  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  Tensor t = Uninitialized(shape_);
+  if (numel_ > 0) {
+    std::memcpy(t.data(), data(), static_cast<size_t>(numel_) * sizeof(float));
+  }
   return t;
 }
 
@@ -108,7 +123,8 @@ Tensor Tensor::Reshape(Shape new_shape) const {
 }
 
 void Tensor::Fill(float value) {
-  for (auto& v : *data_) v = value;
+  float* p = data();
+  for (int64_t i = 0; i < numel_; ++i) p[i] = value;
 }
 
 std::string Tensor::ToString(int64_t max_elements) const {

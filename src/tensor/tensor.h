@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "tensor/storage_pool.h"
+
 namespace came::tensor {
 
 /// Tensor shape: row-major, up to 4 dimensions in practice.
@@ -22,14 +24,24 @@ bool SameShape(const Shape& a, const Shape& b);
 /// `Clone()` for a deep copy. Mutating through `data()` mutates all
 /// aliases — the autograd layer relies on this for in-place gradient
 /// accumulation but user code should treat tensors as values.
+///
+/// Storage comes from the size-class pool (`storage_pool.h`); the
+/// `CAME_TENSOR_POOL` env knob selects recycling / plain heap / scrub.
 class Tensor {
  public:
-  /// An empty 0-element tensor (shape {0}).
+  /// An empty 0-element tensor (shape {0}). Allocates nothing.
   Tensor();
-  /// Uninitialised tensor of the given shape (contents are zero).
+  /// Zero-filled tensor of the given shape (same guarantee as `Zeros`).
   explicit Tensor(Shape shape);
 
   static Tensor Zeros(Shape shape);
+  /// Tensor whose contents are unspecified — every element must be
+  /// written before it is read. Only for buffers that are fully
+  /// overwritten (op outputs, scratch); accumulators that `+=` into
+  /// their buffer need `Zeros`. Under CAME_TENSOR_POOL=scrub the
+  /// contents are signalling NaNs, so a read-before-write shows up as
+  /// NaN (and aborts with provenance under CAME_TAPE_AUDIT=full).
+  static Tensor Uninitialized(Shape shape);
   static Tensor Full(Shape shape, float value);
   /// Takes ownership of `values`; NumElements(shape) must match.
   static Tensor FromVector(Shape shape, std::vector<float> values);
@@ -43,8 +55,8 @@ class Tensor {
   int64_t dim(int64_t i) const;
   int64_t numel() const { return numel_; }
 
-  float* data() { return data_->data(); }
-  const float* data() const { return data_->data(); }
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
 
   /// Element accessors for tests and small-scale code. O(ndim) per call.
   float at(std::initializer_list<int64_t> idx) const;
@@ -57,9 +69,9 @@ class Tensor {
   /// NumElements must be preserved.
   Tensor Reshape(Shape new_shape) const;
 
-  /// True if the two handles alias the same buffer.
+  /// True if the two handles alias the same (non-empty) buffer.
   bool SharesBufferWith(const Tensor& other) const {
-    return data_ == other.data_;
+    return data_ != nullptr && data_ == other.data_;
   }
 
   /// Fills the buffer with a constant.
@@ -71,7 +83,7 @@ class Tensor {
  private:
   Shape shape_;
   int64_t numel_ = 0;
-  std::shared_ptr<std::vector<float>> data_;
+  pool::StorageHandle data_;
 
   int64_t FlatIndex(std::initializer_list<int64_t> idx) const;
 };

@@ -48,7 +48,7 @@ std::vector<int64_t> BroadcastStrides(const Shape& padded, const Shape& out) {
 template <typename F>
 Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F op) {
   if (SameShape(a.shape(), b.shape())) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -65,7 +65,7 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F op) {
   const auto stra = BroadcastStrides(sa, out_shape);
   const auto strb = BroadcastStrides(sb, out_shape);
 
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   float* po = out.data();
   const float* pa = a.data();
   const float* pb = b.data();
@@ -104,7 +104,7 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F op) {
 
 template <typename F>
 Tensor Unary(const Tensor& t, F op) {
-  Tensor out(t.shape());
+  Tensor out = Tensor::Uninitialized(t.shape());
   const float* pi = t.data();
   float* po = out.data();
   ParallelFor(0, t.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
@@ -246,7 +246,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const int64_t n = trans_b ? b.dim(0) : b.dim(1);
   CAME_CHECK_EQ(k, kb) << "matmul inner dim: " << ShapeToString(a.shape())
                        << " x " << ShapeToString(b.shape());
-  Tensor c(Shape{m, n});
+  // Gemm with accumulate=false fully writes C, so uninitialised is safe.
+  Tensor c = Tensor::Uninitialized(Shape{m, n});
   gemm::Gemm(a.data(), b.data(), c.data(), m, k, n, trans_a, trans_b,
              /*accumulate=*/false);
   return c;
@@ -264,7 +265,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
   const int64_t n = trans_b ? b.dim(1) : b.dim(2);
   CAME_CHECK_EQ(k, kb) << "bmm inner dim: " << ShapeToString(a.shape())
                        << " x " << ShapeToString(b.shape());
-  Tensor c(Shape{batch, m, n});
+  Tensor c = Tensor::Uninitialized(Shape{batch, m, n});
   const int64_t a_stride = a.dim(1) * a.dim(2);
   const int64_t b_stride = b.dim(1) * b.dim(2);
   const int64_t c_stride = m * n;
@@ -290,7 +291,7 @@ Tensor Transpose2D(const Tensor& t) {
   CAME_CHECK_EQ(t.ndim(), 2);
   const int64_t r = t.dim(0);
   const int64_t c = t.dim(1);
-  Tensor out(Shape{c, r});
+  Tensor out = Tensor::Uninitialized(Shape{c, r});
   for (int64_t i = 0; i < r; ++i) {
     for (int64_t j = 0; j < c; ++j) {
       out.data()[j * r + i] = t.data()[i * c + j];
@@ -304,7 +305,7 @@ Tensor BatchTranspose(const Tensor& t) {
   const int64_t b = t.dim(0);
   const int64_t r = t.dim(1);
   const int64_t c = t.dim(2);
-  Tensor out(Shape{b, c, r});
+  Tensor out = Tensor::Uninitialized(Shape{b, c, r});
   for (int64_t bi = 0; bi < b; ++bi) {
     const float* src = t.data() + bi * r * c;
     float* dst = out.data() + bi * r * c;
@@ -338,6 +339,7 @@ Tensor SumAlong(const Tensor& t, int64_t dim, bool keepdim) {
   int64_t axis;
   int64_t inner;
   AxisDecompose(t.shape(), dim, &outer, &axis, &inner);
+  // Accumulates with += below, so the output must start zeroed.
   Tensor out(ReducedShape(t.shape(), dim, keepdim));
   const float* pi = t.data();
   float* po = out.data();
@@ -357,7 +359,7 @@ Tensor MaxAlong(const Tensor& t, int64_t dim, bool keepdim) {
   int64_t inner;
   AxisDecompose(t.shape(), dim, &outer, &axis, &inner);
   CAME_CHECK_GT(axis, 0);
-  Tensor out(ReducedShape(t.shape(), dim, keepdim));
+  Tensor out = Tensor::Uninitialized(ReducedShape(t.shape(), dim, keepdim));
   const float* pi = t.data();
   float* po = out.data();
   for (int64_t o = 0; o < outer; ++o) {
@@ -377,7 +379,7 @@ Tensor SoftmaxAlong(const Tensor& t, int64_t dim) {
   int64_t axis;
   int64_t inner;
   AxisDecompose(t.shape(), dim, &outer, &axis, &inner);
-  Tensor out(t.shape());
+  Tensor out = Tensor::Uninitialized(t.shape());
   const float* pi = t.data();
   float* po = out.data();
   for (int64_t o = 0; o < outer; ++o) {
@@ -416,7 +418,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   }
   Shape out_shape = parts[0].shape();
   out_shape[static_cast<size_t>(dim)] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
 
   int64_t outer;
   int64_t axis_out;
@@ -442,7 +444,7 @@ Tensor SliceAlong(const Tensor& t, int64_t dim, int64_t start, int64_t len) {
   CAME_CHECK_LE(start + len, t.dim(dim));
   Shape out_shape = t.shape();
   out_shape[static_cast<size_t>(dim)] = len;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
 
   int64_t outer;
   int64_t axis;
@@ -460,7 +462,7 @@ Tensor GatherRows(const Tensor& matrix, const std::vector<int64_t>& indices) {
   CAME_CHECK_EQ(matrix.ndim(), 2);
   const int64_t n = matrix.dim(0);
   const int64_t d = matrix.dim(1);
-  Tensor out(Shape{static_cast<int64_t>(indices.size()), d});
+  Tensor out = Tensor::Uninitialized(Shape{static_cast<int64_t>(indices.size()), d});
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t r = indices[i];
     CAME_CHECK_GE(r, 0);
@@ -476,6 +478,8 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& indices,
   CAME_CHECK_EQ(src.ndim(), 2);
   CAME_CHECK_EQ(src.dim(0), static_cast<int64_t>(indices.size()));
   const int64_t d = src.dim(1);
+  // Rows not named by `indices` must read as zero, and named rows
+  // accumulate with += — keep the zeroed allocation.
   Tensor out(Shape{num_rows, d});
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t r = indices[i];
@@ -491,7 +495,7 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& indices,
 Tensor Where(const Tensor& mask, const Tensor& a, const Tensor& b) {
   CAME_CHECK(SameShape(mask.shape(), a.shape()));
   CAME_CHECK(SameShape(a.shape(), b.shape()));
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pm = mask.data();
   const float* pa = a.data();
   const float* pb = b.data();
@@ -511,7 +515,8 @@ Tensor Im2Col(const Tensor& input, int64_t kh, int64_t kw, int64_t pad) {
   const int64_t out_w = w + 2 * pad - kw + 1;
   CAME_CHECK_GT(out_h, 0);
   CAME_CHECK_GT(out_w, 0);
-  Tensor cols(Shape{b, c * kh * kw, out_h * out_w});
+  // Fully written below (padding cells are stored explicitly as 0).
+  Tensor cols = Tensor::Uninitialized(Shape{b, c * kh * kw, out_h * out_w});
   const float* pi = input.data();
   float* po = cols.data();
   const int64_t col_stride = c * kh * kw * out_h * out_w;
@@ -550,6 +555,7 @@ Tensor Col2Im(const Tensor& cols, int64_t batch, int64_t channels, int64_t h,
   CAME_CHECK_EQ(cols.dim(0), batch);
   CAME_CHECK_EQ(cols.dim(1), channels * kh * kw);
   CAME_CHECK_EQ(cols.dim(2), out_h * out_w);
+  // Accumulates overlapping windows with += — must start zeroed.
   Tensor img(Shape{batch, channels, h, w});
   const float* pc = cols.data();
   float* po = img.data();

@@ -113,15 +113,17 @@ float Trainer::OneToNEpoch() {
 
   double total = 0.0;
   int64_t batches = 0;
+  // Hoisted out of the batch loop: the vectors keep their capacity and the
+  // label tensor recycles the same pooled buffer every full-sized batch.
+  std::vector<int64_t> heads;
+  std::vector<int64_t> rels;
   for (size_t start = 0; start < train_.size();
        start += static_cast<size_t>(config_.batch_size)) {
     const size_t end =
         std::min(train_.size(), start + static_cast<size_t>(config_.batch_size));
     const int64_t b = static_cast<int64_t>(end - start);
-    std::vector<int64_t> heads;
-    std::vector<int64_t> rels;
-    heads.reserve(static_cast<size_t>(b));
-    rels.reserve(static_cast<size_t>(b));
+    heads.clear();
+    rels.clear();
     tensor::Tensor labels =
         tensor::Tensor::Full({b, n_entities}, off_value);
     for (size_t i = start; i < end; ++i) {
@@ -229,17 +231,25 @@ float Trainer::NegativeSamplingEpoch(bool self_adversarial) {
   const int64_t k = config_.negatives;
   double total = 0.0;
   int64_t batches = 0;
+  // Hoisted out of the batch loop so each keeps its capacity across
+  // batches instead of reallocating every iteration.
+  std::vector<int64_t> heads;
+  std::vector<int64_t> rels;
+  std::vector<int64_t> tails;
+  std::vector<int64_t> rep_heads;
+  std::vector<int64_t> rep_rels;
+  std::vector<int64_t> neg_tails;
   for (size_t start = 0; start < train_.size();
        start += static_cast<size_t>(config_.batch_size)) {
     const size_t end =
         std::min(train_.size(), start + static_cast<size_t>(config_.batch_size));
     const int64_t b = static_cast<int64_t>(end - start);
-    std::vector<int64_t> heads;
-    std::vector<int64_t> rels;
-    std::vector<int64_t> tails;
-    std::vector<int64_t> rep_heads;
-    std::vector<int64_t> rep_rels;
-    std::vector<int64_t> neg_tails;
+    heads.clear();
+    rels.clear();
+    tails.clear();
+    rep_heads.clear();
+    rep_rels.clear();
+    neg_tails.clear();
     for (size_t i = start; i < end; ++i) {
       const kg::Triple& t = EpochTriple(i);
       heads.push_back(t.head);

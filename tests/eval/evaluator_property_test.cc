@@ -11,6 +11,7 @@
 #include "datagen/bkg_generator.h"
 #include "eval/evaluator.h"
 #include "nn/init.h"
+#include "tensor/storage_pool.h"
 
 namespace came::eval {
 namespace {
@@ -183,6 +184,47 @@ TEST(EvaluatorInvariantTest, NanScoresRankWorstNotFirst) {
   // unfiltered candidates.
   EXPECT_GT(m.Mr(), 0.9 * static_cast<double>(ds.num_entities()));
   EXPECT_LT(m.Mrr(), 5.0);  // percentage scale: far from the old 100.0
+}
+
+// Regression for the pooled score-buffer reuse: the evaluator now recycles
+// the same storage for every batch's score tensor and hoists its index
+// scratch vectors out of the batch loop. Stale values from a previous
+// batch (or a previous *evaluation*) leaking into the ranking would show
+// up here as a metrics mismatch against a fresh-allocation run.
+TEST(EvaluatorInvariantTest, PooledBuffersDoNotChangeFilteredRanks) {
+  datagen::GeneratedBkg bkg =
+      datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(0.05));
+  const kg::Dataset& ds = bkg.dataset;
+  baselines::ModelContext ctx;
+  ctx.num_entities = ds.num_entities();
+  ctx.num_relations = ds.num_relations_with_inverses();
+  FixedScoreModel model(ctx, 13);
+  Evaluator evaluator(ds);
+  EvalConfig ec;
+  ec.batch_size = 7;  // many batches -> many buffer round-trips
+
+  const tensor::pool::Mode saved = tensor::pool::ActiveMode();
+  auto run = [&](tensor::pool::Mode mode) {
+    tensor::pool::Clear();
+    tensor::pool::SetMode(mode);
+    return evaluator.Evaluate(&model, ds.test, ec);
+  };
+  const Metrics fresh = run(tensor::pool::Mode::kOff);
+  const Metrics pooled_first = run(tensor::pool::Mode::kOn);
+  // Second pooled evaluation runs entirely on recycled (dirty) buffers.
+  const Metrics pooled_again = evaluator.Evaluate(&model, ds.test, ec);
+  const Metrics scrubbed = run(tensor::pool::Mode::kScrub);
+  tensor::pool::Clear();
+  tensor::pool::SetMode(saved);
+
+  for (const Metrics* m : {&pooled_first, &pooled_again, &scrubbed}) {
+    EXPECT_EQ(m->count, fresh.count);
+    EXPECT_EQ(m->Mr(), fresh.Mr());
+    EXPECT_EQ(m->Mrr(), fresh.Mrr());
+    EXPECT_EQ(m->hits1, fresh.hits1);
+    EXPECT_EQ(m->hits3, fresh.hits3);
+    EXPECT_EQ(m->hits10, fresh.hits10);
+  }
 }
 
 TEST(EvaluatorInvariantTest, RanksAreWithinBounds) {

@@ -1,0 +1,261 @@
+#include "tensor/storage_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tape_audit.h"
+#include "tensor/tensor.h"
+
+namespace came::tensor::pool {
+namespace {
+
+// Pins the pool mode for one test and restores the previous mode (and a
+// clean pool) on exit, so tests compose in any order.
+class ModeGuard {
+ public:
+  explicit ModeGuard(Mode mode) : saved_(ActiveMode()) {
+    Clear();
+    SetMode(mode);
+  }
+  ~ModeGuard() {
+    Clear();
+    SetMode(saved_);
+  }
+
+ private:
+  Mode saved_;
+};
+
+TEST(StoragePoolTest, SizeClassRounding) {
+  // Classes are 2^k and 3*2^(k-1), starting at 64 floats.
+  EXPECT_EQ(ClassCapacity(1), 64);
+  EXPECT_EQ(ClassCapacity(64), 64);
+  EXPECT_EQ(ClassCapacity(65), 96);
+  EXPECT_EQ(ClassCapacity(96), 96);
+  EXPECT_EQ(ClassCapacity(97), 128);
+  EXPECT_EQ(ClassCapacity(128), 128);
+  EXPECT_EQ(ClassCapacity(129), 192);
+  EXPECT_EQ(ClassCapacity(1000), 1024);
+  EXPECT_EQ(ClassCapacity(1025), 1536);
+  // Internal fragmentation never exceeds 50% (worst case just above 3/4
+  // of a power of two is bounded by the 4/3 class ratio).
+  for (int64_t n : {100, 500, 7777, 123456, 9999999}) {
+    EXPECT_GE(ClassCapacity(n), n);
+    EXPECT_LE(ClassCapacity(n), n * 2);
+  }
+}
+
+TEST(StoragePoolTest, RecyclesSameBufferWithinThread) {
+  ModeGuard guard(Mode::kOn);
+  float* first;
+  {
+    StorageHandle h = Acquire(100, /*zero=*/false);
+    first = h.get();
+  }
+  // Same size class -> the freed buffer is the next one handed out.
+  StorageHandle h2 = Acquire(128, /*zero=*/false);
+  EXPECT_EQ(h2.get(), first);
+}
+
+TEST(StoragePoolTest, ZeroAcquireIsZeroEvenWhenRecycled) {
+  ModeGuard guard(Mode::kOn);
+  {
+    StorageHandle dirty = Acquire(64, /*zero=*/false);
+    for (int i = 0; i < 64; ++i) dirty.get()[i] = 7.0f;
+  }
+  StorageHandle clean = Acquire(64, /*zero=*/true);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(clean.get()[i], 0.0f);
+}
+
+TEST(StoragePoolTest, OffModeNeverRecycles) {
+  ModeGuard guard(Mode::kOff);
+  const int64_t h0 = HeapAllocCount();
+  for (int rep = 0; rep < 8; ++rep) {
+    StorageHandle h = Acquire(256, /*zero=*/false);
+  }
+  EXPECT_EQ(HeapAllocCount() - h0, 8);
+}
+
+TEST(StoragePoolTest, OnModeSteadyStateStopsAllocating) {
+  ModeGuard guard(Mode::kOn);
+  { StorageHandle warm = Acquire(256, /*zero=*/false); }
+  const int64_t h0 = HeapAllocCount();
+  for (int rep = 0; rep < 100; ++rep) {
+    StorageHandle h = Acquire(256, /*zero=*/false);
+  }
+  EXPECT_EQ(HeapAllocCount() - h0, 0);
+}
+
+TEST(StoragePoolTest, StatsAccounting) {
+  ModeGuard guard(Mode::kOn);
+  const Stats before = GetStats();
+  {
+    StorageHandle a = Acquire(100, /*zero=*/false);  // class 128
+    StorageHandle b = Acquire(100, /*zero=*/false);
+    const Stats live = GetStats();
+    EXPECT_EQ(live.live_bytes - before.live_bytes,
+              2 * 128 * static_cast<int64_t>(sizeof(float)));
+    EXPECT_EQ(live.acquires - before.acquires, 2);
+    EXPECT_EQ(live.heap_allocs - before.heap_allocs, 2);
+  }
+  const Stats after = GetStats();
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_EQ(after.pooled_bytes - before.pooled_bytes,
+            2 * 128 * static_cast<int64_t>(sizeof(float)));
+  // Reacquire: a hit, no new heap allocation, bytes move pooled -> live.
+  StorageHandle c = Acquire(100, /*zero=*/false);
+  const Stats hit = GetStats();
+  EXPECT_EQ(hit.hits - after.hits, 1);
+  EXPECT_EQ(hit.heap_allocs, after.heap_allocs);
+  EXPECT_EQ(hit.pooled_bytes - before.pooled_bytes,
+            128 * static_cast<int64_t>(sizeof(float)));
+}
+
+TEST(StoragePoolTest, CrossThreadFreeReachesSharedPool) {
+  ModeGuard guard(Mode::kOn);
+  // Allocate here, free on another thread: the buffer must become
+  // acquirable from this thread again via the shared overflow pool.
+  StorageHandle h = Acquire(300, /*zero=*/false);  // class 384
+  float* raw = h.get();
+  std::thread t([h = std::move(h)]() mutable {
+    h.reset();          // releases into the worker's thread cache
+    FlushThreadCache();  // ...and pushes it to the shared pool
+  });
+  t.join();
+  StorageHandle again = Acquire(300, /*zero=*/false);
+  EXPECT_EQ(again.get(), raw);
+}
+
+TEST(StoragePoolTest, ThreadExitFlushesItsCache) {
+  ModeGuard guard(Mode::kOn);
+  float* raw = nullptr;
+  std::thread t([&] {
+    StorageHandle h = Acquire(500, /*zero=*/false);  // class 512
+    raw = h.get();
+  });  // thread_local cache destructor flushes to the shared pool
+  t.join();
+  StorageHandle again = Acquire(500, /*zero=*/false);
+  EXPECT_EQ(again.get(), raw);
+}
+
+TEST(StoragePoolTest, ScrubPoisonsUninitialisedAcquires) {
+  ModeGuard guard(Mode::kScrub);
+  const uint32_t expect_bits = [] {
+    uint32_t b;
+    const float f = ScrubPattern();
+    std::memcpy(&b, &f, sizeof(b));
+    return b;
+  }();
+  StorageHandle h = Acquire(64, /*zero=*/false);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(std::isnan(h.get()[i]));
+    uint32_t bits;
+    std::memcpy(&bits, &h.get()[i], sizeof(bits));
+    EXPECT_EQ(bits, expect_bits);
+  }
+  // Zeroed acquires stay zero in scrub mode too.
+  StorageHandle z = Acquire(64, /*zero=*/true);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(z.get()[i], 0.0f);
+}
+
+TEST(StoragePoolTest, ScrubPoisonsRecycledBuffers) {
+  ModeGuard guard(Mode::kScrub);
+  {
+    StorageHandle h = Acquire(64, /*zero=*/true);
+    for (int i = 0; i < 64; ++i) h.get()[i] = 3.0f;
+  }
+  // The recycled buffer must not leak the previous tensor's values.
+  StorageHandle again = Acquire(64, /*zero=*/false);
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(std::isnan(again.get()[i]));
+}
+
+TEST(StoragePoolTest, ModeNames) {
+  EXPECT_EQ(ModeName(Mode::kOff), "off");
+  EXPECT_EQ(ModeName(Mode::kOn), "on");
+  EXPECT_EQ(ModeName(Mode::kScrub), "scrub");
+}
+
+TEST(StoragePoolTest, ScratchLeaseReturnsBufferOnDestruction) {
+  ModeGuard guard(Mode::kOn);
+  float* raw;
+  {
+    ScratchLease lease(200);  // class 256
+    raw = lease.data();
+    ASSERT_NE(raw, nullptr);
+  }
+  StorageHandle h = Acquire(200, /*zero=*/false);
+  EXPECT_EQ(h.get(), raw);
+}
+
+TEST(StoragePoolTest, ZeroElementAcquireAllocatesNothing) {
+  const int64_t h0 = HeapAllocCount();
+  StorageHandle h = Acquire(0, /*zero=*/true);
+  EXPECT_EQ(h, nullptr);
+  EXPECT_EQ(HeapAllocCount(), h0);
+}
+
+// --- Tensor-level semantics of the zero/uninitialised split --------------
+
+TEST(TensorPoolTest, UninitializedIsPoisonedUnderScrub) {
+  ModeGuard guard(Mode::kScrub);
+  Tensor t = Tensor::Uninitialized(Shape{4, 4});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_TRUE(std::isnan(t.data()[i]));
+  }
+  // The documented guarantee: Tensor(Shape) and Zeros are zero in every
+  // mode, even on a recycled buffer.
+  Tensor z(Shape{4, 4});
+  for (int64_t i = 0; i < z.numel(); ++i) EXPECT_EQ(z.data()[i], 0.0f);
+}
+
+TEST(TensorPoolTest, RecycledTensorBufferIsReused) {
+  ModeGuard guard(Mode::kOn);
+  const float* raw;
+  {
+    Tensor t = Tensor::Uninitialized(Shape{32, 32});
+    raw = t.data();
+  }
+  Tensor u = Tensor::Uninitialized(Shape{32, 32});
+  EXPECT_EQ(u.data(), raw);
+}
+
+TEST(TensorPoolTest, EmptyTensorsDoNotShareBuffers) {
+  Tensor a;
+  Tensor b;
+  EXPECT_FALSE(a.SharesBufferWith(b));
+  EXPECT_FALSE(a.SharesBufferWith(a.Clone()));
+}
+
+TEST(TensorPoolTest, FromVectorBypassesPoolAndFreesCleanly) {
+  ModeGuard guard(Mode::kOn);
+  std::vector<float> v = {1, 2, 3, 4};
+  const float* raw = v.data();
+  Tensor t = Tensor::FromVector(Shape{4}, std::move(v));
+  EXPECT_EQ(t.data(), raw);  // zero-copy adoption
+  EXPECT_EQ(t.at({2}), 3.0f);
+}
+
+// Read-before-write of an uninitialised buffer is exactly what scrub +
+// the full tape audit exist to catch: the scrub NaNs flow into the tape
+// and the auditor aborts naming the offending op.
+TEST(TensorPoolDeathTest, ScrubTurnsReadBeforeWriteIntoAudit)
+{
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SetMode(Mode::kScrub);
+        ag::audit::SetTapeAuditLevel(ag::audit::AuditLevel::kFull);
+        ag::Var leaked(Tensor::Uninitialized(Shape{8, 8}), true);
+        ag::SumAll(ag::Scale(leaked, 2.0f)).Backward();
+      },
+      "non-finite");
+}
+
+}  // namespace
+}  // namespace came::tensor::pool
