@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/flags.h"
 #include "common/stopwatch.h"
 
 namespace came::bench {
@@ -11,12 +12,15 @@ namespace came::bench {
 BenchArgs BenchArgs::Parse(int argc, char** argv, double default_scale,
                            int default_epochs) {
   BenchArgs args{default_scale, default_epochs};
-  if (argc > 1) args.scale = std::atof(argv[1]);
-  if (argc > 2) args.epochs = std::atoi(argv[2]);
+  if (argc > 1) args.scale = flags::DoubleFlag(argv[1], "scale", 1e-6, 1e6);
+  if (argc > 2) {
+    args.epochs =
+        static_cast<int>(flags::IntFlag(argv[2], "epochs", 1, 1 << 20));
+  }
   // CAME_BENCH_SCALE multiplies the bench's own default so one knob can
   // grow or shrink every bench together.
   if (const char* env = std::getenv("CAME_BENCH_SCALE")) {
-    args.scale *= std::atof(env);
+    args.scale *= flags::DoubleFlag(env, "CAME_BENCH_SCALE(env)", 1e-6, 1e6);
   }
   return args;
 }

@@ -1,0 +1,272 @@
+// Serving benchmark: (h, r, ?) top-K latency and throughput through the
+// inference stack (FusedEmbeddingTable + ScoreServer), unbatched vs the
+// coalescing BatchingFrontEnd, at 1..4 client threads.
+//
+//   unbatched: each client thread calls ScoreServer::TopK per query —
+//              every query pays its own encoder forward and panel sweep.
+//   batched:   clients submit to a BatchingFrontEnd; whatever piles up
+//              while the previous batch runs executes as one TopKBatch,
+//              so the encoder forward and each packed entity panel are
+//              shared across the whole batch.
+//
+// Writes BENCH_serving.json (override with --json_out=PATH): p50/p99
+// latency and QPS per (mode, threads), plus the batched/unbatched
+// throughput ratio at the highest thread count.
+//
+// Run:  ./bench_serving [scale] [ignored] [--json_out=PATH]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/model_zoo.h"
+#include "bench_common.h"
+#include "common/json_writer.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "infer/batching_front_end.h"
+#include "infer/fused_embedding_table.h"
+#include "infer/score_server.h"
+
+namespace came {
+namespace {
+
+constexpr int64_t kTopK = 10;
+constexpr int kMaxThreads = 4;
+
+struct ModeResult {
+  std::string mode;
+  int threads = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double qps = 0;
+  int64_t batches = 0;
+  int64_t max_coalesced = 0;
+};
+
+double Percentile(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  std::sort(sorted_us.begin(), sorted_us.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+// Each client thread claims queries off a shared cursor and times each
+// query end to end; per-mode QPS is total queries over wall-clock.
+ModeResult RunUnbatched(infer::ScoreServer* server,
+                        const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels, int threads) {
+  std::atomic<size_t> next{0};
+  std::vector<std::vector<double>> lat_us(static_cast<size_t>(threads));
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= heads.size()) return;
+        Stopwatch sw;
+        const infer::TopKResult r = server->TopK(heads[i], rels[i], kTopK);
+        lat_us[static_cast<size_t>(t)].push_back(sw.ElapsedSeconds() * 1e6);
+        CAME_CHECK(!r.ids.empty());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const auto& v : lat_us) all.insert(all.end(), v.begin(), v.end());
+  ModeResult res;
+  res.mode = "unbatched";
+  res.threads = threads;
+  res.p50_us = Percentile(all, 0.5);
+  res.p99_us = Percentile(all, 0.99);
+  res.qps = static_cast<double>(heads.size()) / elapsed;
+  return res;
+}
+
+ModeResult RunBatched(infer::ScoreServer* server,
+                      const std::vector<int64_t>& heads,
+                      const std::vector<int64_t>& rels, int threads) {
+  infer::BatchingFrontEndConfig cfg;
+  cfg.max_batch = 64;
+  infer::BatchingFrontEnd front(server, kTopK, {}, cfg);
+
+  std::atomic<size_t> next{0};
+  std::vector<std::vector<double>> lat_us(static_cast<size_t>(threads));
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      // Closed loop with a small pipeline per client: up to 4 requests in
+      // flight, so the front end has something to coalesce even at low
+      // client counts.
+      constexpr size_t kDepth = 4;
+      struct InFlight {
+        std::future<infer::TopKResult> future;
+        Stopwatch started;
+      };
+      std::vector<InFlight> window;
+      auto drain_one = [&] {
+        InFlight f = std::move(window.front());
+        window.erase(window.begin());
+        const infer::TopKResult r = f.future.get();
+        lat_us[static_cast<size_t>(t)].push_back(f.started.ElapsedSeconds() *
+                                                 1e6);
+        CAME_CHECK(!r.ids.empty());
+      };
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= heads.size()) break;
+        if (window.size() >= kDepth) drain_one();
+        window.push_back({front.Submit(heads[i], rels[i]), Stopwatch()});
+      }
+      while (!window.empty()) drain_one();
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const auto& v : lat_us) all.insert(all.end(), v.begin(), v.end());
+  const infer::BatchingFrontEnd::Stats stats = front.GetStats();
+  ModeResult res;
+  res.mode = "batched";
+  res.threads = threads;
+  res.p50_us = Percentile(all, 0.5);
+  res.p99_us = Percentile(all, 0.99);
+  res.qps = static_cast<double>(heads.size()) / elapsed;
+  res.batches = stats.batches_executed;
+  res.max_coalesced = stats.max_coalesced;
+  return res;
+}
+
+int Main(int argc, char** argv) {
+  std::string json_out = "BENCH_serving.json";
+  std::vector<char*> positional = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      json_out = arg.substr(std::strlen("--json_out="));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  // Reuse the shared bench CLI for the dataset scale; epochs is unused
+  // (serving cost does not depend on the weights, so no training).
+  const bench::BenchArgs args = bench::BenchArgs::Parse(
+      static_cast<int>(positional.size()), positional.data(), 0.25, 0);
+
+  std::printf("building DRKG-MM-Synth (scale %.2f)...\n", args.scale);
+  const bench::BenchEnv env = bench::MakeDrkgEnv(args.scale);
+  const kg::Dataset& ds = env.bkg.dataset;
+
+  auto model = baselines::CreateModel("CamE", env.Context(), bench::DefaultZoo());
+  auto* ip = dynamic_cast<baselines::InnerProductKgcModel*>(model.get());
+  CAME_CHECK(ip != nullptr);
+  model->SetTraining(false);
+  const infer::FusedEmbeddingTable table = infer::FusedEmbeddingTable::Build(ip);
+  table.InstallFoldedRows(ip);
+  infer::ScoreServer server(ip, &table);
+
+  // Query workload: tail queries from the test split, tiled to a fixed
+  // count so percentiles are stable.
+  const size_t kQueries = 400;
+  std::vector<int64_t> heads;
+  std::vector<int64_t> rels;
+  CAME_CHECK(!ds.test.empty());
+  for (size_t i = 0; i < kQueries; ++i) {
+    const kg::Triple& t = ds.test[i % ds.test.size()];
+    heads.push_back(t.head);
+    rels.push_back(t.rel);
+  }
+
+  // Warm-up: prime the tensor pool and GEMM packing scratch.
+  (void)server.TopKBatch({heads[0], heads[1]}, {rels[0], rels[1]}, kTopK);
+
+  std::vector<ModeResult> results;
+  for (int threads = 1; threads <= kMaxThreads; threads *= 2) {
+    ModeResult u = RunUnbatched(&server, heads, rels, threads);
+    ModeResult b = RunBatched(&server, heads, rels, threads);
+    std::printf("%-9s t=%d  p50 %8.0fus  p99 %8.0fus  %8.1f qps\n",
+                u.mode.c_str(), u.threads, u.p50_us, u.p99_us, u.qps);
+    std::printf("%-9s t=%d  p50 %8.0fus  p99 %8.0fus  %8.1f qps  "
+                "(%lld batches, max %lld coalesced)\n",
+                b.mode.c_str(), b.threads, b.p50_us, b.p99_us, b.qps,
+                static_cast<long long>(b.batches),
+                static_cast<long long>(b.max_coalesced));
+    results.push_back(u);
+    results.push_back(b);
+  }
+
+  double unbatched_qps_at_max = 0;
+  double batched_qps_at_max = 0;
+  for (const ModeResult& r : results) {
+    if (r.threads != kMaxThreads) continue;
+    if (r.mode == "unbatched") unbatched_qps_at_max = r.qps;
+    if (r.mode == "batched") batched_qps_at_max = r.qps;
+  }
+  const double speedup = unbatched_qps_at_max > 0
+                             ? batched_qps_at_max / unbatched_qps_at_max
+                             : 0;
+  std::printf("batched/unbatched throughput at %d threads: %.2fx\n",
+              kMaxThreads, speedup);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("serving");
+  w.Key("model");
+  w.String("CamE");
+  w.Key("num_entities");
+  w.Int(ds.num_entities());
+  w.Key("dim");
+  w.Int(table.dim());
+  w.Key("k");
+  w.Int(kTopK);
+  w.Key("queries");
+  w.Int(static_cast<int64_t>(kQueries));
+  w.Key("folded_rows");
+  w.Bool(table.has_folded_rows());
+  w.Key("results");
+  w.BeginArray();
+  for (const ModeResult& r : results) {
+    w.BeginObject();
+    w.Key("mode");
+    w.String(r.mode);
+    w.Key("threads");
+    w.Int(r.threads);
+    w.Key("p50_us");
+    w.Double(r.p50_us);
+    w.Key("p99_us");
+    w.Double(r.p99_us);
+    w.Key("qps");
+    w.Double(r.qps);
+    if (r.mode == "batched") {
+      w.Key("batches");
+      w.Int(r.batches);
+      w.Key("max_coalesced");
+      w.Int(r.max_coalesced);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("batched_speedup_at_max_threads");
+  w.Double(speedup);
+  w.EndObject();
+  if (w.WriteFile(json_out)) {
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace came
+
+int main(int argc, char** argv) { return came::Main(argc, argv); }

@@ -25,9 +25,13 @@
 #include <vector>
 
 #include "baselines/model_zoo.h"
+#include "common/flags.h"
 #include "datagen/bkg_generator.h"
 #include "encoders/feature_bank.h"
 #include "eval/evaluator.h"
+#include "eval/ranking.h"
+#include "infer/fused_embedding_table.h"
+#include "infer/score_server.h"
 #include "train/trainer.h"
 
 namespace {
@@ -93,10 +97,21 @@ Result<KgMeta> LoadMeta(const std::string& dir) {
   std::string value;
   while (in >> key >> value) {
     if (key == "dataset") meta.dataset = value;
-    if (key == "scale") meta.scale = std::atof(value.c_str());
+    if (key == "scale") {
+      auto parsed = flags::ParseDouble(value);
+      if (!parsed.ok()) {
+        return Status::Corruption(dir + "/config.tsv: bad scale \"" + value +
+                                  "\"");
+      }
+      meta.scale = parsed.value();
+    }
     if (key == "seed") {
-      meta.seed = static_cast<uint64_t>(std::strtoull(value.c_str(),
-                                                      nullptr, 10));
+      auto parsed = flags::ParseUint(value);
+      if (!parsed.ok()) {
+        return Status::Corruption(dir + "/config.tsv: bad seed \"" + value +
+                                  "\"");
+      }
+      meta.seed = parsed.value();
     }
   }
   return meta;
@@ -113,9 +128,9 @@ datagen::BkgConfig ConfigFor(const KgMeta& meta) {
 int Generate(const std::map<std::string, std::string>& flags) {
   KgMeta meta;
   meta.dataset = FlagOr(flags, "dataset", "drkg");
-  meta.scale = std::atof(FlagOr(flags, "scale", "0.2").c_str());
-  meta.seed = static_cast<uint64_t>(
-      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10));
+  meta.scale = flags::DoubleFlag(FlagOr(flags, "scale", "0.2"), "scale",
+                                 1e-6, 1e6);
+  meta.seed = flags::UintFlag(FlagOr(flags, "seed", "42"), "seed");
   const std::string dir = FlagOr(flags, "out", "");
   if (dir.empty()) return Usage();
 
@@ -173,7 +188,8 @@ int LoadAll(const std::map<std::string, std::string>& flags,
   ctx.features = &out->bank;
   ctx.train_triples = &out->bkg.dataset.train;
   baselines::ZooOptions zoo;
-  zoo.dim = std::atoi(FlagOr(flags, "dim", "32").c_str());
+  zoo.dim = static_cast<int64_t>(
+      flags::IntFlag(FlagOr(flags, "dim", "32"), "dim", 1, 1 << 16));
   zoo.conv.reshape_h = 4;
   zoo.came.fusion_dim = zoo.dim;
   zoo.came.reshape_h = 4;
@@ -188,7 +204,8 @@ int Train(const std::map<std::string, std::string>& flags) {
   if (ckpt.empty()) return Usage();
 
   train::TrainConfig cfg;
-  cfg.epochs = std::atoi(FlagOr(flags, "epochs", "20").c_str());
+  cfg.epochs = static_cast<int>(
+      flags::IntFlag(FlagOr(flags, "epochs", "20"), "epochs", 1, 1 << 20));
   cfg = baselines::RecommendedTrainConfig(FlagOr(flags, "model", "CamE"),
                                           cfg);
   eval::Evaluator evaluator(lm.bkg.dataset);
@@ -219,7 +236,7 @@ int Eval(const std::map<std::string, std::string>& flags) {
   }
   eval::Evaluator evaluator(lm.bkg.dataset);
   eval::EvalConfig ec;
-  ec.max_triples = std::atoll(FlagOr(flags, "max", "-1").c_str());
+  ec.max_triples = flags::IntFlag(FlagOr(flags, "max", "-1"), "max", -1);
   const eval::Metrics m =
       evaluator.Evaluate(lm.model.get(), lm.bkg.dataset.test, ec);
   std::printf("test: %s\n", m.ToString().c_str());
@@ -241,27 +258,53 @@ int Predict(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "unknown --head or --rel\n");
     return 1;
   }
-  const int64_t topk = std::atoi(FlagOr(flags, "topk", "10").c_str());
+  const int64_t topk = flags::IntFlag(FlagOr(flags, "topk", "10"), "topk",
+                                      1, 1 << 20);
 
-  ag::NoGradGuard guard;
   lm.model->SetTraining(false);
-  tensor::Tensor scores = lm.model->ScoreAllTails({head}, {rel}).value();
-  std::vector<int64_t> ids(static_cast<size_t>(ds.num_entities()));
-  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int64_t>(i);
-  std::sort(ids.begin(), ids.end(), [&](int64_t a, int64_t b) {
-    return scores.data()[a] > scores.data()[b];
-  });
   kg::FilterIndex known(ds.num_entities(), ds.num_relations());
   known.AddTriples(ds.train);
+  const std::vector<int64_t> exclude = {head};  // never predict the query head
+
+  std::vector<int64_t> ids;
+  std::vector<float> top_scores;
+  auto* ip = dynamic_cast<baselines::InnerProductKgcModel*>(lm.model.get());
+  if (ip != nullptr) {
+    // Serving path: fold the entity-side state once, then answer the
+    // query through the ScoreServer's blocked top-K sweep.
+    const infer::FusedEmbeddingTable table =
+        infer::FusedEmbeddingTable::Build(ip);
+    table.InstallFoldedRows(ip);
+    infer::ScoreServer server(ip, &table);
+    infer::TopKOptions opts;
+    opts.exclude = &exclude;
+    infer::TopKResult result = server.TopK(head, rel, topk, opts);
+    ids = std::move(result.ids);
+    top_scores = std::move(result.scores);
+  } else {
+    // Distance models have no candidate table to serve from; fall back to
+    // a full scored scan in the same deterministic order.
+    ag::NoGradGuard guard;
+    tensor::Tensor scores = lm.model->ScoreAllTails({head}, {rel}).value();
+    std::vector<int64_t> all(static_cast<size_t>(ds.num_entities()));
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+    std::sort(all.begin(), all.end(), [&](int64_t a, int64_t b) {
+      return eval::ScoredBefore(scores.data()[a], a, scores.data()[b], b);
+    });
+    for (int64_t t : all) {
+      if (t == head) continue;
+      if (static_cast<int64_t>(ids.size()) >= topk) break;
+      ids.push_back(t);
+      top_scores.push_back(scores.data()[t]);
+    }
+  }
+
   std::printf("(%s, %s, ?):\n", FlagOr(flags, "head", "").c_str(),
               FlagOr(flags, "rel", "").c_str());
-  int printed = 0;
-  for (int64_t t : ids) {
-    if (t == head) continue;
-    if (printed++ >= topk) break;
-    std::printf("  %-22s %8.3f%s\n", ds.vocab.EntityName(t).c_str(),
-                scores.data()[t],
-                known.Contains(head, rel, t) ? "  [known]" : "");
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::printf("  %-22s %8.3f%s\n", ds.vocab.EntityName(ids[i]).c_str(),
+                top_scores[i],
+                known.Contains(head, rel, ids[i]) ? "  [known]" : "");
   }
   return 0;
 }

@@ -11,9 +11,12 @@
 #include <vector>
 
 #include "baselines/model_zoo.h"
+#include "common/flags.h"
 #include "datagen/bkg_generator.h"
 #include "encoders/feature_bank.h"
 #include "eval/evaluator.h"
+#include "infer/fused_embedding_table.h"
+#include "infer/score_server.h"
 #include "train/trainer.h"
 
 namespace {
@@ -36,8 +39,10 @@ std::unique_ptr<baselines::KgcModel> Train(
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
-  const int epochs = argc > 2 ? std::atoi(argv[2]) : 25;
+  const double scale =
+      argc > 1 ? flags::DoubleFlag(argv[1], "scale", 1e-6, 1e6) : 0.25;
+  const int epochs = static_cast<int>(
+      argc > 2 ? flags::IntFlag(argv[2], "epochs", 1, 1 << 20) : 25);
 
   datagen::GeneratedBkg bkg =
       datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(scale));
@@ -80,27 +85,33 @@ int main(int argc, char** argv) {
   kg::FilterIndex known(ds.num_entities(), ds.num_relations());
   known.AddTriples(ds.train);
 
-  ag::NoGradGuard guard;
+  // Screening runs through the serving path: fold CamE's entity-side
+  // state once, then ask the ScoreServer for the top compounds directly
+  // (no full score vector, deterministic tie order).
   came_model->SetTraining(false);
-  tensor::Tensor scores = came_model->ScoreAllTails({drug}, {ddi}).value();
-  auto compounds = ds.vocab.EntitiesOfType(kg::EntityType::kCompound);
-  std::sort(compounds.begin(), compounds.end(), [&](int64_t a, int64_t b) {
-    return scores.data()[a] > scores.data()[b];
-  });
+  auto* ip = dynamic_cast<baselines::InnerProductKgcModel*>(came_model.get());
+  const infer::FusedEmbeddingTable table = infer::FusedEmbeddingTable::Build(ip);
+  table.InstallFoldedRows(ip);
+  infer::ScoreServer server(ip, &table);
+
+  const auto compounds = ds.vocab.EntitiesOfType(kg::EntityType::kCompound);
+  const std::vector<int64_t> exclude = {drug};
+  infer::TopKOptions opts;
+  opts.restrict_to = &compounds;
+  opts.exclude = &exclude;
+  const infer::TopKResult top = server.TopK(drug, ddi, 10, opts);
+
   std::printf("\nscreening report for %s (%s family):\n",
               ds.vocab.EntityName(drug).c_str(),
               datagen::DrugFamilyName(
                   static_cast<datagen::DrugFamily>(bkg.cluster[drug])));
-  int printed = 0;
-  for (int64_t candidate : compounds) {
-    if (candidate == drug) continue;
-    if (printed++ >= 10) break;
-    const char* status = known.Contains(drug, ddi, candidate)
+  for (size_t i = 0; i < top.ids.size(); ++i) {
+    const char* status = known.Contains(drug, ddi, top.ids[i])
                              ? "known interaction (train)"
                              : "novel prediction";
     std::printf("  %-20s score %6.2f  %s\n",
-                ds.vocab.EntityName(candidate).c_str(),
-                scores.data()[candidate], status);
+                ds.vocab.EntityName(top.ids[i]).c_str(), top.scores[i],
+                status);
   }
   return 0;
 }

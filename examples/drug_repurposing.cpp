@@ -12,15 +12,20 @@
 #include <vector>
 
 #include "baselines/model_zoo.h"
+#include "common/flags.h"
 #include "datagen/bkg_generator.h"
 #include "encoders/feature_bank.h"
 #include "eval/evaluator.h"
+#include "infer/fused_embedding_table.h"
+#include "infer/score_server.h"
 #include "train/trainer.h"
 
 int main(int argc, char** argv) {
   using namespace came;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
-  const int epochs = argc > 2 ? std::atoi(argv[2]) : 25;
+  const double scale =
+      argc > 1 ? flags::DoubleFlag(argv[1], "scale", 1e-6, 1e6) : 0.25;
+  const int epochs = static_cast<int>(
+      argc > 2 ? flags::IntFlag(argv[2], "epochs", 1, 1 << 20) : 25);
 
   datagen::GeneratedBkg bkg =
       datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(scale));
@@ -60,18 +65,22 @@ int main(int argc, char** argv) {
   std::printf("repurposing metrics: %s\n",
               evaluator.Evaluate(model.get(), queries).ToString().c_str());
 
-  ag::NoGradGuard guard;
+  // Repurposing queries go through the serving path: entity-side state
+  // folded once, then top diseases per compound from the ScoreServer
+  // (type-aware shortlist, as a practitioner would).
   model->SetTraining(false);
+  auto* ip = dynamic_cast<baselines::InnerProductKgcModel*>(model.get());
+  const infer::FusedEmbeddingTable table = infer::FusedEmbeddingTable::Build(ip);
+  table.InstallFoldedRows(ip);
+  infer::ScoreServer server(ip, &table);
+
   const auto diseases = ds.vocab.EntitiesOfType(kg::EntityType::kDisease);
+  infer::TopKOptions opts;
+  opts.restrict_to = &diseases;
   int shown = 0;
   for (const kg::Triple& q : queries) {
     if (shown++ >= 3) break;
-    tensor::Tensor scores = model->ScoreAllTails({q.head}, {q.rel}).value();
-    // Rank diseases only (type-aware shortlist, as a practitioner would).
-    std::vector<int64_t> ranked = diseases;
-    std::sort(ranked.begin(), ranked.end(), [&](int64_t a, int64_t b) {
-      return scores.data()[a] > scores.data()[b];
-    });
+    const infer::TopKResult top = server.TopK(q.head, q.rel, 5, opts);
     const auto family =
         static_cast<datagen::DrugFamily>(bkg.cluster[q.head]);
     std::printf("\ncandidate drug: %s (%s family)\n",
@@ -79,13 +88,10 @@ int main(int argc, char** argv) {
                 datagen::DrugFamilyName(family));
     std::printf("  evidence: %s\n",
                 bkg.texts[static_cast<size_t>(q.head)].description.c_str());
-    for (int i = 0; i < 5 && i < static_cast<int>(ranked.size()); ++i) {
-      std::printf("  disease #%d: %-22s score %.2f%s\n", i + 1,
-                  ds.vocab.EntityName(ranked[static_cast<size_t>(i)]).c_str(),
-                  scores.data()[ranked[static_cast<size_t>(i)]],
-                  ranked[static_cast<size_t>(i)] == q.tail
-                      ? "  <- held-out indication"
-                      : "");
+    for (size_t i = 0; i < top.ids.size(); ++i) {
+      std::printf("  disease #%zu: %-22s score %.2f%s\n", i + 1,
+                  ds.vocab.EntityName(top.ids[i]).c_str(), top.scores[i],
+                  top.ids[i] == q.tail ? "  <- held-out indication" : "");
     }
   }
   return 0;

@@ -11,15 +11,20 @@
 #include <vector>
 
 #include "baselines/model_zoo.h"
+#include "common/flags.h"
 #include "datagen/bkg_generator.h"
 #include "encoders/feature_bank.h"
 #include "eval/evaluator.h"
+#include "infer/fused_embedding_table.h"
+#include "infer/score_server.h"
 #include "train/trainer.h"
 
 int main(int argc, char** argv) {
   using namespace came;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
-  const int epochs = argc > 2 ? std::atoi(argv[2]) : 25;
+  const double scale =
+      argc > 1 ? flags::DoubleFlag(argv[1], "scale", 1e-6, 1e6) : 0.25;
+  const int epochs = static_cast<int>(
+      argc > 2 ? flags::IntFlag(argv[2], "epochs", 1, 1 << 20) : 25);
 
   datagen::GeneratedBkg bkg =
       datagen::GenerateBkg(datagen::BkgConfig::DrkgMmSynth(scale));
@@ -80,21 +85,24 @@ int main(int argc, char** argv) {
                 evaluator.Evaluate(model.get(), queries).ToString().c_str());
   }
 
-  // Rank genes for a compound; print the gene-family evidence.
+  // Rank genes for a compound through the serving path; print the
+  // gene-family evidence.
   const kg::Triple q = queries.empty() ? ds.test.front() : queries.front();
-  ag::NoGradGuard guard;
   model->SetTraining(false);
-  tensor::Tensor scores = model->ScoreAllTails({q.head}, {q.rel}).value();
-  auto genes = ds.vocab.EntitiesOfType(kg::EntityType::kGene);
-  std::sort(genes.begin(), genes.end(), [&](int64_t a, int64_t b) {
-    return scores.data()[a] > scores.data()[b];
-  });
+  auto* ip = dynamic_cast<baselines::InnerProductKgcModel*>(model.get());
+  const infer::FusedEmbeddingTable table = infer::FusedEmbeddingTable::Build(ip);
+  table.InstallFoldedRows(ip);
+  infer::ScoreServer server(ip, &table);
+  const auto genes = ds.vocab.EntitiesOfType(kg::EntityType::kGene);
+  infer::TopKOptions opts;
+  opts.restrict_to = &genes;
+  const infer::TopKResult top = server.TopK(q.head, q.rel, 5, opts);
   std::printf("\ncandidate targets for %s:\n",
               ds.vocab.EntityName(q.head).c_str());
-  for (int i = 0; i < 5 && i < static_cast<int>(genes.size()); ++i) {
-    const int64_t g = genes[static_cast<size_t>(i)];
-    std::printf("  #%d %-10s score %6.2f  (%s)%s\n", i + 1,
-                ds.vocab.EntityName(g).c_str(), scores.data()[g],
+  for (size_t i = 0; i < top.ids.size(); ++i) {
+    const int64_t g = top.ids[i];
+    std::printf("  #%zu %-10s score %6.2f  (%s)%s\n", i + 1,
+                ds.vocab.EntityName(g).c_str(), top.scores[i],
                 bkg.texts[static_cast<size_t>(g)].description.c_str(),
                 g == q.tail ? "  <- held-out target" : "");
   }

@@ -18,9 +18,12 @@
 #include <vector>
 
 #include "baselines/model_zoo.h"
+#include "common/flags.h"
 #include "datagen/bkg_generator.h"
 #include "encoders/feature_bank.h"
 #include "eval/evaluator.h"
+#include "infer/fused_embedding_table.h"
+#include "infer/score_server.h"
 #include "train/trainer.h"
 
 int main(int argc, char** argv) {
@@ -36,10 +39,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else if (positional == 0) {
-      scale = std::atof(argv[i]);
+      scale = flags::DoubleFlag(argv[i], "scale", 1e-6, 1e6);
       ++positional;
     } else {
-      epochs = std::atoi(argv[i]);
+      epochs = static_cast<int>(
+          flags::IntFlag(argv[i], "epochs", 1, 1 << 20));
       ++positional;
     }
   }
@@ -104,21 +108,18 @@ int main(int argc, char** argv) {
   const kg::Triple& q = ds.test.front();
   std::printf("\nquery (%s, %s, ?):\n", ds.vocab.EntityName(q.head).c_str(),
               ds.vocab.RelationName(q.rel).c_str());
-  ag::NoGradGuard guard;
+  // Serving path: fold the entity-side state, answer through the
+  // ScoreServer's blocked top-K sweep (no full score vector).
   model->SetTraining(false);
-  tensor::Tensor scores = model->ScoreAllTails({q.head}, {q.rel}).value();
-  std::vector<int64_t> ids(static_cast<size_t>(ds.num_entities()));
-  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int64_t>(i);
-  std::partial_sort(ids.begin(), ids.begin() + 5, ids.end(),
-                    [&](int64_t a, int64_t b) {
-                      return scores.data()[a] > scores.data()[b];
-                    });
-  for (int i = 0; i < 5; ++i) {
-    std::printf("  #%d %-20s score %.2f%s\n", i + 1,
-                ds.vocab.EntityName(ids[static_cast<size_t>(i)]).c_str(),
-                scores.data()[ids[static_cast<size_t>(i)]],
-                ids[static_cast<size_t>(i)] == q.tail ? "  <- ground truth"
-                                                      : "");
+  auto* ip = dynamic_cast<baselines::InnerProductKgcModel*>(model.get());
+  const infer::FusedEmbeddingTable table = infer::FusedEmbeddingTable::Build(ip);
+  table.InstallFoldedRows(ip);
+  infer::ScoreServer server(ip, &table);
+  const infer::TopKResult top = server.TopK(q.head, q.rel, 5);
+  for (size_t i = 0; i < top.ids.size(); ++i) {
+    std::printf("  #%zu %-20s score %.2f%s\n", i + 1,
+                ds.vocab.EntityName(top.ids[i]).c_str(), top.scores[i],
+                top.ids[i] == q.tail ? "  <- ground truth" : "");
   }
   return 0;
 }

@@ -21,9 +21,22 @@ int OpRegistry::Register(const std::string& name, BroadcastSpec broadcast) {
     return it->second;
   }
   const int id = static_cast<int>(ops_.size());
+  CAME_CHECK_LT(id, kMaxOps) << "op registry dispatch-counter table full";
   ops_.push_back(OpInfo{name, broadcast});
   by_name_.emplace(name, id);
   return id;
+}
+
+void OpRegistry::CountNoTapeDispatch(int id) {
+  const size_t slot =
+      (id >= 0 && id < kMaxOps) ? static_cast<size_t>(id) + 1 : 0;
+  no_tape_dispatches_[slot].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t OpRegistry::NoTapeDispatches(int id) const {
+  const size_t slot =
+      (id >= 0 && id < kMaxOps) ? static_cast<size_t>(id) + 1 : 0;
+  return no_tape_dispatches_[slot].load(std::memory_order_relaxed);
 }
 
 int OpRegistry::Find(const std::string& name) const {

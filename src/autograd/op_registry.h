@@ -1,6 +1,8 @@
 #ifndef CAME_AUTOGRAD_OP_REGISTRY_H_
 #define CAME_AUTOGRAD_OP_REGISTRY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -55,12 +57,28 @@ class OpRegistry {
   /// Snapshot of every registered op, in registration order.
   std::vector<OpInfo> Snapshot() const;
 
+  /// Records one forward-only dispatch of `id` (grad mode off or no input
+  /// requiring grad — the op executed without allocating a tape node).
+  /// Lock-free: a relaxed atomic bump, safe from any thread, so the hot
+  /// inference path never touches the registry mutex. Out-of-range ids
+  /// (e.g. -1) are counted into a shared "unregistered" slot.
+  void CountNoTapeDispatch(int id);
+  /// Total forward-only dispatches recorded for `id` across all threads.
+  int64_t NoTapeDispatches(int id) const;
+
+  /// Maximum number of distinct ops the dispatch counters track; the 39
+  /// registered ops sit far below it, and Register CHECK-fails before the
+  /// table could overflow.
+  static constexpr int kMaxOps = 256;
+
  private:
   OpRegistry() = default;
 
   mutable std::mutex mu_;
   std::vector<OpInfo> ops_;
   std::unordered_map<std::string, int> by_name_;
+  /// Index 0 counts unregistered ids; op `id` lives at `id + 1`.
+  std::atomic<int64_t> no_tape_dispatches_[kMaxOps + 1] = {};
 };
 
 /// Resolves a tape node's op id to a printable name. Returns

@@ -30,13 +30,24 @@ int RegisterOp(const char* name,
 /// Creates the result Var, recording a tape node when needed. `backward`
 /// receives the output gradient; it must accumulate into the captured
 /// input states (guarding each on requires_grad).
+///
+/// `backward` is a deduced callable, not a std::function: on the
+/// forward-only path (grad mode off, or no input requiring grad) the
+/// closure is dropped without ever being type-erased, so an inference
+/// forward pays no tape node, no std::function heap allocation, and no
+/// refcount churn beyond the captures the caller already built.
+template <typename BackwardFn>
 Var MakeResult(int op_id, Tensor value, const std::vector<Var>& inputs,
-               std::function<void(const Tensor&)> backward) {
+               BackwardFn&& backward) {
   bool any = false;
   if (GradModeEnabled()) {
     for (const auto& v : inputs) any = any || NeedsGrad(v);
   }
-  if (!any) return Const(std::move(value));
+  if (!any) {
+    internal::CountNoTapeDispatch();
+    OpRegistry::Instance().CountNoTapeDispatch(op_id);
+    return Const(std::move(value));
+  }
   auto node = std::make_shared<Node>();
   node->op_id = op_id;
   node->inputs.reserve(inputs.size());
@@ -46,7 +57,8 @@ Var MakeResult(int op_id, Tensor value, const std::vector<Var>& inputs,
   out->requires_grad = true;
   out->producer = node;
   node->output = out;
-  node->backward = std::move(backward);
+  node->backward = std::forward<BackwardFn>(backward);
+  internal::CountTapeNodeRecorded();
   return Var::FromState(out);
 }
 

@@ -10,9 +10,19 @@ namespace came::ag {
 
 namespace {
 thread_local bool g_grad_mode = true;
+thread_local int64_t g_tape_nodes_recorded = 0;
+thread_local int64_t g_no_tape_dispatches = 0;
 }  // namespace
 
 bool GradModeEnabled() { return g_grad_mode; }
+
+int64_t TapeNodesRecordedThisThread() { return g_tape_nodes_recorded; }
+int64_t NoTapeDispatchesThisThread() { return g_no_tape_dispatches; }
+
+namespace internal {
+void CountTapeNodeRecorded() { ++g_tape_nodes_recorded; }
+void CountNoTapeDispatch() { ++g_no_tape_dispatches; }
+}  // namespace internal
 
 NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
 NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }

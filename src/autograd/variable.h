@@ -95,6 +95,26 @@ Var Const(Tensor value);
 /// Whether ops currently record the tape (true by default).
 bool GradModeEnabled();
 
+// -- tape telemetry ----------------------------------------------------------
+// Ops record tape nodes on the thread that invokes them (kernels may
+// parallelise *below* the op layer, but node construction never moves off
+// the calling thread), so plain thread-local counters are exact. Sample
+// before/after an interval and subtract; both counters are monotonic for
+// the life of the thread.
+
+/// Tape nodes recorded by ops on this thread.
+int64_t TapeNodesRecordedThisThread();
+/// Op calls on this thread that dispatched forward-only (grad mode off, or
+/// no input required grad) and therefore allocated no tape node and no
+/// type-erased backward closure.
+int64_t NoTapeDispatchesThisThread();
+
+namespace internal {
+/// Counter bumps used by the op library (autograd/ops.cc).
+void CountTapeNodeRecorded();
+void CountNoTapeDispatch();
+}  // namespace internal
+
 /// RAII scope that disables tape recording — use for evaluation/inference
 /// so forward passes allocate no graph.
 class NoGradGuard {

@@ -1,6 +1,7 @@
 #include "baselines/kgc_model.h"
 
 #include "common/logging.h"
+#include "infer/no_tape.h"
 #include "tensor/tensor_ops.h"
 
 namespace came::baselines {
@@ -36,6 +37,24 @@ ag::Var InnerProductKgcModel::ScoreAllTails(const std::vector<int64_t>& heads,
   ag::Var scores = ag::MatMul(q, ag::Transpose(CandidateTable()));  // [B, N]
   if (bias_.defined()) scores = ag::Add(scores, bias_);
   return scores;
+}
+
+tensor::Tensor InnerProductKgcModel::ServingQuery(
+    const std::vector<int64_t>& heads, const std::vector<int64_t>& rels) {
+  CAME_CHECK(!training()) << "ServingQuery requires eval mode";
+  infer::NoTapeGuard guard;
+  return Query(heads, rels).value();
+}
+
+tensor::Tensor InnerProductKgcModel::ServingCandidates() {
+  CAME_CHECK(!training()) << "ServingCandidates requires eval mode";
+  infer::NoTapeGuard guard;
+  return CandidateTable().value();
+}
+
+tensor::Tensor InnerProductKgcModel::ServingEntityBias() {
+  if (!bias_.defined()) return tensor::Tensor();
+  return bias_.value();
 }
 
 ag::Var GatherConstRows(const tensor::Tensor& table,

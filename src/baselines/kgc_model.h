@@ -69,6 +69,30 @@ class KgcModel : public nn::Module {
   /// can capture and restore it for bitwise-identical resume.
   Rng* mutable_rng() { return &rng_; }
 
+  // --- Offline encoder folding (serving) ---------------------------------
+  //
+  // Some models run a query-independent per-entity encoder stack inside
+  // every forward (CamE's MMF fusion of frozen modality features). For
+  // inference those rows are a pure function of the parameters, so they
+  // can be evaluated once for all N entities and reinstalled as a lookup
+  // table. The default implementation reports "nothing foldable".
+
+  /// Evaluates the query-independent per-entity encoder rows for every
+  /// entity ([N, d] — per-row, so batch-size invariant and bitwise equal
+  /// to the rows an un-folded forward computes). Returns an empty tensor
+  /// when the model has no foldable stage. Must be called in eval mode.
+  virtual tensor::Tensor FoldEntityEncoders() { return tensor::Tensor(); }
+
+  /// Installs rows produced by FoldEntityEncoders (possibly loaded from
+  /// disk); eval-mode forwards then gather from the cache instead of
+  /// re-running the encoder stack. An empty tensor clears the cache, and
+  /// switching back to training mode invalidates it automatically. No-op
+  /// for models without a foldable stage.
+  virtual void SetFoldedEncoderCache(tensor::Tensor rows) { (void)rows; }
+
+  /// True when a folded-encoder cache is installed and in use.
+  virtual bool HasFoldedEncoderCache() const { return false; }
+
  protected:
   explicit KgcModel(const ModelContext& context)
       : context_(context), rng_(context.seed) {}
@@ -90,6 +114,21 @@ class InnerProductKgcModel : public KgcModel {
                        const std::vector<int64_t>& tails) override;
   ag::Var ScoreAllTails(const std::vector<int64_t>& heads,
                         const std::vector<int64_t>& rels) override;
+
+  // --- Serving API -------------------------------------------------------
+  // Raw-tensor views of the inner-product factorisation
+  //   score(h, r, t) = <Query(h, r), Candidates()[t]> + bias[t]
+  // used by the inference layer (FusedEmbeddingTable / ScoreServer) to
+  // score panels with plain GEMM, bypassing autograd entirely. All three
+  // require eval mode and run under an enforced no-tape scope.
+
+  /// [B, d] query matrix for the batch (forward-only, no tape nodes).
+  tensor::Tensor ServingQuery(const std::vector<int64_t>& heads,
+                              const std::vector<int64_t>& rels);
+  /// [N, d] candidate-entity matrix (aliases the parameter buffer).
+  tensor::Tensor ServingCandidates();
+  /// [N] per-entity bias, or an empty tensor when the model has none.
+  tensor::Tensor ServingEntityBias();
 
  protected:
   InnerProductKgcModel(const ModelContext& context, int64_t query_dim,

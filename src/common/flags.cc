@@ -1,0 +1,126 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace came::flags {
+
+namespace {
+
+// strtoll/strtod silently skip leading whitespace and accept hex / inf /
+// nan spellings; a flag value should be a plain decimal literal, so gate
+// the first character before handing over.
+bool AcceptableStart(const std::string& text, bool allow_sign) {
+  if (text.empty()) return false;
+  const char c = text[0];
+  if (std::isdigit(static_cast<unsigned char>(c))) return true;
+  if (allow_sign && (c == '-' || c == '+') && text.size() > 1) return true;
+  if (!allow_sign && c == '+' && text.size() > 1) return true;
+  return c == '.' && allow_sign;  // only reachable from ParseDouble
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt(const std::string& text) {
+  if (!AcceptableStart(text, /*allow_sign=*/true) ||
+      (text[0] == '.')) {
+    return Status::InvalidArgument("not a decimal integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("trailing characters after number");
+  }
+  if (errno == ERANGE) return Status::InvalidArgument("out of range");
+  return static_cast<int64_t>(v);
+}
+
+Result<uint64_t> ParseUint(const std::string& text) {
+  if (!AcceptableStart(text, /*allow_sign=*/false)) {
+    return Status::InvalidArgument("not an unsigned decimal integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("trailing characters after number");
+  }
+  if (errno == ERANGE) return Status::InvalidArgument("out of range");
+  return static_cast<uint64_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  if (!AcceptableStart(text, /*allow_sign=*/true)) {
+    return Status::InvalidArgument("not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("trailing characters after number");
+  }
+  if (errno == ERANGE) return Status::InvalidArgument("out of range");
+  if (v != v) return Status::InvalidArgument("not a number");
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void Die(const std::string& flag, const std::string& reason,
+                      const std::string& text) {
+  std::fprintf(stderr, "flag --%s: %s, got \"%s\"\n", flag.c_str(),
+               reason.c_str(), text.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int64_t IntFlag(const std::string& text, const std::string& flag,
+                int64_t min, int64_t max) {
+  Result<int64_t> r = ParseInt(text);
+  if (!r.ok()) Die(flag, r.status().message(), text);
+  if (r.value() < min || r.value() > max) {
+    Die(flag,
+        "value out of range [" + std::to_string(min) + ", " +
+            std::to_string(max) + "]",
+        text);
+  }
+  return r.value();
+}
+
+uint64_t UintFlag(const std::string& text, const std::string& flag,
+                  uint64_t min, uint64_t max) {
+  Result<uint64_t> r = ParseUint(text);
+  if (!r.ok()) Die(flag, r.status().message(), text);
+  if (r.value() < min || r.value() > max) {
+    Die(flag,
+        "value out of range [" + std::to_string(min) + ", " +
+            std::to_string(max) + "]",
+        text);
+  }
+  return r.value();
+}
+
+double DoubleFlag(const std::string& text, const std::string& flag,
+                  double min, double max) {
+  Result<double> r = ParseDouble(text);
+  if (!r.ok()) Die(flag, r.status().message(), text);
+  if (r.value() < min || r.value() > max) {
+    Die(flag,
+        "value out of range [" + std::to_string(min) + ", " +
+            std::to_string(max) + "]",
+        text);
+  }
+  return r.value();
+}
+
+double DoubleFlag(const std::string& text, const std::string& flag) {
+  return DoubleFlag(text, flag, -std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity());
+}
+
+}  // namespace came::flags

@@ -1,0 +1,39 @@
+#ifndef CAME_COMMON_FLAGS_H_
+#define CAME_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace came::flags {
+
+// Checked numeric parsing for CLI flags and config files, replacing the
+// atoi/atof idiom that silently turns "abc" into 0 and "10x" into 10. The
+// whole string must parse: empty input, non-numeric input, trailing
+// garbage, and out-of-range values are all rejected.
+
+/// Parses a (possibly signed) decimal integer.
+Result<int64_t> ParseInt(const std::string& text);
+/// Parses an unsigned decimal integer (rejects a leading '-').
+Result<uint64_t> ParseUint(const std::string& text);
+/// Parses a floating-point number (rejects NaN/inf spellings).
+Result<double> ParseDouble(const std::string& text);
+
+// CLI front-end wrappers: parse the value of `--flag` or exit(2) with
+//   flag --<flag>: <reason>, got "<text>"
+// on stderr. `min`/`max` are inclusive bounds (e.g. IntFlag(v, "topk", 1)
+// rejects --topk 0 and --topk -3 instead of printing nothing).
+
+int64_t IntFlag(const std::string& text, const std::string& flag,
+                int64_t min = INT64_MIN, int64_t max = INT64_MAX);
+uint64_t UintFlag(const std::string& text, const std::string& flag,
+                  uint64_t min = 0, uint64_t max = UINT64_MAX);
+double DoubleFlag(const std::string& text, const std::string& flag,
+                  double min, double max);
+/// DoubleFlag with no bounds.
+double DoubleFlag(const std::string& text, const std::string& flag);
+
+}  // namespace came::flags
+
+#endif  // CAME_COMMON_FLAGS_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "infer/no_tape.h"
 #include "nn/init.h"
+#include "tensor/tensor_ops.h"
 
 namespace came::core {
 
@@ -126,6 +128,42 @@ std::vector<ag::Var> CamE::GatherModalities(
   return out;
 }
 
+tensor::Tensor CamE::FoldEntityEncoders() {
+  CAME_CHECK(!training()) << "FoldEntityEncoders requires eval mode";
+  infer::NoTapeGuard guard;
+  const int64_t n = num_entities();
+  tensor::Tensor rows({n, config_.fusion_dim});
+  // Batched so peak memory stays bounded; MMF is per-row, so the batch
+  // split cannot change any output bit.
+  constexpr int64_t kBatch = 512;
+  std::vector<int64_t> ids;
+  for (int64_t start = 0; start < n; start += kBatch) {
+    const int64_t end = std::min(n, start + kBatch);
+    ids.clear();
+    for (int64_t e = start; e < end; ++e) ids.push_back(e);
+    const tensor::Tensor h_f = mmf_->Forward(GatherModalities(ids)).value();
+    CAME_CHECK_EQ(h_f.dim(1), config_.fusion_dim);
+    std::copy(h_f.data(), h_f.data() + h_f.numel(),
+              rows.data() + start * config_.fusion_dim);
+  }
+  return rows;
+}
+
+void CamE::SetFoldedEncoderCache(tensor::Tensor rows) {
+  if (rows.numel() == 0) {
+    mmf_row_cache_ = tensor::Tensor();
+    return;
+  }
+  CAME_CHECK_EQ(rows.ndim(), 2);
+  CAME_CHECK_EQ(rows.dim(0), num_entities());
+  CAME_CHECK_EQ(rows.dim(1), config_.fusion_dim);
+  mmf_row_cache_ = std::move(rows);
+}
+
+void CamE::OnSetTraining(bool training) {
+  if (training) mmf_row_cache_ = tensor::Tensor();
+}
+
 ag::Var CamE::Query(const std::vector<int64_t>& heads,
                     const std::vector<int64_t>& rels) {
   const int64_t batch = static_cast<int64_t>(heads.size());
@@ -133,8 +171,14 @@ ag::Var CamE::Query(const std::vector<int64_t>& heads,
   ag::Var r = ag::Gather(relations_, rels);
   ag::Var h_s = modal[static_cast<size_t>(structural_slot_)];
 
-  // MMF joint representation.
-  ag::Var h_f = mmf_->Forward(modal);
+  // MMF joint representation — gathered from the folded cache when one is
+  // installed (eval only; bitwise identical to the live computation).
+  ag::Var h_f;
+  if (!training() && mmf_row_cache_.numel() > 0) {
+    h_f = ag::Const(tensor::GatherRows(mmf_row_cache_, heads));
+  } else {
+    h_f = mmf_->Forward(modal);
+  }
 
   // RIC interactive representations, one per modality.
   std::vector<ag::Var> v = ric_->Forward(modal, r);

@@ -66,10 +66,23 @@ class CamE : public baselines::InnerProductKgcModel {
     return modality_names_;
   }
 
+  /// The query-independent half of CamE's forward: the MMF fusion rows
+  /// h_f = MMF(modalities(e)) for every entity e, [N, d_f]. MMF is
+  /// per-row, so these rows are bitwise equal to what any batched forward
+  /// computes — installing them via SetFoldedEncoderCache changes no
+  /// score bit.
+  tensor::Tensor FoldEntityEncoders() override;
+  void SetFoldedEncoderCache(tensor::Tensor rows) override;
+  bool HasFoldedEncoderCache() const override {
+    return mmf_row_cache_.numel() > 0;
+  }
+
  protected:
   ag::Var Query(const std::vector<int64_t>& heads,
                 const std::vector<int64_t>& rels) override;
   ag::Var CandidateTable() override { return entities_; }
+  /// Training invalidates the folded MMF rows (parameters will move).
+  void OnSetTraining(bool training) override;
 
  private:
   /// Gathers the active modality vectors for a batch of entities.
@@ -95,6 +108,9 @@ class CamE : public baselines::InnerProductKgcModel {
   std::unique_ptr<nn::Linear> fc2_;
   std::unique_ptr<nn::LayerNorm> norm_;
   std::unique_ptr<nn::Dropout> dropout_;
+  /// Folded MMF rows [N, d_f] (empty = disabled). Eval-only; cleared on
+  /// SetTraining(true).
+  tensor::Tensor mmf_row_cache_;
 };
 
 }  // namespace came::core

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "common/random.h"
+#include "eval/ranking.h"
+#include "infer/no_tape.h"
 
 namespace came::eval {
 
@@ -15,55 +17,15 @@ Evaluator::Evaluator(const kg::Dataset& dataset)
   filter_.AddTriples(dataset.AllTriples());
 }
 
-namespace {
-
-// Filtered rank of `target` within `scores` (row of length N): known true
-// tails other than the target are skipped entirely. A NaN target score
-// ranks worst (below every unfiltered candidate): every comparison against
-// NaN is false, so without the explicit branch a diverging model would
-// rank first and silently report perfect MRR.
-double FilteredRank(const float* scores, int64_t n, int64_t target,
-                    const std::vector<int64_t>& known_tails) {
-  const float s_target = scores[target];
-  if (std::isnan(s_target)) {
-    int64_t filtered_others = 0;
-    for (int64_t t : known_tails) filtered_others += t != target;
-    // 1 + the number of candidates the target is compared against.
-    return static_cast<double>(n - filtered_others);
-  }
-  int64_t better = 0;
-  int64_t equal = 0;
-  size_t known_idx = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    // known_tails is sorted; advance the cursor and skip filtered ids.
-    while (known_idx < known_tails.size() && known_tails[known_idx] < i) {
-      ++known_idx;
-    }
-    if (known_idx < known_tails.size() && known_tails[known_idx] == i &&
-        i != target) {
-      continue;
-    }
-    if (i == target) continue;
-    const float s = scores[i];
-    if (std::isnan(s)) continue;
-    if (s > s_target) {
-      ++better;
-    } else if (s == s_target) {
-      ++equal;
-    }
-  }
-  return 1.0 + static_cast<double>(better) + static_cast<double>(equal) / 2.0;
-}
-
-}  // namespace
-
 Metrics Evaluator::Evaluate(baselines::KgcModel* model,
                             const std::vector<kg::Triple>& triples,
                             const EvalConfig& config) const {
   CAME_CHECK(model != nullptr);
   const bool was_training = model->training();
   model->SetTraining(false);
-  ag::NoGradGuard guard;
+  // Enforced no-tape scope: every model forward below dispatches
+  // forward-only, and the guard CHECK-fails if any op records a node.
+  infer::NoTapeGuard guard;
 
   // Build the query list: (head, rel, target-tail) per direction.
   struct Query {

@@ -1,0 +1,64 @@
+#include "eval/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace came::eval {
+
+RankAccumulator::RankAccumulator(float target_score, int64_t target,
+                                 const std::vector<int64_t>& known_tails)
+    : target_score_(target_score),
+      target_is_nan_(std::isnan(target_score)),
+      target_(target),
+      known_tails_(known_tails) {}
+
+void RankAccumulator::Accumulate(const float* scores, int64_t begin,
+                                 int64_t len) {
+  if (target_is_nan_) return;  // Rank() derives the NaN-target rank directly.
+  // known_tails is sorted; walk a cursor across this panel's id range.
+  auto known_it =
+      std::lower_bound(known_tails_.begin(), known_tails_.end(), begin);
+  for (int64_t j = 0; j < len; ++j) {
+    const int64_t i = begin + j;
+    while (known_it != known_tails_.end() && *known_it < i) ++known_it;
+    if (known_it != known_tails_.end() && *known_it == i && i != target_) {
+      continue;  // filtered: another known true tail
+    }
+    if (i == target_) continue;
+    const float s = scores[j];
+    if (std::isnan(s)) continue;
+    if (s > target_score_) {
+      ++better_;
+    } else if (s == target_score_) {
+      ++equal_;
+    }
+  }
+}
+
+double RankAccumulator::Rank(int64_t n) const {
+  if (target_is_nan_) {
+    int64_t filtered_others = 0;
+    for (int64_t t : known_tails_) filtered_others += t != target_;
+    // 1 + the number of candidates the target is compared against.
+    return static_cast<double>(n - filtered_others);
+  }
+  return 1.0 + static_cast<double>(better_) +
+         static_cast<double>(equal_) / 2.0;
+}
+
+double FilteredRank(const float* scores, int64_t n, int64_t target,
+                    const std::vector<int64_t>& known_tails) {
+  RankAccumulator acc(scores[target], target, known_tails);
+  acc.Accumulate(scores, 0, n);
+  return acc.Rank(n);
+}
+
+bool ScoredBefore(float score_a, int64_t id_a, float score_b, int64_t id_b) {
+  const bool nan_a = std::isnan(score_a);
+  const bool nan_b = std::isnan(score_b);
+  if (nan_a != nan_b) return nan_b;            // NaN ranks worst
+  if (!nan_a && score_a != score_b) return score_a > score_b;
+  return id_a < id_b;                          // deterministic tie-break
+}
+
+}  // namespace came::eval

@@ -1,0 +1,89 @@
+#include "infer/batching_front_end.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace came::infer {
+
+BatchingFrontEnd::BatchingFrontEnd(ScoreServer* server, int64_t k,
+                                   const TopKOptions& opts,
+                                   const BatchingFrontEndConfig& config)
+    : server_(server), k_(k), opts_(opts), config_(config) {
+  CAME_CHECK(server_ != nullptr);
+  CAME_CHECK_GT(k_, 0);
+  CAME_CHECK_GT(config_.max_batch, 0);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+BatchingFrontEnd::~BatchingFrontEnd() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::future<TopKResult> BatchingFrontEnd::Submit(int64_t head, int64_t rel) {
+  std::future<TopKResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CAME_CHECK(!stop_) << "Submit after shutdown";
+    queue_.push_back({head, rel, std::promise<TopKResult>()});
+    future = queue_.back().promise.get_future();
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void BatchingFrontEnd::WorkerLoop() {
+  std::vector<Pending> batch;
+  std::vector<int64_t> heads;
+  std::vector<int64_t> rels;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      // Take everything that has piled up while the previous batch ran,
+      // capped at max_batch.
+      const int64_t take = std::min<int64_t>(
+          config_.max_batch, static_cast<int64_t>(queue_.size()));
+      batch.clear();
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    heads.clear();
+    rels.clear();
+    for (const Pending& p : batch) {
+      heads.push_back(p.head);
+      rels.push_back(p.rel);
+    }
+    std::vector<TopKResult> results =
+        server_->TopKBatch(heads, rels, k_, opts_);
+    // Count the batch before fulfilling its promises: the moment a
+    // client's future resolves, GetStats already covers its query.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches_executed;
+      stats_.queries_served += static_cast<int64_t>(batch.size());
+      stats_.max_coalesced = std::max(stats_.max_coalesced,
+                                      static_cast<int64_t>(batch.size()));
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+  }
+}
+
+BatchingFrontEnd::Stats BatchingFrontEnd::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace came::infer

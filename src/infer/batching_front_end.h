@@ -1,0 +1,76 @@
+#ifndef CAME_INFER_BATCHING_FRONT_END_H_
+#define CAME_INFER_BATCHING_FRONT_END_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "infer/score_server.h"
+
+namespace came::infer {
+
+struct BatchingFrontEndConfig {
+  /// Largest coalesced batch handed to one TopKBatch call.
+  int64_t max_batch = 64;
+};
+
+/// Coalescing front end for a ScoreServer: concurrent clients submit
+/// single (h, r, ?) queries and get futures; a worker thread drains the
+/// queue and executes whatever has accumulated as one TopKBatch call
+/// (up to max_batch). Wider batches amortise query encoding and reuse
+/// each packed entity panel across every query in the batch, which is
+/// where batched serving wins its throughput over per-query calls —
+/// bench_serving measures exactly this.
+class BatchingFrontEnd {
+ public:
+  /// K and the filter options are fixed per front end and apply to every
+  /// submitted query. `server` must outlive the front end; anything
+  /// `opts` points at must stay alive too.
+  BatchingFrontEnd(ScoreServer* server, int64_t k,
+                   const TopKOptions& opts = {},
+                   const BatchingFrontEndConfig& config = {});
+  /// Drains outstanding queries, then joins the worker.
+  ~BatchingFrontEnd();
+
+  BatchingFrontEnd(const BatchingFrontEnd&) = delete;
+  BatchingFrontEnd& operator=(const BatchingFrontEnd&) = delete;
+
+  /// Enqueues one query; the future resolves when its batch executes.
+  std::future<TopKResult> Submit(int64_t head, int64_t rel);
+
+  struct Stats {
+    int64_t queries_served = 0;
+    int64_t batches_executed = 0;
+    /// Largest batch actually coalesced (1 = no coalescing happened).
+    int64_t max_coalesced = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Pending {
+    int64_t head;
+    int64_t rel;
+    std::promise<TopKResult> promise;
+  };
+
+  void WorkerLoop();
+
+  ScoreServer* server_;
+  int64_t k_;
+  TopKOptions opts_;
+  BatchingFrontEndConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  Stats stats_;
+  std::thread worker_;
+};
+
+}  // namespace came::infer
+
+#endif  // CAME_INFER_BATCHING_FRONT_END_H_

@@ -1,0 +1,23 @@
+#include "infer/no_tape.h"
+
+#include "common/logging.h"
+
+namespace came::infer {
+
+NoTapeGuard::NoTapeGuard()
+    : nodes_at_entry_(ag::TapeNodesRecordedThisThread()),
+      dispatches_at_entry_(ag::NoTapeDispatchesThisThread()) {}
+
+NoTapeGuard::~NoTapeGuard() {
+  const int64_t recorded =
+      ag::TapeNodesRecordedThisThread() - nodes_at_entry_;
+  CAME_CHECK_EQ(recorded, 0)
+      << "NoTapeGuard: " << recorded
+      << " tape node(s) recorded inside a no-tape scope";
+}
+
+int64_t NoTapeGuard::ScopedNoTapeDispatches() const {
+  return ag::NoTapeDispatchesThisThread() - dispatches_at_entry_;
+}
+
+}  // namespace came::infer

@@ -1,0 +1,226 @@
+#include "infer/score_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "baselines/kgc_model.h"
+#include "common/logging.h"
+#include "common/parallel_for.h"
+#include "eval/ranking.h"
+#include "tensor/gemm.h"
+#include "tensor/storage_pool.h"
+
+namespace came::infer {
+
+namespace {
+
+struct Entry {
+  float score;
+  int64_t id;
+};
+
+// Heap comparator: "better-ranked first" is the heap's less-than, so the
+// heap front (the comparator-maximum) is the worst kept entry — the one a
+// better candidate evicts.
+bool BetterEntry(const Entry& a, const Entry& b) {
+  return eval::ScoredBefore(a.score, a.id, b.score, b.id);
+}
+
+// Skip-set cursor over a sorted id list (known tails / explicit excludes).
+class SkipCursor {
+ public:
+  explicit SkipCursor(const std::vector<int64_t>* ids) : ids_(ids) {}
+
+  void Seek(int64_t first_id) {
+    if (ids_ == nullptr) return;
+    it_ = std::lower_bound(ids_->begin(), ids_->end(), first_id);
+  }
+
+  bool Skip(int64_t id) {
+    if (ids_ == nullptr) return false;
+    while (it_ != ids_->end() && *it_ < id) ++it_;
+    return it_ != ids_->end() && *it_ == id;
+  }
+
+ private:
+  const std::vector<int64_t>* ids_;
+  std::vector<int64_t>::const_iterator it_;
+};
+
+// Feeds one panel of scores into the query's bounded heap.
+void UpdateHeap(std::vector<Entry>* heap, int64_t k, const float* scores,
+                const float* bias, int64_t begin, int64_t len,
+                const std::vector<int64_t>* filtered, int64_t keep,
+                const std::vector<int64_t>* exclude,
+                const std::vector<int64_t>* restrict_to) {
+  SkipCursor filter_cursor(filtered);
+  SkipCursor exclude_cursor(exclude);
+  SkipCursor restrict_cursor(restrict_to);
+  filter_cursor.Seek(begin);
+  exclude_cursor.Seek(begin);
+  restrict_cursor.Seek(begin);
+  for (int64_t j = 0; j < len; ++j) {
+    const int64_t id = begin + j;
+    if (restrict_to != nullptr && !restrict_cursor.Skip(id)) continue;
+    const bool in_filter = filter_cursor.Skip(id);
+    const bool in_exclude = exclude_cursor.Skip(id);
+    if ((in_filter || in_exclude) && id != keep) continue;
+    const float s = bias != nullptr ? scores[j] + bias[id] : scores[j];
+    if (static_cast<int64_t>(heap->size()) < k) {
+      heap->push_back({s, id});
+      std::push_heap(heap->begin(), heap->end(), BetterEntry);
+    } else if (BetterEntry({s, id}, heap->front())) {
+      std::pop_heap(heap->begin(), heap->end(), BetterEntry);
+      heap->back() = {s, id};
+      std::push_heap(heap->begin(), heap->end(), BetterEntry);
+    }
+  }
+}
+
+}  // namespace
+
+ScoreServer::ScoreServer(baselines::InnerProductKgcModel* model,
+                         const FusedEmbeddingTable* table,
+                         const ScoreServerConfig& config)
+    : ScoreServer(
+          [model](const std::vector<int64_t>& heads,
+                  const std::vector<int64_t>& rels) {
+            return model->ServingQuery(heads, rels);
+          },
+          table, config) {
+  CAME_CHECK(model != nullptr);
+}
+
+ScoreServer::ScoreServer(QueryEncoder encoder,
+                         const FusedEmbeddingTable* table,
+                         const ScoreServerConfig& config)
+    : encoder_(std::move(encoder)), table_(table), config_(config) {
+  CAME_CHECK(encoder_ != nullptr);
+  CAME_CHECK(table_ != nullptr);
+  CAME_CHECK_GT(table_->num_entities(), 0) << "empty fused table";
+  CAME_CHECK_GT(config_.panel_width, 0);
+}
+
+tensor::Tensor ScoreServer::EncodeQueries(const std::vector<int64_t>& heads,
+                                          const std::vector<int64_t>& rels) {
+  CAME_CHECK_EQ(heads.size(), rels.size());
+  CAME_CHECK(!heads.empty());
+  tensor::Tensor q = encoder_(heads, rels);
+  CAME_CHECK_EQ(q.ndim(), 2);
+  CAME_CHECK_EQ(q.dim(0), static_cast<int64_t>(heads.size()));
+  CAME_CHECK_EQ(q.dim(1), table_->dim()) << "query/table dim mismatch";
+  return q;
+}
+
+TopKResult ScoreServer::TopK(int64_t head, int64_t rel, int64_t k,
+                             const TopKOptions& opts) {
+  return TopKBatch({head}, {rel}, k, opts)[0];
+}
+
+std::vector<TopKResult> ScoreServer::TopKBatch(
+    const std::vector<int64_t>& heads, const std::vector<int64_t>& rels,
+    int64_t k, const TopKOptions& opts) {
+  CAME_CHECK_GT(k, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const tensor::Tensor q = EncodeQueries(heads, rels);
+  const int64_t b = q.dim(0);
+  const int64_t d = q.dim(1);
+  const int64_t n = table_->num_entities();
+  const float* cand = table_->candidates().data();
+  const float* bias = table_->has_bias() ? table_->bias().data() : nullptr;
+
+  std::vector<std::vector<Entry>> heaps(static_cast<size_t>(b));
+  for (auto& h : heaps) h.reserve(static_cast<size_t>(std::min(k, n)));
+
+  const int64_t panel = std::min(config_.panel_width, n);
+  tensor::pool::ScratchLease scores(b * panel);
+  for (int64_t p0 = 0; p0 < n; p0 += panel) {
+    const int64_t pw = std::min(panel, n - p0);
+    // q [B, d] x candidates[p0 .. p0+pw) [pw, d]^T -> [B, pw]. Bitwise
+    // equal to columns [p0, p0+pw) of the full [B, N] score GEMM.
+    tensor::gemm::Gemm(q.data(), cand + p0 * d, scores.data(), b, d, pw,
+                       /*trans_a=*/false, /*trans_b=*/true,
+                       /*accumulate=*/false);
+    ++stats_.panels_scored;
+    ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const std::vector<int64_t>* filtered =
+            opts.filter != nullptr
+                ? &opts.filter->Tails(heads[static_cast<size_t>(i)],
+                                      rels[static_cast<size_t>(i)])
+                : nullptr;
+        UpdateHeap(&heaps[static_cast<size_t>(i)], k, scores.data() + i * pw,
+                   bias, p0, pw, filtered, opts.keep, opts.exclude,
+                   opts.restrict_to);
+      }
+    });
+  }
+
+  std::vector<TopKResult> out(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) {
+    std::vector<Entry>& heap = heaps[static_cast<size_t>(i)];
+    std::sort(heap.begin(), heap.end(), BetterEntry);
+    TopKResult& r = out[static_cast<size_t>(i)];
+    r.ids.reserve(heap.size());
+    r.scores.reserve(heap.size());
+    for (const Entry& e : heap) {
+      r.ids.push_back(e.id);
+      r.scores.push_back(e.score);
+    }
+  }
+  stats_.queries_served += b;
+  ++stats_.batches_executed;
+  return out;
+}
+
+double ScoreServer::RankOf(int64_t head, int64_t rel, int64_t target,
+                           const TopKOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t n = table_->num_entities();
+  CAME_CHECK_GE(target, 0);
+  CAME_CHECK_LT(target, n);
+  const tensor::Tensor q = EncodeQueries({head}, {rel});
+  const int64_t d = q.dim(1);
+  const float* cand = table_->candidates().data();
+  const float* bias = table_->has_bias() ? table_->bias().data() : nullptr;
+
+  static const std::vector<int64_t> kNoFiltered;
+  const std::vector<int64_t>& filtered =
+      opts.filter != nullptr ? opts.filter->Tails(head, rel) : kNoFiltered;
+
+  const int64_t panel = std::min(config_.panel_width, n);
+  tensor::pool::ScratchLease scores(panel);
+
+  // The target's score first (the accumulator compares against it). A
+  // 1-wide GEMM is bitwise identical to the same element of any wider
+  // panel: per-element k-accumulation order does not depend on n.
+  float s_target;
+  tensor::gemm::Gemm(q.data(), cand + target * d, &s_target, 1, d, 1,
+                     /*trans_a=*/false, /*trans_b=*/true,
+                     /*accumulate=*/false);
+  if (bias != nullptr) s_target += bias[target];
+
+  eval::RankAccumulator acc(s_target, target, filtered);
+  for (int64_t p0 = 0; p0 < n; p0 += panel) {
+    const int64_t pw = std::min(panel, n - p0);
+    tensor::gemm::Gemm(q.data(), cand + p0 * d, scores.data(), 1, d, pw,
+                       /*trans_a=*/false, /*trans_b=*/true,
+                       /*accumulate=*/false);
+    ++stats_.panels_scored;
+    if (bias != nullptr) {
+      for (int64_t j = 0; j < pw; ++j) scores.data()[j] += bias[p0 + j];
+    }
+    acc.Accumulate(scores.data(), p0, pw);
+  }
+  ++stats_.queries_served;
+  ++stats_.batches_executed;
+  return acc.Rank(n);
+}
+
+ScoreServer::Stats ScoreServer::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace came::infer

@@ -1,0 +1,124 @@
+#ifndef CAME_INFER_SCORE_SERVER_H_
+#define CAME_INFER_SCORE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "infer/fused_embedding_table.h"
+#include "kg/filter_index.h"
+#include "tensor/tensor.h"
+
+namespace came::baselines {
+class InnerProductKgcModel;
+}  // namespace came::baselines
+
+namespace came::infer {
+
+/// Encodes a batch of (head, relation) queries into a [B, d] query matrix.
+/// Must be forward-only (no tape nodes) and eval-mode.
+using QueryEncoder = std::function<tensor::Tensor(
+    const std::vector<int64_t>& heads, const std::vector<int64_t>& rels)>;
+
+struct ScoreServerConfig {
+  /// Entity-panel width for the blocked score sweep. Scratch memory per
+  /// batch is batch_size * panel_width floats — the full N-entity score
+  /// vector is never materialised.
+  int64_t panel_width = 1024;
+};
+
+/// Top-K answer for one (h, r, ?) query, best-first under the serving
+/// order (eval::ScoredBefore: score desc, NaN worst, id asc on ties).
+struct TopKResult {
+  std::vector<int64_t> ids;
+  std::vector<float> scores;
+};
+
+/// Per-query candidate filtering.
+struct TopKOptions {
+  /// When set, candidates in filter->Tails(head, rel) are skipped
+  /// (filtered protocol), except `keep`.
+  const kg::FilterIndex* filter = nullptr;
+  /// Entity id exempt from filtering (the evaluation target), -1 = none.
+  int64_t keep = -1;
+  /// Extra candidate ids to skip (sorted ascending); not owned.
+  const std::vector<int64_t>* exclude = nullptr;
+  /// When set, only these candidate ids are eligible (sorted ascending,
+  /// not owned) — type-aware shortlists like "rank diseases only". Unlike
+  /// filter/exclude, `keep` does not override this restriction.
+  const std::vector<int64_t>* restrict_to = nullptr;
+};
+
+/// Answers (h, r, ?) top-K queries against a FusedEmbeddingTable.
+///
+/// Each batch runs one blocked SGEMM per entity panel
+/// (q [B, d] x panel [P, d]^T), and the panel scores feed per-query
+/// bounded heaps of size K directly — the full [B, N] score matrix never
+/// exists. Panel scores are bitwise identical to the corresponding
+/// columns of a full-width GEMM over the same serving arithmetic (the
+/// per-element k-accumulation order is independent of the m/n blocking
+/// and the panel width), so top-K results match a brute-force sort of
+/// the full serving score vector exactly, ties included. The training
+/// path's ScoreAllTails materialises the transposed candidate table and
+/// multiplies untransposed — same math, different accumulation path — so
+/// its scores may differ from serving scores in the last ulp.
+///
+/// Thread-safe: calls are serialised on an internal mutex; concurrency
+/// comes from the GEMM / heap-update ParallelFor inside a batch (wider
+/// batches parallelise better — see BatchingFrontEnd).
+class ScoreServer {
+ public:
+  /// Serves `model` (used for query encoding only; entity-side state
+  /// comes from `table`). Both must outlive the server; the model must
+  /// stay in eval mode.
+  ScoreServer(baselines::InnerProductKgcModel* model,
+              const FusedEmbeddingTable* table,
+              const ScoreServerConfig& config = {});
+  /// Custom query encoder (tests, remote encoders).
+  ScoreServer(QueryEncoder encoder, const FusedEmbeddingTable* table,
+              const ScoreServerConfig& config = {});
+
+  /// Top-K for a single query. K is clamped to the number of eligible
+  /// candidates (K > N returns them all, ranked).
+  TopKResult TopK(int64_t head, int64_t rel, int64_t k,
+                  const TopKOptions& opts = {});
+
+  /// Top-K for an aligned batch of queries (one GEMM per panel for the
+  /// whole batch).
+  std::vector<TopKResult> TopKBatch(const std::vector<int64_t>& heads,
+                                    const std::vector<int64_t>& rels,
+                                    int64_t k, const TopKOptions& opts = {});
+
+  /// Filtered rank of `target` for (head, rel, ?), identical to the
+  /// Evaluator's protocol (1 + #better + #equal/2, NaN target worst),
+  /// computed over panels without materialising the score vector.
+  /// Filtering uses opts.filter; `target` is always kept.
+  double RankOf(int64_t head, int64_t rel, int64_t target,
+                const TopKOptions& opts = {});
+
+  int64_t num_entities() const { return table_->num_entities(); }
+  const FusedEmbeddingTable& table() const { return *table_; }
+
+  struct Stats {
+    int64_t queries_served = 0;
+    int64_t batches_executed = 0;
+    int64_t panels_scored = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  /// Encodes and validates the query matrix ([B, d]). Caller holds mu_.
+  tensor::Tensor EncodeQueries(const std::vector<int64_t>& heads,
+                               const std::vector<int64_t>& rels);
+
+  QueryEncoder encoder_;
+  const FusedEmbeddingTable* table_;
+  ScoreServerConfig config_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace came::infer
+
+#endif  // CAME_INFER_SCORE_SERVER_H_

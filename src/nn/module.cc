@@ -35,6 +35,7 @@ int64_t Module::NumParameters() const {
 void Module::SetTraining(bool training) {
   training_ = training;
   for (auto& [_, child] : children_) child->SetTraining(training);
+  OnSetTraining(training);
 }
 
 void Module::ZeroGrad() {

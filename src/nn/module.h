@@ -66,6 +66,13 @@ class Module {
   /// Registers a child module (not owned).
   void RegisterSubmodule(const std::string& name, Module* child);
 
+  /// Hook invoked at the end of every SetTraining call (after the flag is
+  /// set and children are updated). Modules that keep mode-dependent
+  /// derived state — e.g. CamE's folded-encoder cache, which is only
+  /// valid while parameters are frozen — override this to invalidate it
+  /// when the mode flips back to training.
+  virtual void OnSetTraining(bool training) { (void)training; }
+
  private:
   std::vector<std::pair<std::string, ag::Var>> params_;
   std::vector<std::pair<std::string, Module*>> children_;

@@ -1,0 +1,368 @@
+// ScoreServer parity against a brute-force oracle that materialises the
+// full score vector and sorts it under the serving order. The server's
+// blocked panel sweep + bounded heap must reproduce that sort *exactly* —
+// ties (id ascending), NaN candidates (worst), filtered and restricted
+// candidate sets, K larger than the eligible set — at 1 and 4 threads.
+#include "infer/score_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "eval/ranking.h"
+#include "infer/batching_front_end.h"
+#include "infer/fused_embedding_table.h"
+#include "kg/filter_index.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace came::infer {
+namespace {
+
+constexpr int64_t kN = 237;     // spans several 64-wide panels, ragged tail
+constexpr int64_t kDim = 8;
+constexpr int64_t kNumRels = 4;
+
+// Quantised hash values provoke score ties without handing the test a
+// score table that happens to be all-distinct.
+float HashVal(uint64_t a, uint64_t b) {
+  uint64_t x = 0x9e3779b97f4a7c15ULL ^ (a * 0x100000001b3ULL) ^
+               (b + 0x85ebca6bULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<float>(x % 13) * 0.25f - 1.5f;
+}
+
+tensor::Tensor EncodeQueriesFixture(const std::vector<int64_t>& heads,
+                                    const std::vector<int64_t>& rels) {
+  tensor::Tensor q({static_cast<int64_t>(heads.size()), kDim});
+  for (size_t i = 0; i < heads.size(); ++i) {
+    for (int64_t j = 0; j < kDim; ++j) {
+      q.data()[static_cast<int64_t>(i) * kDim + j] = HashVal(
+          static_cast<uint64_t>(heads[i] * kNumRels + rels[i]),
+          static_cast<uint64_t>(j));
+    }
+  }
+  return q;
+}
+
+class ScoreServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tensor::Tensor cand({kN, kDim});
+    for (int64_t i = 0; i < kN; ++i) {
+      for (int64_t j = 0; j < kDim; ++j) {
+        cand.data()[i * kDim + j] =
+            HashVal(0xC0FFEE + static_cast<uint64_t>(i),
+                    static_cast<uint64_t>(j));
+      }
+    }
+    // Exact duplicate rows: ids 20/21/22 and 100/101 tie bitwise, so the
+    // serving order must fall back to ascending id.
+    for (int64_t j = 0; j < kDim; ++j) {
+      cand.data()[21 * kDim + j] = cand.data()[20 * kDim + j];
+      cand.data()[22 * kDim + j] = cand.data()[20 * kDim + j];
+      cand.data()[101 * kDim + j] = cand.data()[100 * kDim + j];
+    }
+    // NaN candidate rows: their scores are NaN and must rank worst.
+    cand.data()[5 * kDim] = std::numeric_limits<float>::quiet_NaN();
+    cand.data()[150 * kDim] = std::numeric_limits<float>::quiet_NaN();
+
+    tensor::Tensor bias({kN});
+    for (int64_t i = 0; i < kN; ++i) {
+      bias.data()[i] = HashVal(0xB1A5 + static_cast<uint64_t>(i), 0);
+    }
+    // Duplicated rows only tie if their biases tie too.
+    bias.data()[21] = bias.data()[20];
+    bias.data()[22] = bias.data()[20];
+    bias.data()[101] = bias.data()[100];
+
+    table_ = FusedEmbeddingTable("Synthetic", cand, bias, tensor::Tensor());
+    ScoreServerConfig cfg;
+    cfg.panel_width = 64;
+    server_ = std::make_unique<ScoreServer>(EncodeQueriesFixture, &table_,
+                                            cfg);
+  }
+
+  // Full score vector through the same GEMM the server uses — one call
+  // over the whole table instead of blocked panels. Bitwise parity
+  // between the two is exactly the property the server advertises.
+  std::vector<float> FullScores(int64_t head, int64_t rel) const {
+    const tensor::Tensor q = EncodeQueriesFixture({head}, {rel});
+    std::vector<float> scores(static_cast<size_t>(kN));
+    tensor::gemm::Gemm(q.data(), table_.candidates().data(), scores.data(),
+                       1, kDim, kN, /*trans_a=*/false, /*trans_b=*/true,
+                       /*accumulate=*/false);
+    for (int64_t i = 0; i < kN; ++i) {
+      scores[static_cast<size_t>(i)] += table_.bias().data()[i];
+    }
+    return scores;
+  }
+
+  static bool InSorted(const std::vector<int64_t>* ids, int64_t id) {
+    return ids != nullptr &&
+           std::binary_search(ids->begin(), ids->end(), id);
+  }
+
+  TopKResult OracleTopK(int64_t head, int64_t rel, int64_t k,
+                        const TopKOptions& opts = {}) const {
+    const std::vector<float> scores = FullScores(head, rel);
+    std::vector<int64_t> eligible;
+    const std::vector<int64_t>* filtered =
+        opts.filter != nullptr ? &opts.filter->Tails(head, rel) : nullptr;
+    for (int64_t id = 0; id < kN; ++id) {
+      if (opts.restrict_to != nullptr && !InSorted(opts.restrict_to, id)) {
+        continue;
+      }
+      if (InSorted(opts.exclude, id)) continue;
+      if (id != opts.keep && InSorted(filtered, id)) continue;
+      eligible.push_back(id);
+    }
+    std::sort(eligible.begin(), eligible.end(),
+              [&](int64_t a, int64_t b) {
+                return eval::ScoredBefore(scores[static_cast<size_t>(a)], a,
+                                          scores[static_cast<size_t>(b)], b);
+              });
+    if (k < static_cast<int64_t>(eligible.size())) eligible.resize(k);
+    TopKResult out;
+    out.ids = eligible;
+    for (int64_t id : eligible) {
+      out.scores.push_back(scores[static_cast<size_t>(id)]);
+    }
+    return out;
+  }
+
+  static void ExpectSameResult(const TopKResult& got, const TopKResult& want) {
+    ASSERT_EQ(got.ids, want.ids);
+    ASSERT_EQ(got.scores.size(), want.scores.size());
+    // Bitwise score comparison — float == would reject the NaN entries a
+    // K >= N query legitimately returns.
+    EXPECT_EQ(std::memcmp(got.scores.data(), want.scores.data(),
+                          got.scores.size() * sizeof(float)),
+              0);
+  }
+
+  FusedEmbeddingTable table_;
+  std::unique_ptr<ScoreServer> server_;
+};
+
+// Restores the global worker count when a test body returns.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(NumThreads()) {}
+  ~ThreadCountGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST_F(ScoreServerTest, MatchesOracleAcrossKAndThreads) {
+  ThreadCountGuard restore;
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    for (int64_t k : {int64_t{1}, int64_t{5}, kN, 2 * kN}) {
+      for (int64_t head : {int64_t{0}, int64_t{17}, int64_t{123}}) {
+        for (int64_t rel = 0; rel < kNumRels; ++rel) {
+          ExpectSameResult(server_->TopK(head, rel, k),
+                           OracleTopK(head, rel, k));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ScoreServerTest, TiedScoresBreakByAscendingId) {
+  const TopKResult all = server_->TopK(7, 2, kN);
+  ExpectSameResult(all, OracleTopK(7, 2, kN));
+  // The duplicated rows tie bitwise, so each group must appear as a
+  // contiguous ascending-id run.
+  for (const std::vector<int64_t>& group :
+       {std::vector<int64_t>{20, 21, 22}, std::vector<int64_t>{100, 101}}) {
+    std::vector<size_t> pos;
+    for (int64_t id : group) {
+      const auto it = std::find(all.ids.begin(), all.ids.end(), id);
+      ASSERT_NE(it, all.ids.end());
+      pos.push_back(static_cast<size_t>(it - all.ids.begin()));
+    }
+    for (size_t i = 1; i < pos.size(); ++i) {
+      EXPECT_EQ(pos[i], pos[i - 1] + 1)
+          << "tied ids " << group[i - 1] << "," << group[i]
+          << " not adjacent in ascending order";
+    }
+  }
+}
+
+TEST_F(ScoreServerTest, NanCandidatesRankWorst) {
+  const TopKResult all = server_->TopK(3, 1, kN);
+  ASSERT_EQ(static_cast<int64_t>(all.ids.size()), kN);
+  // Rows 5 and 150 score NaN; they must occupy the last two slots, in
+  // ascending id order, and every other score must be finite.
+  EXPECT_EQ(all.ids[static_cast<size_t>(kN) - 2], 5);
+  EXPECT_EQ(all.ids[static_cast<size_t>(kN) - 1], 150);
+  EXPECT_TRUE(std::isnan(all.scores[static_cast<size_t>(kN) - 1]));
+  EXPECT_TRUE(std::isnan(all.scores[static_cast<size_t>(kN) - 2]));
+  for (size_t i = 0; i + 2 < all.scores.size(); ++i) {
+    EXPECT_FALSE(std::isnan(all.scores[i])) << "rank " << i;
+  }
+}
+
+TEST_F(ScoreServerTest, FilteredProtocolSkipsKnownTailsExceptKeep) {
+  kg::FilterIndex filter(kN, kNumRels);
+  filter.AddTriples({{9, 1, 30}, {9, 1, 31}, {9, 1, 32}, {9, 1, 20}});
+  TopKOptions opts;
+  opts.filter = &filter;
+  opts.keep = 31;
+
+  const TopKResult got = server_->TopK(9, 1, kN, opts);
+  ExpectSameResult(got, OracleTopK(9, 1, kN, opts));
+  for (int64_t skipped : {int64_t{30}, int64_t{32}, int64_t{20}}) {
+    EXPECT_EQ(std::count(got.ids.begin(), got.ids.end(), skipped), 0);
+  }
+  EXPECT_EQ(std::count(got.ids.begin(), got.ids.end(), 31), 1);
+}
+
+TEST_F(ScoreServerTest, RestrictAndExcludeCompose) {
+  ThreadCountGuard restore;
+  std::vector<int64_t> shortlist;
+  for (int64_t id = 3; id < kN; id += 5) shortlist.push_back(id);
+  const std::vector<int64_t> exclude = {8, 13, 23};
+  TopKOptions opts;
+  opts.restrict_to = &shortlist;
+  opts.exclude = &exclude;
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    const TopKResult got = server_->TopK(42, 3, 10, opts);
+    ExpectSameResult(got, OracleTopK(42, 3, 10, opts));
+    for (int64_t id : got.ids) {
+      EXPECT_TRUE(std::binary_search(shortlist.begin(), shortlist.end(), id));
+      EXPECT_FALSE(std::binary_search(exclude.begin(), exclude.end(), id));
+    }
+  }
+}
+
+TEST_F(ScoreServerTest, KLargerThanEligibleReturnsAllEligible) {
+  std::vector<int64_t> shortlist = {2, 40, 77};
+  TopKOptions opts;
+  opts.restrict_to = &shortlist;
+  const TopKResult got = server_->TopK(1, 0, 50, opts);
+  EXPECT_EQ(got.ids.size(), shortlist.size());
+  ExpectSameResult(got, OracleTopK(1, 0, 50, opts));
+}
+
+TEST_F(ScoreServerTest, PanelWidthDoesNotChangeResults) {
+  for (int64_t panel : {int64_t{1}, int64_t{37}, int64_t{4096}}) {
+    ScoreServerConfig cfg;
+    cfg.panel_width = panel;
+    ScoreServer other(EncodeQueriesFixture, &table_, cfg);
+    ExpectSameResult(other.TopK(17, 2, 25), server_->TopK(17, 2, 25));
+  }
+}
+
+TEST_F(ScoreServerTest, TopKBatchMatchesPerQueryCalls) {
+  ThreadCountGuard restore;
+  std::vector<int64_t> heads;
+  std::vector<int64_t> rels;
+  for (int64_t i = 0; i < 23; ++i) {
+    heads.push_back((i * 31) % kN);
+    rels.push_back(i % kNumRels);
+  }
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    const std::vector<TopKResult> batched =
+        server_->TopKBatch(heads, rels, 7);
+    ASSERT_EQ(batched.size(), heads.size());
+    for (size_t i = 0; i < heads.size(); ++i) {
+      ExpectSameResult(batched[i], server_->TopK(heads[i], rels[i], 7));
+    }
+  }
+}
+
+TEST_F(ScoreServerTest, RankOfMatchesSharedFilteredRank) {
+  kg::FilterIndex filter(kN, kNumRels);
+  filter.AddTriples({{11, 0, 60}, {11, 0, 61}, {11, 0, 5}});
+  TopKOptions opts;
+  opts.filter = &filter;
+  // Targets cover the interesting cases: plain, tied (21), NaN-scored
+  // (5 — also a known tail, which RankOf must keep), and filtered-out
+  // neighbours (61 while ranking 60).
+  for (int64_t target : {int64_t{0}, int64_t{21}, int64_t{5}, int64_t{60},
+                         int64_t{236}}) {
+    const std::vector<float> scores = FullScores(11, 0);
+    const double want = eval::FilteredRank(scores.data(), kN, target,
+                                           filter.Tails(11, 0));
+    EXPECT_EQ(server_->RankOf(11, 0, target, opts), want)
+        << "target " << target;
+  }
+}
+
+TEST_F(ScoreServerTest, StatsCountQueriesAndPanels) {
+  const ScoreServer::Stats before = server_->GetStats();
+  (void)server_->TopK(1, 1, 3);
+  (void)server_->TopKBatch({2, 3}, {0, 1}, 3);
+  const ScoreServer::Stats after = server_->GetStats();
+  EXPECT_EQ(after.queries_served - before.queries_served, 3);
+  EXPECT_EQ(after.batches_executed - before.batches_executed, 2);
+  EXPECT_GT(after.panels_scored, before.panels_scored);
+}
+
+TEST_F(ScoreServerTest, BatchingFrontEndMatchesDirectCalls) {
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  BatchingFrontEndConfig cfg;
+  cfg.max_batch = 16;
+  std::vector<std::vector<TopKResult>> got(kClients);
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> queries(kClients);
+  {
+    BatchingFrontEnd front(server_.get(), /*k=*/5, {}, cfg);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kPerClient; ++i) {
+          const int64_t head = (c * 61 + i * 7) % kN;
+          const int64_t rel = (c + i) % kNumRels;
+          queries[static_cast<size_t>(c)].emplace_back(head, rel);
+          got[static_cast<size_t>(c)].push_back(
+              front.Submit(head, rel).get());
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const BatchingFrontEnd::Stats stats = front.GetStats();
+    EXPECT_EQ(stats.queries_served, kClients * kPerClient);
+    EXPECT_GE(stats.batches_executed, 1);
+    EXPECT_GE(stats.max_coalesced, 1);
+    EXPECT_LE(stats.max_coalesced, cfg.max_batch);
+  }
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const auto [head, rel] = queries[static_cast<size_t>(c)]
+                                      [static_cast<size_t>(i)];
+      ExpectSameResult(got[static_cast<size_t>(c)][static_cast<size_t>(i)],
+                       server_->TopK(head, rel, 5));
+    }
+  }
+}
+
+TEST_F(ScoreServerTest, FrontEndDestructorDrainsOutstandingQueries) {
+  std::vector<std::future<TopKResult>> futures;
+  {
+    BatchingFrontEnd front(server_.get(), /*k=*/3);
+    for (int i = 0; i < 32; ++i) futures.push_back(front.Submit(i % kN, 0));
+  }
+  for (auto& f : futures) {
+    const TopKResult r = f.get();  // must not hang or break the promise
+    EXPECT_EQ(r.ids.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace came::infer
