@@ -96,17 +96,98 @@ std::vector<int64_t> GeneratedBkg::CompoundIds() const {
   return dataset.vocab.EntitiesOfType(EntityType::kCompound);
 }
 
+Status BkgConfig::Validate() const {
+  const struct {
+    const char* name;
+    int64_t count;
+    int64_t clusters;
+  } types[] = {
+      {"genes", num_genes, gene_clusters},
+      {"compounds", num_compounds, kNumDrugFamilies},
+      {"diseases", num_diseases, disease_clusters},
+      {"side_effects", num_side_effects, side_effect_clusters},
+      {"symptoms", num_symptoms, symptom_clusters},
+  };
+  int64_t total_entities = 0;
+  for (const auto& t : types) {
+    if (t.count < 0) {
+      return Status::InvalidArgument(std::string("negative count for ") +
+                                     t.name);
+    }
+    if (t.count > 0 && t.clusters <= 0) {
+      return Status::InvalidArgument(std::string("non-positive cluster "
+                                                 "count for ") +
+                                     t.name);
+    }
+    total_entities += t.count;
+  }
+  if (total_entities == 0) {
+    return Status::InvalidArgument("no entities of any type");
+  }
+  if (num_triples <= 0) {
+    return Status::InvalidArgument("num_triples must be positive");
+  }
+  if (cluster_fidelity < 0.0 || cluster_fidelity > 1.0) {
+    return Status::InvalidArgument("cluster_fidelity outside [0, 1]");
+  }
+  if (head_zipf < 0.0) {
+    return Status::InvalidArgument("head_zipf must be non-negative");
+  }
+  if (relations.empty()) {
+    return Status::InvalidArgument("no relations in schema");
+  }
+  auto count_of = [&](EntityType type) -> int64_t {
+    switch (type) {
+      case EntityType::kGene: return num_genes;
+      case EntityType::kCompound: return num_compounds;
+      case EntityType::kDisease: return num_diseases;
+      case EntityType::kSideEffect: return num_side_effects;
+      case EntityType::kSymptom: return num_symptoms;
+      default: return 0;
+    }
+  };
+  double weight_sum = 0.0;
+  double possible = 0.0;  // double: head*tail products can overflow int64
+  for (const auto& r : relations) {
+    if (r.weight < 0.0) {
+      return Status::InvalidArgument("negative weight for relation " +
+                                     r.name);
+    }
+    const int64_t heads = count_of(r.head_type);
+    const int64_t tails = count_of(r.tail_type);
+    if (r.weight > 0.0 && (heads == 0 || tails == 0)) {
+      return Status::InvalidArgument("relation " + r.name +
+                                     " references an empty entity type");
+    }
+    weight_sum += r.weight;
+    double pairs = static_cast<double>(heads) * static_cast<double>(tails);
+    if (r.head_type == r.tail_type) pairs -= heads;  // self-loops rejected
+    possible += pairs;
+  }
+  if (weight_sum <= 0.0) {
+    return Status::InvalidArgument("relation weights sum to zero");
+  }
+  if (static_cast<double>(num_triples) > possible) {
+    return Status::InvalidArgument(
+        "num_triples " + std::to_string(num_triples) +
+        " exceeds the number of distinct triples the populations admit");
+  }
+  return Status::OK();
+}
+
 namespace {
 
 struct TypePopulation {
   std::vector<int64_t> ids;                       // entity ids of this type
   std::vector<std::vector<int64_t>> by_cluster;   // ids per cluster
-  int num_clusters = 0;
+  int64_t num_clusters = 0;
 };
 
 }  // namespace
 
 GeneratedBkg GenerateBkg(const BkgConfig& config) {
+  const Status valid = config.Validate();
+  CAME_CHECK(valid.ok()) << valid.ToString();
   Rng rng(config.seed);
   GeneratedBkg out;
   out.dataset.name = config.name;
@@ -115,15 +196,14 @@ GeneratedBkg GenerateBkg(const BkgConfig& config) {
 
   std::unordered_map<int, TypePopulation> pops;  // key: EntityType
 
-  auto make_entities = [&](EntityType type, int64_t count, int clusters,
+  auto make_entities = [&](EntityType type, int64_t count, int64_t clusters,
                            auto&& make_text) {
     if (count == 0) return;
     TypePopulation& pop = pops[static_cast<int>(type)];
     pop.num_clusters = clusters;
     pop.by_cluster.resize(static_cast<size_t>(clusters));
     for (int64_t i = 0; i < count; ++i) {
-      const int cluster =
-          static_cast<int>(rng.Zipf(clusters, 0.6));
+      const int64_t cluster = rng.Zipf(clusters, 0.6);
       EntityText text = make_text(cluster);
       // Ensure unique names (the vocab dedups by name).
       std::string name = text.name;
@@ -147,21 +227,22 @@ GeneratedBkg GenerateBkg(const BkgConfig& config) {
   };
 
   make_entities(EntityType::kGene, config.num_genes, config.gene_clusters,
-                [&](int c) { return GenerateGeneText(c, &rng); });
+                [&](int64_t c) { return GenerateGeneText(c, &rng); });
   make_entities(EntityType::kCompound, config.num_compounds,
-                kNumDrugFamilies, [&](int c) {
+                kNumDrugFamilies, [&](int64_t c) {
                   return GenerateCompoundText(static_cast<DrugFamily>(c),
                                               &rng);
                 });
   make_entities(EntityType::kDisease, config.num_diseases,
                 config.disease_clusters,
-                [&](int c) { return GenerateDiseaseText(c, &rng); });
+                [&](int64_t c) { return GenerateDiseaseText(c, &rng); });
   make_entities(EntityType::kSideEffect, config.num_side_effects,
                 config.side_effect_clusters,
-                [&](int c) { return GenerateSideEffectText(c, &rng); });
+                [&](int64_t c) { return GenerateSideEffectText(c, &rng); });
   make_entities(EntityType::kSymptom, config.num_symptoms,
-                config.symptom_clusters,
-                [&](int c) { return GenerateSideEffectText(c + 100, &rng); });
+                config.symptom_clusters, [&](int64_t c) {
+                  return GenerateSideEffectText(c + 100, &rng);
+                });
 
   // Relation budgets proportional to schema weights.
   double weight_sum = 0.0;
@@ -174,7 +255,7 @@ GeneratedBkg GenerateBkg(const BkgConfig& config) {
   // identifies at most one relation of the group — the property behind
   // the paper's Fig 1 diamond statistics (same-family drugs attached to
   // the same gene overwhelmingly share the relation).
-  std::vector<std::vector<int>> preferred_per_relation(
+  std::vector<std::vector<int64_t>> preferred_per_relation(
       config.relations.size());
   {
     std::map<std::pair<int, int>, std::vector<size_t>> groups;
@@ -191,9 +272,13 @@ GeneratedBkg GenerateBkg(const BkgConfig& config) {
         preferred_per_relation[members[m]].resize(
             static_cast<size_t>(heads.num_clusters));
       }
-      for (int hc = 0; hc < heads.num_clusters; ++hc) {
-        std::vector<int> perm(static_cast<size_t>(tails.num_clusters));
-        for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+      for (int64_t hc = 0; hc < heads.num_clusters; ++hc) {
+        // 64-bit permutation indices: a 2^31-cluster population must not
+        // wrap the permutation fill.
+        std::vector<int64_t> perm(static_cast<size_t>(tails.num_clusters));
+        for (size_t i = 0; i < perm.size(); ++i) {
+          perm[i] = static_cast<int64_t>(i);
+        }
         rng.Shuffle(&perm);
         for (size_t m = 0; m < members.size(); ++m) {
           preferred_per_relation[members[m]][static_cast<size_t>(hc)] =
@@ -213,7 +298,7 @@ GeneratedBkg GenerateBkg(const BkgConfig& config) {
         << "no entities of head type for " << schema.name;
     CAME_CHECK(!tails.ids.empty())
         << "no entities of tail type for " << schema.name;
-    const std::vector<int>& preferred = preferred_per_relation[rel_idx];
+    const std::vector<int64_t>& preferred = preferred_per_relation[rel_idx];
 
     const auto budget = static_cast<int64_t>(
         config.num_triples * schema.weight / weight_sum);
@@ -225,13 +310,12 @@ GeneratedBkg GenerateBkg(const BkgConfig& config) {
       const int64_t head =
           heads.ids[static_cast<size_t>(rng.Zipf(
               static_cast<int64_t>(heads.ids.size()), config.head_zipf))];
-      const int head_cluster =
-          out.cluster[static_cast<size_t>(head)];
-      int tail_cluster;
+      const int64_t head_cluster = out.cluster[static_cast<size_t>(head)];
+      int64_t tail_cluster;
       if (rng.Bernoulli(config.cluster_fidelity)) {
         tail_cluster = preferred[static_cast<size_t>(head_cluster)];
       } else {
-        tail_cluster = static_cast<int>(rng.UniformU64(
+        tail_cluster = static_cast<int64_t>(rng.UniformU64(
             static_cast<uint64_t>(tails.num_clusters)));
       }
       const auto& pool =

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "datagen/molecule.h"
 #include "datagen/textgen.h"
 #include "kg/dataset.h"
@@ -44,10 +45,10 @@ struct BkgConfig {
   int64_t num_side_effects = 200;
   int64_t num_symptoms = 0;
 
-  int gene_clusters = 12;
-  int disease_clusters = 8;
-  int side_effect_clusters = 6;
-  int symptom_clusters = 6;
+  int64_t gene_clusters = 12;
+  int64_t disease_clusters = 8;
+  int64_t side_effect_clusters = 6;
+  int64_t symptom_clusters = 6;
   // Compound clusters are the kNumDrugFamilies drug families.
 
   int64_t num_triples = 20000;
@@ -66,6 +67,14 @@ struct BkgConfig {
   /// Returns a copy with entity and triple counts multiplied by `factor`
   /// (the Fig 9 scalability axis).
   BkgConfig Scaled(double factor) const;
+
+  /// Checks the config for the failure modes that otherwise surface as
+  /// UB or a crash deep inside generation: negative counts, no entities
+  /// at all, non-positive cluster counts for populated types, relation
+  /// weights that are negative or sum to zero, relations whose head/tail
+  /// type has no entities, fidelity outside [0, 1], and a `num_triples`
+  /// budget no population could satisfy.
+  Status Validate() const;
 };
 
 /// A generated multimodal BKG: the structural dataset plus raw modality
@@ -75,14 +84,15 @@ struct GeneratedBkg {
   kg::Dataset dataset;
   std::vector<Molecule> molecules;  // per entity; empty unless compound
   std::vector<EntityText> texts;    // per entity
-  std::vector<int> cluster;         // per entity latent cluster / family
+  std::vector<int64_t> cluster;     // per entity latent cluster / family
   bool has_molecules = false;
 
   /// Entity ids of all compounds (convenience for benches).
   std::vector<int64_t> CompoundIds() const;
 };
 
-/// Runs the generative model. Deterministic given config.seed.
+/// Runs the generative model. Deterministic given config.seed. The
+/// config must pass Validate() (checked on entry).
 GeneratedBkg GenerateBkg(const BkgConfig& config);
 
 }  // namespace came::datagen

@@ -1,6 +1,7 @@
 #include "datagen/molecule.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.h"
 
@@ -67,10 +68,17 @@ bool Molecule::IsValid() const {
 
 namespace {
 
+// Atom indices live in Molecule's public `int`-typed bond pairs; guard
+// the size_t -> int conversion instead of silently wrapping past 2^31.
+int CheckedAtomIndex(size_t n) {
+  CAME_CHECK_LE(n, static_cast<size_t>(INT32_MAX)) << "molecule too large";
+  return static_cast<int>(n);
+}
+
 // Appends a ring of `elements` and returns the indices of its atoms.
 std::vector<int> AddRing(Molecule* m, const std::vector<int>& elements) {
   std::vector<int> idx;
-  const int base = static_cast<int>(m->atoms.size());
+  const int base = CheckedAtomIndex(m->atoms.size());
   for (size_t i = 0; i < elements.size(); ++i) {
     m->atoms.push_back(elements[i]);
     idx.push_back(base + static_cast<int>(i));
@@ -88,7 +96,7 @@ void AddBond(Molecule* m, int a, int b) {
 }
 
 int AddAtom(Molecule* m, int element, int bonded_to) {
-  const int idx = static_cast<int>(m->atoms.size());
+  const int idx = CheckedAtomIndex(m->atoms.size());
   m->atoms.push_back(element);
   AddBond(m, idx, bonded_to);
   return idx;
@@ -183,27 +191,30 @@ Molecule FamilyScaffold(DrugFamily family) {
   return m;
 }
 
-Molecule GenerateMolecule(DrugFamily family, Rng* rng, int decoration_atoms) {
+Molecule GenerateMolecule(DrugFamily family, Rng* rng,
+                          int64_t decoration_atoms) {
   CAME_CHECK(rng != nullptr);
   Molecule m = FamilyScaffold(family);
   // Random decoration: short substituent chains attached at random scaffold
-  // atoms, with occasional heteroatoms and occasional small rings.
-  int remaining = decoration_atoms + static_cast<int>(rng->UniformInt(-2, 3));
+  // atoms, with occasional heteroatoms and occasional small rings. The
+  // budget stays 64-bit end to end; a 32-bit `remaining` would wrap for
+  // large requested decorations.
+  int64_t remaining = decoration_atoms + rng->UniformInt(-2, 3);
   while (remaining > 0) {
-    const int anchor = static_cast<int>(
-        rng->UniformU64(static_cast<uint64_t>(m.atoms.size())));
+    const int anchor = CheckedAtomIndex(static_cast<size_t>(
+        rng->UniformU64(static_cast<uint64_t>(m.atoms.size()))));
     if (rng->Bernoulli(0.15) && remaining >= 5) {
       // Attach a cyclopentyl/cyclohexyl-like ring.
-      const int size = rng->Bernoulli(0.5) ? 5 : 6;
+      const int64_t size = rng->Bernoulli(0.5) ? 5 : 6;
       std::vector<int> elems(static_cast<size_t>(size), kCarbon);
       if (rng->Bernoulli(0.3)) elems[0] = kNitrogen;
       auto ring = AddRing(&m, elems);
       AddBond(&m, anchor, ring[0]);
       remaining -= size;
     } else {
-      const int len = static_cast<int>(rng->UniformInt(1, 3));
+      const int64_t len = rng->UniformInt(1, 3);
       int prev = anchor;
-      for (int i = 0; i < len; ++i) {
+      for (int64_t i = 0; i < len; ++i) {
         int element = kCarbon;
         const double roll = rng->UniformDouble();
         if (roll < 0.10) {

@@ -64,7 +64,7 @@ Molecule FamilyScaffold(DrugFamily family);
 /// small rings with occasional heteroatoms). Same-family molecules share
 /// the scaffold subgraph; cross-family molecules do not.
 Molecule GenerateMolecule(DrugFamily family, Rng* rng,
-                          int decoration_atoms = 6);
+                          int64_t decoration_atoms = 6);
 
 }  // namespace came::datagen
 

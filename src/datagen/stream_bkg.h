@@ -1,0 +1,79 @@
+#ifndef CAME_DATAGEN_STREAM_BKG_H_
+#define CAME_DATAGEN_STREAM_BKG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "datagen/bkg_generator.h"
+#include "kg/vocab.h"
+
+namespace came::datagen {
+
+/// Arithmetic entity-id layout for the streaming generator: ids are
+/// assigned contiguously per type (genes first, then compounds, diseases,
+/// side effects, symptoms), so type membership and per-type offsets are
+/// O(1) 64-bit arithmetic instead of materialised id vectors. Cluster
+/// assignment is a pure function of (seed, id), so a billion-entity
+/// population costs no memory at all.
+class EntityLayout {
+ public:
+  explicit EntityLayout(const BkgConfig& config);
+
+  int64_t total() const { return total_; }
+  int64_t TypeBegin(kg::EntityType type) const;
+  int64_t TypeCount(kg::EntityType type) const;
+  int64_t ClustersOf(kg::EntityType type) const;
+  kg::EntityType TypeOf(int64_t id) const;
+
+  /// Deterministic latent cluster of `id` (Zipf-shaped over the type's
+  /// cluster count, matching the in-RAM generator's cluster marginals).
+  int64_t ClusterOf(int64_t id) const;
+
+ private:
+  static constexpr int kNumTypes = 5;  // gene/compound/disease/se/symptom
+  int64_t begin_[kNumTypes + 1] = {};
+  int64_t clusters_[kNumTypes] = {};
+  int64_t total_ = 0;
+  uint64_t seed_ = 0;
+};
+
+/// Where the streamed dataset lands and how triples split.
+struct StreamBkgOptions {
+  std::string out_dir;
+  double train_frac = 0.8;
+  double valid_frac = 0.1;
+  /// Also stream entities.tsv / relations.tsv (schematic per-type names),
+  /// making the directory loadable by Dataset::LoadTsv. Turn off for
+  /// benchmark runs where only the triple files matter.
+  bool write_entities = true;
+};
+
+/// What the streaming run produced.
+struct StreamBkgSummary {
+  int64_t num_entities = 0;
+  int64_t num_relations = 0;
+  int64_t train_triples = 0;
+  int64_t valid_triples = 0;
+  int64_t test_triples = 0;
+  int64_t attempts = 0;
+};
+
+/// Streaming twin of GenerateBkg: emits full-size graphs straight to
+/// train.tsv / valid.tsv / test.tsv (plus vocab files) in `out_dir`
+/// without ever materialising the triple vector, entity id lists, or
+/// per-cluster pools. Memory is bounded by the duplicate-fingerprint set
+/// (8 bytes per emitted triple) regardless of entity count. Same latent
+/// semantics as GenerateBkg — Zipf heads, cluster-preferential tails via
+/// a per-relation preferred-cluster permutation — but a distinct (still
+/// seed-deterministic) random stream, so the two generators produce
+/// different graphs with matching statistics. Modalities (molecules,
+/// texts) are not generated: the streaming path exists for structural
+/// scale.
+Result<StreamBkgSummary> StreamGenerateBkg(const BkgConfig& config,
+                                           const StreamBkgOptions& options);
+
+}  // namespace came::datagen
+
+#endif  // CAME_DATAGEN_STREAM_BKG_H_

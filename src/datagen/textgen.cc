@@ -97,7 +97,7 @@ EntityText GenerateCompoundText(DrugFamily family, Rng* rng) {
   return out;
 }
 
-EntityText GenerateGeneText(int cluster, Rng* rng) {
+EntityText GenerateGeneText(int64_t cluster, Rng* rng) {
   const size_t p =
       static_cast<size_t>(cluster) % std::size(kGenePrefixes);
   EntityText out;
@@ -111,7 +111,7 @@ EntityText GenerateGeneText(int cluster, Rng* rng) {
   return out;
 }
 
-EntityText GenerateDiseaseText(int cluster, Rng* rng) {
+EntityText GenerateDiseaseText(int64_t cluster, Rng* rng) {
   const size_t p =
       static_cast<size_t>(cluster) % std::size(kDiseasePrefixes);
   const size_t s =
@@ -124,7 +124,7 @@ EntityText GenerateDiseaseText(int cluster, Rng* rng) {
   return out;
 }
 
-EntityText GenerateSideEffectText(int cluster, Rng* rng) {
+EntityText GenerateSideEffectText(int64_t cluster, Rng* rng) {
   const size_t base =
       static_cast<size_t>(cluster) % std::size(kSideEffectTerms);
   EntityText out;

@@ -1,6 +1,7 @@
 #ifndef CAME_DATAGEN_TEXTGEN_H_
 #define CAME_DATAGEN_TEXTGEN_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/random.h"
@@ -23,14 +24,14 @@ EntityText GenerateCompoundText(DrugFamily family, Rng* rng);
 
 /// HGNC-style gene symbols (e.g. "SLC6A4"): `cluster` determines the
 /// letter prefix so gene families are textually recognisable.
-EntityText GenerateGeneText(int cluster, Rng* rng);
+EntityText GenerateGeneText(int64_t cluster, Rng* rng);
 
 /// Disease names built from Greco-Latin morphemes; `cluster` fixes the
 /// system affix ("-itis", "-oma", "cardio-", ...).
-EntityText GenerateDiseaseText(int cluster, Rng* rng);
+EntityText GenerateDiseaseText(int64_t cluster, Rng* rng);
 
 /// Side-effect names (symptom vocabulary).
-EntityText GenerateSideEffectText(int cluster, Rng* rng);
+EntityText GenerateSideEffectText(int64_t cluster, Rng* rng);
 
 /// The name affix associated with a drug family, e.g. "cillin" — exposed
 /// for the case-study bench to highlight matches.

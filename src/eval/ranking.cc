@@ -6,7 +6,7 @@
 namespace came::eval {
 
 RankAccumulator::RankAccumulator(float target_score, int64_t target,
-                                 const std::vector<int64_t>& known_tails)
+                                 std::span<const int64_t> known_tails)
     : target_score_(target_score),
       target_is_nan_(std::isnan(target_score)),
       target_(target),
@@ -47,7 +47,7 @@ double RankAccumulator::Rank(int64_t n) const {
 }
 
 double FilteredRank(const float* scores, int64_t n, int64_t target,
-                    const std::vector<int64_t>& known_tails) {
+                    std::span<const int64_t> known_tails) {
   RankAccumulator acc(scores[target], target, known_tails);
   acc.Accumulate(scores, 0, n);
   return acc.Rank(n);

@@ -2,7 +2,7 @@
 #define CAME_EVAL_RANKING_H_
 
 #include <cstdint>
-#include <vector>
+#include <span>
 
 namespace came::eval {
 
@@ -25,10 +25,11 @@ namespace came::eval {
 /// the Evaluator uses on a full row.
 class RankAccumulator {
  public:
-  /// `known_tails` must stay alive and sorted ascending (FilterIndex
-  /// guarantees both) for the accumulator's lifetime.
+  /// The storage behind `known_tails` must stay alive and sorted
+  /// ascending (FilterIndex guarantees both) for the accumulator's
+  /// lifetime.
   RankAccumulator(float target_score, int64_t target,
-                  const std::vector<int64_t>& known_tails);
+                  std::span<const int64_t> known_tails);
 
   /// Accounts for candidates [begin, begin + len) with scores
   /// `scores[0..len)`. Panels must be disjoint; together they must cover
@@ -42,7 +43,7 @@ class RankAccumulator {
   float target_score_;
   bool target_is_nan_;
   int64_t target_;
-  const std::vector<int64_t>& known_tails_;
+  std::span<const int64_t> known_tails_;
   int64_t better_ = 0;
   int64_t equal_ = 0;
 };
@@ -50,7 +51,7 @@ class RankAccumulator {
 /// One-shot filtered rank of `target` within the full score row
 /// `scores[0..n)`.
 double FilteredRank(const float* scores, int64_t n, int64_t target,
-                    const std::vector<int64_t>& known_tails);
+                    std::span<const int64_t> known_tails);
 
 /// The total order the serving layer ranks candidates by: higher score
 /// first, NaN scores worst (below every real score), ties broken by

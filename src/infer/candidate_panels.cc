@@ -1,0 +1,51 @@
+#include "infer/candidate_panels.h"
+
+#include "common/logging.h"
+
+namespace came::infer {
+
+FusedTablePanelSource::FusedTablePanelSource(const FusedEmbeddingTable* table)
+    : table_(table) {
+  CAME_CHECK(table_ != nullptr);
+}
+
+int64_t FusedTablePanelSource::PanelEnd(int64_t begin) const {
+  CAME_CHECK_GE(begin, 0);
+  CAME_CHECK_LT(begin, table_->num_entities());
+  return table_->num_entities();
+}
+
+const float* FusedTablePanelSource::Panel(int64_t begin, int64_t end) {
+  CAME_CHECK_GE(begin, 0);
+  CAME_CHECK_LT(begin, end);
+  CAME_CHECK_LE(end, table_->num_entities());
+  return table_->candidates().data() + begin * table_->dim();
+}
+
+const float* FusedTablePanelSource::BiasPanel(int64_t begin, int64_t end) {
+  CAME_CHECK(table_->has_bias());
+  CAME_CHECK_GE(begin, 0);
+  CAME_CHECK_LT(begin, end);
+  CAME_CHECK_LE(end, table_->num_entities());
+  return table_->bias().data() + begin;
+}
+
+ShardStorePanelSource::ShardStorePanelSource(tensor::ShardStore* store)
+    : store_(store) {
+  CAME_CHECK(store_ != nullptr);
+}
+
+int64_t ShardStorePanelSource::PanelEnd(int64_t begin) const {
+  return store_->ShardEnd(begin);
+}
+
+const float* ShardStorePanelSource::Panel(int64_t begin, int64_t end) {
+  return store_->PanelRows(begin, end);
+}
+
+const float* ShardStorePanelSource::BiasPanel(int64_t, int64_t) {
+  CAME_CHECK(false) << "shard-backed candidate source has no bias";
+  return nullptr;
+}
+
+}  // namespace came::infer

@@ -1,0 +1,85 @@
+#ifndef CAME_INFER_CANDIDATE_PANELS_H_
+#define CAME_INFER_CANDIDATE_PANELS_H_
+
+#include <cstdint>
+
+#include "infer/fused_embedding_table.h"
+#include "tensor/shard_store.h"
+
+namespace came::infer {
+
+/// Where the serving layer's candidate-entity rows come from. The
+/// ScoreServer sweeps candidates panel by panel; this interface lets the
+/// same sweep run over an in-RAM FusedEmbeddingTable or an mmap-backed
+/// ShardStore whose slabs page in and out under a residency budget — the
+/// in-RAM table is just the one-shard special case.
+///
+/// Contract: pointers returned by Panel/BiasPanel stay valid only until
+/// the next Panel/BiasPanel call on the same source (a shard-backed
+/// source may evict the mapping). Callers consume each pointer (GEMM,
+/// heap update) before asking for the next.
+class CandidatePanelSource {
+ public:
+  virtual ~CandidatePanelSource() = default;
+
+  virtual int64_t num_entities() const = 0;
+  virtual int64_t dim() const = 0;
+  virtual bool has_bias() const = 0;
+
+  /// Largest legal exclusive end for a panel starting at `begin` (the
+  /// owning shard's boundary, clamped to num_entities()).
+  virtual int64_t PanelEnd(int64_t begin) const = 0;
+
+  /// Contiguous candidate rows [begin, end), row-major [end-begin, dim].
+  /// Requires end <= PanelEnd(begin).
+  virtual const float* Panel(int64_t begin, int64_t end) = 0;
+
+  /// Per-entity bias for rows [begin, end), indexed panel-locally
+  /// (result[j] is the bias of entity begin + j). Only called when
+  /// has_bias() is true.
+  virtual const float* BiasPanel(int64_t begin, int64_t end) = 0;
+};
+
+/// The in-RAM special case: panels are pointer arithmetic into the fused
+/// table's contiguous candidate matrix; every panel boundary is legal.
+class FusedTablePanelSource : public CandidatePanelSource {
+ public:
+  /// `table` is not owned and must outlive the source.
+  explicit FusedTablePanelSource(const FusedEmbeddingTable* table);
+
+  int64_t num_entities() const override { return table_->num_entities(); }
+  int64_t dim() const override { return table_->dim(); }
+  bool has_bias() const override { return table_->has_bias(); }
+  int64_t PanelEnd(int64_t begin) const override;
+  const float* Panel(int64_t begin, int64_t end) override;
+  const float* BiasPanel(int64_t begin, int64_t end) override;
+
+ private:
+  const FusedEmbeddingTable* table_;
+};
+
+/// Beyond-RAM serving: candidates live in a ShardStore (typically opened
+/// sealed from the trainer's published slabs); panels are zero-copy views
+/// into the mapped slab and must respect shard boundaries, which
+/// PanelEnd reports. No per-entity bias (inner-product-only models).
+class ShardStorePanelSource : public CandidatePanelSource {
+ public:
+  /// `store` is not owned and must outlive the source. The ScoreServer
+  /// serialises access internally, matching ShardStore's
+  /// single-threaded access contract.
+  explicit ShardStorePanelSource(tensor::ShardStore* store);
+
+  int64_t num_entities() const override { return store_->rows(); }
+  int64_t dim() const override { return store_->dim(); }
+  bool has_bias() const override { return false; }
+  int64_t PanelEnd(int64_t begin) const override;
+  const float* Panel(int64_t begin, int64_t end) override;
+  const float* BiasPanel(int64_t begin, int64_t end) override;
+
+ private:
+  tensor::ShardStore* store_;
+};
+
+}  // namespace came::infer
+
+#endif  // CAME_INFER_CANDIDATE_PANELS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <utility>
 
 #include "baselines/kgc_model.h"
@@ -28,45 +29,54 @@ bool BetterEntry(const Entry& a, const Entry& b) {
 }
 
 // Skip-set cursor over a sorted id list (known tails / explicit excludes).
+// A default-constructed cursor is inactive (matches nothing); an engaged
+// cursor walks the span. The span's storage must outlive the cursor.
 class SkipCursor {
  public:
-  explicit SkipCursor(const std::vector<int64_t>* ids) : ids_(ids) {}
+  SkipCursor() = default;
+  explicit SkipCursor(std::span<const int64_t> ids)
+      : active_(true), ids_(ids), it_(ids_.begin()) {}
+
+  bool active() const { return active_; }
 
   void Seek(int64_t first_id) {
-    if (ids_ == nullptr) return;
-    it_ = std::lower_bound(ids_->begin(), ids_->end(), first_id);
+    if (!active_) return;
+    it_ = std::lower_bound(ids_.begin(), ids_.end(), first_id);
   }
 
   bool Skip(int64_t id) {
-    if (ids_ == nullptr) return false;
-    while (it_ != ids_->end() && *it_ < id) ++it_;
-    return it_ != ids_->end() && *it_ == id;
+    if (!active_) return false;
+    while (it_ != ids_.end() && *it_ < id) ++it_;
+    return it_ != ids_.end() && *it_ == id;
   }
 
  private:
-  const std::vector<int64_t>* ids_;
-  std::vector<int64_t>::const_iterator it_;
+  bool active_ = false;
+  std::span<const int64_t> ids_;
+  std::span<const int64_t>::iterator it_{};
 };
 
-// Feeds one panel of scores into the query's bounded heap.
+SkipCursor CursorOver(const std::vector<int64_t>* ids) {
+  return ids == nullptr ? SkipCursor() : SkipCursor(std::span(*ids));
+}
+
+// Feeds one panel of scores into the query's bounded heap. `bias` is
+// panel-local (bias[j] belongs to entity begin + j), matching the
+// CandidatePanelSource::BiasPanel contract.
 void UpdateHeap(std::vector<Entry>* heap, int64_t k, const float* scores,
                 const float* bias, int64_t begin, int64_t len,
-                const std::vector<int64_t>* filtered, int64_t keep,
-                const std::vector<int64_t>* exclude,
-                const std::vector<int64_t>* restrict_to) {
-  SkipCursor filter_cursor(filtered);
-  SkipCursor exclude_cursor(exclude);
-  SkipCursor restrict_cursor(restrict_to);
+                SkipCursor filter_cursor, int64_t keep,
+                SkipCursor exclude_cursor, SkipCursor restrict_cursor) {
   filter_cursor.Seek(begin);
   exclude_cursor.Seek(begin);
   restrict_cursor.Seek(begin);
   for (int64_t j = 0; j < len; ++j) {
     const int64_t id = begin + j;
-    if (restrict_to != nullptr && !restrict_cursor.Skip(id)) continue;
+    if (restrict_cursor.active() && !restrict_cursor.Skip(id)) continue;
     const bool in_filter = filter_cursor.Skip(id);
     const bool in_exclude = exclude_cursor.Skip(id);
     if ((in_filter || in_exclude) && id != keep) continue;
-    const float s = bias != nullptr ? scores[j] + bias[id] : scores[j];
+    const float s = bias != nullptr ? scores[j] + bias[j] : scores[j];
     if (static_cast<int64_t>(heap->size()) < k) {
       heap->push_back({s, id});
       std::push_heap(heap->begin(), heap->end(), BetterEntry);
@@ -98,8 +108,24 @@ ScoreServer::ScoreServer(QueryEncoder encoder,
     : encoder_(std::move(encoder)), table_(table), config_(config) {
   CAME_CHECK(encoder_ != nullptr);
   CAME_CHECK(table_ != nullptr);
-  CAME_CHECK_GT(table_->num_entities(), 0) << "empty fused table";
+  owned_source_ = std::make_unique<FusedTablePanelSource>(table_);
+  source_ = owned_source_.get();
+  CAME_CHECK_GT(source_->num_entities(), 0) << "empty fused table";
   CAME_CHECK_GT(config_.panel_width, 0);
+}
+
+ScoreServer::ScoreServer(QueryEncoder encoder, CandidatePanelSource* source,
+                         const ScoreServerConfig& config)
+    : encoder_(std::move(encoder)), source_(source), config_(config) {
+  CAME_CHECK(encoder_ != nullptr);
+  CAME_CHECK(source_ != nullptr);
+  CAME_CHECK_GT(source_->num_entities(), 0) << "empty candidate source";
+  CAME_CHECK_GT(config_.panel_width, 0);
+}
+
+const FusedEmbeddingTable& ScoreServer::table() const {
+  CAME_CHECK(table_ != nullptr) << "server is not backed by a fused table";
+  return *table_;
 }
 
 tensor::Tensor ScoreServer::EncodeQueries(const std::vector<int64_t>& heads,
@@ -109,7 +135,7 @@ tensor::Tensor ScoreServer::EncodeQueries(const std::vector<int64_t>& heads,
   tensor::Tensor q = encoder_(heads, rels);
   CAME_CHECK_EQ(q.ndim(), 2);
   CAME_CHECK_EQ(q.dim(0), static_cast<int64_t>(heads.size()));
-  CAME_CHECK_EQ(q.dim(1), table_->dim()) << "query/table dim mismatch";
+  CAME_CHECK_EQ(q.dim(1), source_->dim()) << "query/table dim mismatch";
   return q;
 }
 
@@ -126,35 +152,43 @@ std::vector<TopKResult> ScoreServer::TopKBatch(
   const tensor::Tensor q = EncodeQueries(heads, rels);
   const int64_t b = q.dim(0);
   const int64_t d = q.dim(1);
-  const int64_t n = table_->num_entities();
-  const float* cand = table_->candidates().data();
-  const float* bias = table_->has_bias() ? table_->bias().data() : nullptr;
+  const int64_t n = source_->num_entities();
 
   std::vector<std::vector<Entry>> heaps(static_cast<size_t>(b));
   for (auto& h : heaps) h.reserve(static_cast<size_t>(std::min(k, n)));
 
   const int64_t panel = std::min(config_.panel_width, n);
   tensor::pool::ScratchLease scores(b * panel);
-  for (int64_t p0 = 0; p0 < n; p0 += panel) {
-    const int64_t pw = std::min(panel, n - p0);
-    // q [B, d] x candidates[p0 .. p0+pw) [pw, d]^T -> [B, pw]. Bitwise
-    // equal to columns [p0, p0+pw) of the full [B, N] score GEMM.
-    tensor::gemm::Gemm(q.data(), cand + p0 * d, scores.data(), b, d, pw,
-                       /*trans_a=*/false, /*trans_b=*/true,
+  int64_t p0 = 0;
+  while (p0 < n) {
+    // Clamp to the candidate source's shard boundary; for the in-RAM
+    // table PanelEnd is n and this is the plain blocked sweep.
+    const int64_t pend = std::min(source_->PanelEnd(p0),
+                                  p0 + config_.panel_width);
+    const int64_t pw = pend - p0;
+    // q [B, d] x candidates[p0 .. pend) [pw, d]^T -> [B, pw]. Bitwise
+    // equal to columns [p0, pend) of the full [B, N] score GEMM.
+    tensor::gemm::Gemm(q.data(), source_->Panel(p0, pend), scores.data(), b,
+                       d, pw, /*trans_a=*/false, /*trans_b=*/true,
                        /*accumulate=*/false);
+    // After the GEMM consumed the panel pointer: the bias panel may
+    // invalidate it per the CandidatePanelSource contract.
+    const float* bias =
+        source_->has_bias() ? source_->BiasPanel(p0, pend) : nullptr;
     ++stats_.panels_scored;
     ParallelFor(0, b, 1, [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
-        const std::vector<int64_t>* filtered =
+        const SkipCursor filtered =
             opts.filter != nullptr
-                ? &opts.filter->Tails(heads[static_cast<size_t>(i)],
-                                      rels[static_cast<size_t>(i)])
-                : nullptr;
+                ? SkipCursor(opts.filter->Tails(heads[static_cast<size_t>(i)],
+                                                rels[static_cast<size_t>(i)]))
+                : SkipCursor();
         UpdateHeap(&heaps[static_cast<size_t>(i)], k, scores.data() + i * pw,
-                   bias, p0, pw, filtered, opts.keep, opts.exclude,
-                   opts.restrict_to);
+                   bias, p0, pw, filtered, opts.keep,
+                   CursorOver(opts.exclude), CursorOver(opts.restrict_to));
       }
     });
+    p0 = pend;
   }
 
   std::vector<TopKResult> out(static_cast<size_t>(b));
@@ -177,17 +211,16 @@ std::vector<TopKResult> ScoreServer::TopKBatch(
 double ScoreServer::RankOf(int64_t head, int64_t rel, int64_t target,
                            const TopKOptions& opts) {
   std::lock_guard<std::mutex> lock(mu_);
-  const int64_t n = table_->num_entities();
+  const int64_t n = source_->num_entities();
   CAME_CHECK_GE(target, 0);
   CAME_CHECK_LT(target, n);
   const tensor::Tensor q = EncodeQueries({head}, {rel});
   const int64_t d = q.dim(1);
-  const float* cand = table_->candidates().data();
-  const float* bias = table_->has_bias() ? table_->bias().data() : nullptr;
+  const bool has_bias = source_->has_bias();
 
-  static const std::vector<int64_t> kNoFiltered;
-  const std::vector<int64_t>& filtered =
-      opts.filter != nullptr ? opts.filter->Tails(head, rel) : kNoFiltered;
+  const std::span<const int64_t> filtered =
+      opts.filter != nullptr ? opts.filter->Tails(head, rel)
+                             : std::span<const int64_t>();
 
   const int64_t panel = std::min(config_.panel_width, n);
   tensor::pool::ScratchLease scores(panel);
@@ -196,22 +229,27 @@ double ScoreServer::RankOf(int64_t head, int64_t rel, int64_t target,
   // 1-wide GEMM is bitwise identical to the same element of any wider
   // panel: per-element k-accumulation order does not depend on n.
   float s_target;
-  tensor::gemm::Gemm(q.data(), cand + target * d, &s_target, 1, d, 1,
-                     /*trans_a=*/false, /*trans_b=*/true,
+  tensor::gemm::Gemm(q.data(), source_->Panel(target, target + 1), &s_target,
+                     1, d, 1, /*trans_a=*/false, /*trans_b=*/true,
                      /*accumulate=*/false);
-  if (bias != nullptr) s_target += bias[target];
+  if (has_bias) s_target += source_->BiasPanel(target, target + 1)[0];
 
   eval::RankAccumulator acc(s_target, target, filtered);
-  for (int64_t p0 = 0; p0 < n; p0 += panel) {
-    const int64_t pw = std::min(panel, n - p0);
-    tensor::gemm::Gemm(q.data(), cand + p0 * d, scores.data(), 1, d, pw,
-                       /*trans_a=*/false, /*trans_b=*/true,
+  int64_t p0 = 0;
+  while (p0 < n) {
+    const int64_t pend = std::min(source_->PanelEnd(p0),
+                                  p0 + config_.panel_width);
+    const int64_t pw = pend - p0;
+    tensor::gemm::Gemm(q.data(), source_->Panel(p0, pend), scores.data(), 1,
+                       d, pw, /*trans_a=*/false, /*trans_b=*/true,
                        /*accumulate=*/false);
     ++stats_.panels_scored;
-    if (bias != nullptr) {
-      for (int64_t j = 0; j < pw; ++j) scores.data()[j] += bias[p0 + j];
+    if (has_bias) {
+      const float* bias = source_->BiasPanel(p0, pend);
+      for (int64_t j = 0; j < pw; ++j) scores.data()[j] += bias[j];
     }
     acc.Accumulate(scores.data(), p0, pw);
+    p0 = pend;
   }
   ++stats_.queries_served;
   ++stats_.batches_executed;

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "infer/candidate_panels.h"
 #include "infer/fused_embedding_table.h"
 #include "kg/filter_index.h"
 #include "tensor/tensor.h"
@@ -50,7 +52,11 @@ struct TopKOptions {
   const std::vector<int64_t>* restrict_to = nullptr;
 };
 
-/// Answers (h, r, ?) top-K queries against a FusedEmbeddingTable.
+/// Answers (h, r, ?) top-K queries against a CandidatePanelSource — an
+/// in-RAM FusedEmbeddingTable or a ShardStore whose slabs page in and
+/// out of a residency budget (beyond-RAM serving). The sweep clamps
+/// every panel to the source's PanelEnd, so shard boundaries are
+/// respected without the scoring loop knowing about shards.
 ///
 /// Each batch runs one blocked SGEMM per entity panel
 /// (q [B, d] x panel [P, d]^T), and the panel scores feed per-query
@@ -78,6 +84,11 @@ class ScoreServer {
   /// Custom query encoder (tests, remote encoders).
   ScoreServer(QueryEncoder encoder, const FusedEmbeddingTable* table,
               const ScoreServerConfig& config = {});
+  /// Serves candidates straight from `source` (e.g. a
+  /// ShardStorePanelSource over a sealed beyond-RAM store). Not owned;
+  /// must outlive the server.
+  ScoreServer(QueryEncoder encoder, CandidatePanelSource* source,
+              const ScoreServerConfig& config = {});
 
   /// Top-K for a single query. K is clamped to the number of eligible
   /// candidates (K > N returns them all, ranked).
@@ -97,8 +108,10 @@ class ScoreServer {
   double RankOf(int64_t head, int64_t rel, int64_t target,
                 const TopKOptions& opts = {});
 
-  int64_t num_entities() const { return table_->num_entities(); }
-  const FusedEmbeddingTable& table() const { return *table_; }
+  int64_t num_entities() const { return source_->num_entities(); }
+  /// The fused table, when this server was built over one (CHECK-fails
+  /// for shard-backed servers).
+  const FusedEmbeddingTable& table() const;
 
   struct Stats {
     int64_t queries_served = 0;
@@ -113,7 +126,9 @@ class ScoreServer {
                                const std::vector<int64_t>& rels);
 
   QueryEncoder encoder_;
-  const FusedEmbeddingTable* table_;
+  const FusedEmbeddingTable* table_ = nullptr;  // null for shard-backed
+  std::unique_ptr<CandidatePanelSource> owned_source_;
+  CandidatePanelSource* source_ = nullptr;
   ScoreServerConfig config_;
   mutable std::mutex mu_;
   Stats stats_;

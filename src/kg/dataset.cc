@@ -1,8 +1,8 @@
 #include "kg/dataset.h"
 
 #include <fstream>
-#include <sstream>
 
+#include "common/flags.h"
 #include "common/logging.h"
 
 namespace came::kg {
@@ -40,7 +40,48 @@ Status WriteTriples(const std::string& path,
   return Status::OK();
 }
 
-Status ReadTriples(const std::string& path, std::vector<Triple>* triples) {
+// Splits a TSV line into exactly its tab-separated fields; a trailing
+// '\r' (CRLF input) is stripped first.
+std::vector<std::string> SplitTsv(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+Status MalformedAt(const std::string& path, int64_t lineno,
+                   const std::string& why) {
+  return Status::Corruption(path + ":" + std::to_string(lineno) + ": " + why);
+}
+
+// Parses a field through the checked-parse helper and range-checks it, so
+// "12x", "", "9999999999999999999999" and ids past the vocab all fail
+// with the offending line instead of silently mis-parsing.
+Result<int64_t> ParseIdField(const std::string& field, int64_t limit,
+                             const char* what) {
+  Result<int64_t> parsed = flags::ParseInt(field);
+  if (!parsed.ok()) {
+    return Status::Corruption(std::string("non-numeric ") + what + " \"" +
+                              field + "\"");
+  }
+  if (parsed.value() < 0 || parsed.value() >= limit) {
+    return Status::Corruption(std::string(what) + " " + field +
+                              " out of range [0, " + std::to_string(limit) +
+                              ")");
+  }
+  return parsed.value();
+}
+
+Status ReadTriples(const std::string& path, int64_t num_entities,
+                   int64_t num_relations, std::vector<Triple>* triples) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
   std::string line;
@@ -48,13 +89,19 @@ Status ReadTriples(const std::string& path, std::vector<Triple>* triples) {
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
-    std::istringstream ls(line);
-    Triple t;
-    if (!(ls >> t.head >> t.rel >> t.tail)) {
-      return Status::Corruption(path + ":" + std::to_string(lineno) +
-                                ": malformed triple");
+    const std::vector<std::string> fields = SplitTsv(line);
+    if (fields.size() != 3) {
+      return MalformedAt(path, lineno,
+                         "expected 3 tab-separated fields, got " +
+                             std::to_string(fields.size()));
     }
-    triples->push_back(t);
+    Result<int64_t> head = ParseIdField(fields[0], num_entities, "head id");
+    if (!head.ok()) return MalformedAt(path, lineno, head.status().message());
+    Result<int64_t> rel = ParseIdField(fields[1], num_relations, "relation id");
+    if (!rel.ok()) return MalformedAt(path, lineno, rel.status().message());
+    Result<int64_t> tail = ParseIdField(fields[2], num_entities, "tail id");
+    if (!tail.ok()) return MalformedAt(path, lineno, tail.status().message());
+    triples->push_back({head.value(), rel.value(), tail.value()});
   }
   return Status::OK();
 }
@@ -88,41 +135,95 @@ Result<Dataset> Dataset::LoadTsv(const std::string& dir,
   Dataset ds;
   ds.name = name;
   {
-    std::ifstream in(dir + "/entities.tsv");
-    if (!in) return Status::IOError("cannot open " + dir + "/entities.tsv");
+    const std::string path = dir + "/entities.tsv";
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot open " + path);
     std::string line;
+    int64_t lineno = 0;
     while (std::getline(in, line)) {
+      ++lineno;
       if (line.empty()) continue;
-      std::istringstream ls(line);
-      int64_t id;
-      std::string ename;
-      int type;
-      if (!(ls >> id >> ename >> type)) {
-        return Status::Corruption("malformed entity line: " + line);
+      const std::vector<std::string> fields = SplitTsv(line);
+      if (fields.size() != 3) {
+        return MalformedAt(path, lineno,
+                           "expected 3 tab-separated fields, got " +
+                               std::to_string(fields.size()));
       }
-      const int64_t got = ds.vocab.AddEntity(ename, static_cast<EntityType>(type));
-      if (got != id) return Status::Corruption("non-dense entity ids");
+      const Result<int64_t> id = flags::ParseInt(fields[0]);
+      if (!id.ok()) {
+        return MalformedAt(path, lineno,
+                           "non-numeric entity id \"" + fields[0] + "\"");
+      }
+      if (fields[1].empty()) {
+        return MalformedAt(path, lineno, "empty entity name");
+      }
+      const Result<int64_t> type = flags::ParseInt(fields[2]);
+      if (!type.ok() || type.value() < 0 ||
+          type.value() > static_cast<int64_t>(EntityType::kOther)) {
+        return MalformedAt(path, lineno,
+                           "invalid entity type \"" + fields[2] + "\"");
+      }
+      if (ds.vocab.EntityId(fields[1]) >= 0) {
+        return MalformedAt(path, lineno,
+                           "duplicate entity name \"" + fields[1] + "\"");
+      }
+      const int64_t got = ds.vocab.AddEntity(
+          fields[1], static_cast<EntityType>(type.value()));
+      if (got != id.value()) {
+        return MalformedAt(path, lineno,
+                           "non-dense entity ids (expected " +
+                               std::to_string(got) + ", file says " +
+                               fields[0] + ")");
+      }
     }
   }
   {
-    std::ifstream in(dir + "/relations.tsv");
-    if (!in) return Status::IOError("cannot open " + dir + "/relations.tsv");
+    const std::string path = dir + "/relations.tsv";
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot open " + path);
     std::string line;
+    int64_t lineno = 0;
     while (std::getline(in, line)) {
+      ++lineno;
       if (line.empty()) continue;
-      std::istringstream ls(line);
-      int64_t id;
-      std::string rname;
-      if (!(ls >> id >> rname)) {
-        return Status::Corruption("malformed relation line: " + line);
+      const std::vector<std::string> fields = SplitTsv(line);
+      if (fields.size() != 2) {
+        return MalformedAt(path, lineno,
+                           "expected 2 tab-separated fields, got " +
+                               std::to_string(fields.size()));
       }
-      const int64_t got = ds.vocab.AddRelation(rname);
-      if (got != id) return Status::Corruption("non-dense relation ids");
+      const Result<int64_t> id = flags::ParseInt(fields[0]);
+      if (!id.ok()) {
+        return MalformedAt(path, lineno,
+                           "non-numeric relation id \"" + fields[0] + "\"");
+      }
+      if (fields[1].empty()) {
+        return MalformedAt(path, lineno, "empty relation name");
+      }
+      if (ds.vocab.RelationId(fields[1]) >= 0) {
+        return MalformedAt(path, lineno,
+                           "duplicate relation name \"" + fields[1] + "\"");
+      }
+      const int64_t got = ds.vocab.AddRelation(fields[1]);
+      if (got != id.value()) {
+        return MalformedAt(path, lineno,
+                           "non-dense relation ids (expected " +
+                               std::to_string(got) + ", file says " +
+                               fields[0] + ")");
+      }
     }
   }
-  CAME_RETURN_IF_ERROR(ReadTriples(dir + "/train.tsv", &ds.train));
-  CAME_RETURN_IF_ERROR(ReadTriples(dir + "/valid.tsv", &ds.valid));
-  CAME_RETURN_IF_ERROR(ReadTriples(dir + "/test.tsv", &ds.test));
+  if (ds.vocab.num_entities() == 0) {
+    return Status::Corruption(dir + "/entities.tsv: no entities");
+  }
+  if (ds.vocab.num_relations() == 0) {
+    return Status::Corruption(dir + "/relations.tsv: no relations");
+  }
+  const int64_t ne = ds.vocab.num_entities();
+  const int64_t nr = ds.vocab.num_relations();
+  CAME_RETURN_IF_ERROR(ReadTriples(dir + "/train.tsv", ne, nr, &ds.train));
+  CAME_RETURN_IF_ERROR(ReadTriples(dir + "/valid.tsv", ne, nr, &ds.valid));
+  CAME_RETURN_IF_ERROR(ReadTriples(dir + "/test.tsv", ne, nr, &ds.test));
   return ds;
 }
 

@@ -1,0 +1,153 @@
+#ifndef CAME_TENSOR_SHARD_STORE_H_
+#define CAME_TENSOR_SHARD_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace came::tensor {
+
+/// Residency policy for a ShardStore.
+struct ShardStoreOptions {
+  /// Rows per on-disk slab. 0 means one slab covering every row — the
+  /// in-RAM special case expressed in the same layout.
+  int64_t rows_per_shard = 0;
+  /// Maximum simultaneously mapped slabs (the LRU-resident working set).
+  /// 0 means unlimited (everything stays mapped once touched).
+  int64_t max_resident_shards = 0;
+  /// Verify every slab's payload CRC against the manifest when opening a
+  /// sealed store. Costs one streaming pass over the data.
+  bool verify_on_open = true;
+};
+
+/// A 2-D float row table `[rows, dim]` sliced into fixed-size on-disk
+/// slabs, mmap-backed with an LRU-resident working set — the storage
+/// layer that lets embedding tables, Adam moment state, and candidate
+/// matrices grow past RAM.
+///
+/// Layout on disk (`dir/`):
+///   * `manifest` — versioned, CRC-framed metadata (magic "CAMESHD1",
+///     written atomically via the crash-safe temp+fsync+rename path):
+///     shape, slab geometry, a sealed flag, and one payload CRC32 per
+///     slab.
+///   * `slab_<i>.bin` — raw little-endian float payload of rows
+///     [i*rows_per_shard, min((i+1)*rows_per_shard, rows)), no header,
+///     so a mapped slab is directly addressable at float alignment.
+///
+/// Lifecycle: `Create` makes zero-filled slabs and an *unsealed*
+/// manifest; mutate rows freely; `Seal()` msyncs every dirty slab,
+/// recomputes payload CRCs and atomically publishes the sealed
+/// manifest. `Open` accepts sealed stores only and (by default)
+/// verifies every slab CRC, so a bit-flipped, truncated, or
+/// trailing-garbage slab or manifest surfaces as `Corruption` instead
+/// of being served.
+///
+/// `InRam` builds the one-shard special case — a single anonymous
+/// mapping, always resident, no files — through the identical row/panel
+/// access path, which is what makes sharded-vs-in-RAM bitwise parity a
+/// property of the layout rather than of duplicated compute code.
+///
+/// Not thread-safe: callers serialise access externally (the trainer
+/// gathers/scatters sequentially; evaluators sweep panels from one
+/// thread and only parallelise over the scores already produced).
+/// Pointers returned by Row/MutableRow/PanelRows stay valid until the
+/// next member call that can evict (any row/panel access, Flush, Seal).
+class ShardStore {
+ public:
+  ShardStore() = default;
+  ~ShardStore();
+  ShardStore(ShardStore&& other) noexcept;
+  ShardStore& operator=(ShardStore&& other) noexcept;
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  /// Anonymous in-RAM store: one shard, always resident, zero-filled.
+  static Result<ShardStore> InRam(int64_t rows, int64_t dim);
+
+  /// Creates `dir` (must not already hold a manifest) with zero-filled
+  /// slabs and an unsealed manifest.
+  static Result<ShardStore> Create(const std::string& dir, int64_t rows,
+                                   int64_t dim,
+                                   const ShardStoreOptions& options = {});
+
+  /// Opens a sealed store. `options.rows_per_shard` is ignored (the
+  /// manifest fixes the geometry); the residency budget and
+  /// verify_on_open apply.
+  static Result<ShardStore> Open(const std::string& dir,
+                                 const ShardStoreOptions& options = {});
+
+  int64_t rows() const { return rows_; }
+  int64_t dim() const { return dim_; }
+  int64_t rows_per_shard() const { return rows_per_shard_; }
+  int64_t num_shards() const { return static_cast<int64_t>(shards_.size()); }
+  bool in_ram() const { return dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Read access to row `r`. May fault the owning slab in (and evict the
+  /// least-recently-used one).
+  const float* Row(int64_t r);
+  /// Write access; marks the owning slab dirty (its CRC is stale until
+  /// the next Seal).
+  float* MutableRow(int64_t r);
+
+  /// Contiguous rows [begin, end), which must not cross a slab boundary
+  /// (use ShardEnd to clamp panels). Zero-copy into the mapping.
+  const float* PanelRows(int64_t begin, int64_t end);
+
+  /// Exclusive end of the slab containing `row` (clamped to rows()).
+  int64_t ShardEnd(int64_t row) const;
+
+  /// msync every dirty slab, recompute payload CRCs, atomically publish
+  /// a sealed manifest. In-RAM stores: no-op, OK. Idempotent.
+  Status Seal();
+
+  /// Row-order CRC32 over the full table contents (parity tests and the
+  /// checkpoint-bytes comparison). Streams shard by shard.
+  uint32_t ContentCrc32();
+
+  struct Stats {
+    int64_t map_hits = 0;
+    int64_t map_misses = 0;
+    int64_t evictions = 0;
+    int64_t resident_shards = 0;
+    int64_t resident_bytes = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Shard {
+    void* base = nullptr;   // mapped payload (nullptr when not resident)
+    int64_t begin = 0;      // first row
+    int64_t end = 0;        // one past the last row
+    uint64_t last_use = 0;  // LRU clock stamp
+    bool dirty = false;
+    uint32_t crc = 0;       // manifest payload CRC (sealed stores)
+  };
+
+  int64_t ShardIndex(int64_t row) const { return row / rows_per_shard_; }
+  std::string SlabPath(int64_t shard) const;
+  /// Ensures the shard is mapped; returns its payload base.
+  Result<float*> Acquire(int64_t shard);
+  Status MapShard(int64_t shard);
+  void UnmapShard(int64_t shard);
+  Status WriteManifest(bool sealed);
+  void MoveFrom(ShardStore&& other);
+  void ReleaseAll();
+
+  std::string dir_;
+  int64_t rows_ = 0;
+  int64_t dim_ = 0;
+  int64_t rows_per_shard_ = 0;
+  int64_t max_resident_ = 0;
+  bool sealed_ = false;
+  uint64_t clock_ = 0;
+  int64_t resident_count_ = 0;
+  std::vector<Shard> shards_;
+  Stats stats_;
+};
+
+}  // namespace came::tensor
+
+#endif  // CAME_TENSOR_SHARD_STORE_H_

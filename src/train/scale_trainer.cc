@@ -1,0 +1,463 @@
+#include "train/scale_trainer.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/flags.h"
+#include "common/io.h"
+#include "common/logging.h"
+#include "common/parallel_for.h"
+#include "eval/ranking.h"
+#include "tensor/gemm.h"
+
+namespace came::train {
+
+namespace {
+
+constexpr char kParamsMagic[8] = {'C', 'A', 'M', 'E', 'S', 'C', 'L', '1'};
+
+/// Numerically stable logistic loss: -log sigmoid(s) for label 1,
+/// -log(1 - sigmoid(s)) for label 0.
+double LogisticLoss(double s, double label) {
+  return std::max(s, 0.0) - s * label + std::log1p(std::exp(-std::abs(s)));
+}
+
+double Sigmoid(double s) {
+  if (s >= 0.0) return 1.0 / (1.0 + std::exp(-s));
+  const double e = std::exp(s);
+  return e / (1.0 + e);
+}
+
+/// Index of `row` inside sorted-unique `rows`.
+size_t RowSlot(const std::vector<int64_t>& rows, int64_t row) {
+  const auto it = std::lower_bound(rows.begin(), rows.end(), row);
+  return static_cast<size_t>(it - rows.begin());
+}
+
+Status MalformedTriple(const std::string& path, int64_t lineno,
+                       const std::string& why) {
+  return Status::Corruption(path + ":" + std::to_string(lineno) + ": " + why);
+}
+
+}  // namespace
+
+Status TsvTripleSource::Reset() {
+  if (in_.is_open()) in_.close();
+  in_.clear();
+  in_.open(path_);
+  if (!in_) return Status::NotFound("cannot open " + path_);
+  lineno_ = 0;
+  return Status::OK();
+}
+
+Result<bool> TsvTripleSource::Next(kg::Triple* t) {
+  std::string line;
+  if (!std::getline(in_, line)) {
+    if (in_.bad()) return Status::IOError("read failed on " + path_);
+    return false;
+  }
+  ++lineno_;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const size_t tab1 = line.find('\t');
+  const size_t tab2 = tab1 == std::string::npos ? std::string::npos
+                                                : line.find('\t', tab1 + 1);
+  if (tab2 == std::string::npos ||
+      line.find('\t', tab2 + 1) != std::string::npos) {
+    return MalformedTriple(path_, lineno_, "expected 3 tab-separated fields");
+  }
+  const int64_t limits[3] = {num_entities_, num_relations_, num_entities_};
+  const std::string fields[3] = {
+      line.substr(0, tab1), line.substr(tab1 + 1, tab2 - tab1 - 1),
+      line.substr(tab2 + 1)};
+  int64_t ids[3];
+  for (int i = 0; i < 3; ++i) {
+    const Result<int64_t> parsed = flags::ParseInt(fields[i]);
+    if (!parsed.ok()) {
+      return MalformedTriple(path_, lineno_,
+                             "non-numeric id '" + fields[i] + "'");
+    }
+    ids[i] = parsed.value();
+    if (ids[i] < 0 || ids[i] >= limits[i]) {
+      return MalformedTriple(path_, lineno_,
+                             "id " + fields[i] + " out of range");
+    }
+  }
+  *t = kg::Triple{ids[0], ids[1], ids[2]};
+  return true;
+}
+
+Result<ScaleTrainer> ScaleTrainer::Create(int64_t num_entities,
+                                          int64_t num_relations,
+                                          const ScaleTrainConfig& config) {
+  if (num_entities <= 0 || num_relations <= 0) {
+    return Status::InvalidArgument("need positive entity/relation counts");
+  }
+  if (config.dim <= 0) return Status::InvalidArgument("dim must be positive");
+  if (config.batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (config.negatives < 0) {
+    return Status::InvalidArgument("negatives must be non-negative");
+  }
+  if (config.lr <= 0.0 || config.eps <= 0.0) {
+    return Status::InvalidArgument("lr and eps must be positive");
+  }
+  if (config.beta1 < 0.0 || config.beta1 >= 1.0 || config.beta2 < 0.0 ||
+      config.beta2 >= 1.0) {
+    return Status::InvalidArgument("betas must lie in [0, 1)");
+  }
+  if (config.eval_panel_rows <= 0 || config.eval_query_batch <= 0) {
+    return Status::InvalidArgument("eval panel/batch sizes must be positive");
+  }
+
+  ScaleTrainer trainer;
+  trainer.num_entities_ = num_entities;
+  trainer.num_relations_ = num_relations;
+  trainer.config_ = config;
+  trainer.rng_ = Rng(config.seed);
+
+  // Entity-family tables shard per the config; relation tables are tiny
+  // by comparison and always live in one slab.
+  const bool on_disk = !config.store_dir.empty();
+  if (on_disk) {
+    if (::mkdir(config.store_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError("cannot create " + config.store_dir);
+    }
+  }
+  const tensor::ShardStoreOptions ent_opts = {
+      .rows_per_shard = config.rows_per_shard,
+      .max_resident_shards = config.max_resident_shards,
+  };
+  const auto make = [&](const char* name, int64_t rows,
+                        bool shard) -> Result<tensor::ShardStore> {
+    if (!on_disk) return tensor::ShardStore::InRam(rows, config.dim);
+    return tensor::ShardStore::Create(
+        config.store_dir + "/" + name, rows, config.dim,
+        shard ? ent_opts : tensor::ShardStoreOptions{});
+  };
+  struct Table {
+    tensor::ShardStore* store;
+    const char* name;
+    int64_t rows;
+    bool shard;
+  };
+  const Table tables[] = {
+      {&trainer.entities_, "ent", num_entities, true},
+      {&trainer.ent_m_, "ent_m", num_entities, true},
+      {&trainer.ent_v_, "ent_v", num_entities, true},
+      {&trainer.relations_, "rel", num_relations, false},
+      {&trainer.rel_m_, "rel_m", num_relations, false},
+      {&trainer.rel_v_, "rel_v", num_relations, false},
+  };
+  for (const Table& t : tables) {
+    Result<tensor::ShardStore> made = make(t.name, t.rows, t.shard);
+    if (!made.ok()) return made.status();
+    *t.store = std::move(made).value();
+  }
+
+  // Sequential row-order init from a dedicated stream: what a row gets
+  // depends only on (seed, draw order), never on the shard geometry.
+  // Moments stay at the stores' zero fill.
+  Rng init_rng(config.seed ^ 0x5ca1e7ab1eULL);
+  const auto fill = [&](tensor::ShardStore* store) {
+    for (int64_t row = 0; row < store->rows(); ++row) {
+      float* w = store->MutableRow(row);
+      for (int64_t k = 0; k < config.dim; ++k) {
+        w[k] = static_cast<float>(
+            init_rng.Uniform(-config.init_scale, config.init_scale));
+      }
+    }
+  };
+  fill(&trainer.entities_);
+  fill(&trainer.relations_);
+  return trainer;
+}
+
+Result<double> ScaleTrainer::TrainEpoch(TripleSource* source) {
+  CAME_RETURN_IF_ERROR(source->Reset());
+  double total_loss = 0.0;
+  int64_t total_samples = 0;
+  std::vector<Sample> batch;
+  batch.reserve(static_cast<size_t>(config_.batch_size) *
+                static_cast<size_t>(1 + config_.negatives));
+  bool done = false;
+  while (!done) {
+    batch.clear();
+    for (int64_t i = 0; i < config_.batch_size; ++i) {
+      kg::Triple t;
+      Result<bool> got = source->Next(&t);
+      if (!got.ok()) return got.status();
+      if (!got.value()) {
+        done = true;
+        break;
+      }
+      CAME_CHECK_LT(t.head, num_entities_);
+      CAME_CHECK_LT(t.rel, num_relations_);
+      CAME_CHECK_LT(t.tail, num_entities_);
+      batch.push_back(Sample{t.head, t.rel, t.tail, 1.0f});
+      // Negative tails drawn sequentially from the trainer stream: the
+      // sample list is a pure function of (data order, seed).
+      for (int64_t k = 0; k < config_.negatives; ++k) {
+        const auto corrupt = static_cast<int64_t>(
+            rng_.UniformU64(static_cast<uint64_t>(num_entities_)));
+        batch.push_back(Sample{t.head, t.rel, corrupt, 0.0f});
+      }
+    }
+    if (batch.empty()) break;
+    total_loss += TrainBatch(batch);
+    total_samples += static_cast<int64_t>(batch.size());
+  }
+  if (total_samples == 0) {
+    return Status::InvalidArgument("triple source produced no triples");
+  }
+  return total_loss / static_cast<double>(total_samples);
+}
+
+double ScaleTrainer::TrainBatch(const std::vector<Sample>& samples) {
+  const int64_t d = config_.dim;
+  const size_t n = samples.size();
+
+  // Sorted-unique touched rows: the gather, scatter, and Adam phases all
+  // walk these in ascending order, so shard faults happen in a coherent
+  // sweep and the arithmetic order is layout-independent.
+  std::vector<int64_t> e_rows;
+  std::vector<int64_t> r_rows;
+  e_rows.reserve(n * 2);
+  r_rows.reserve(n);
+  for (const Sample& s : samples) {
+    e_rows.push_back(s.head);
+    e_rows.push_back(s.tail);
+    r_rows.push_back(s.rel);
+  }
+  std::sort(e_rows.begin(), e_rows.end());
+  e_rows.erase(std::unique(e_rows.begin(), e_rows.end()), e_rows.end());
+  std::sort(r_rows.begin(), r_rows.end());
+  r_rows.erase(std::unique(r_rows.begin(), r_rows.end()), r_rows.end());
+
+  // Gather into scratch copies: ShardStore pointers can be invalidated by
+  // eviction, so compute never touches the mapping directly.
+  std::vector<float> e_scratch(e_rows.size() * static_cast<size_t>(d));
+  std::vector<float> r_scratch(r_rows.size() * static_cast<size_t>(d));
+  for (size_t i = 0; i < e_rows.size(); ++i) {
+    std::memcpy(&e_scratch[i * static_cast<size_t>(d)], entities_.Row(e_rows[i]),
+                sizeof(float) * static_cast<size_t>(d));
+  }
+  for (size_t i = 0; i < r_rows.size(); ++i) {
+    std::memcpy(&r_scratch[i * static_cast<size_t>(d)],
+                relations_.Row(r_rows[i]),
+                sizeof(float) * static_cast<size_t>(d));
+  }
+
+  // Per-sample forward/backward. Each iteration writes its own slots
+  // only, so the result is identical at any thread count.
+  std::vector<double> losses(n);
+  std::vector<double> gs(n);
+  ParallelFor(0, static_cast<int64_t>(n), 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const Sample& s = samples[static_cast<size_t>(i)];
+      const float* eh =
+          &e_scratch[RowSlot(e_rows, s.head) * static_cast<size_t>(d)];
+      const float* et =
+          &e_scratch[RowSlot(e_rows, s.tail) * static_cast<size_t>(d)];
+      const float* rr =
+          &r_scratch[RowSlot(r_rows, s.rel) * static_cast<size_t>(d)];
+      double score = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        score += static_cast<double>(eh[k]) * static_cast<double>(rr[k]) *
+                 static_cast<double>(et[k]);
+      }
+      losses[static_cast<size_t>(i)] =
+          LogisticLoss(score, static_cast<double>(s.label));
+      gs[static_cast<size_t>(i)] =
+          Sigmoid(score) - static_cast<double>(s.label);
+    }
+  });
+
+  double batch_loss = 0.0;
+  for (double l : losses) batch_loss += l;
+
+  // Sequential scatter in sample order: unique rows may appear in many
+  // samples, so accumulation order is pinned here, not left to threads.
+  std::vector<double> e_grad(e_scratch.size(), 0.0);
+  std::vector<double> r_grad(r_scratch.size(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const Sample& s = samples[i];
+    const size_t hi = RowSlot(e_rows, s.head) * static_cast<size_t>(d);
+    const size_t ti = RowSlot(e_rows, s.tail) * static_cast<size_t>(d);
+    const size_t ri = RowSlot(r_rows, s.rel) * static_cast<size_t>(d);
+    const double g = gs[i];
+    for (int64_t k = 0; k < d; ++k) {
+      const auto uk = static_cast<size_t>(k);
+      const double eh = e_scratch[hi + uk];
+      const double et = e_scratch[ti + uk];
+      const double rr = r_scratch[ri + uk];
+      e_grad[hi + uk] += g * rr * et;
+      e_grad[ti + uk] += g * rr * eh;
+      r_grad[ri + uk] += g * eh * et;
+    }
+  }
+
+  // Sparse Adam over the touched rows, ascending — one coherent pass per
+  // table. The three stores have independent residency, so holding one
+  // pointer from each at a time is safe.
+  ++step_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  const auto adam_row = [&](tensor::ShardStore* w_store,
+                            tensor::ShardStore* m_store,
+                            tensor::ShardStore* v_store, int64_t row,
+                            const double* grad) {
+    float* w = w_store->MutableRow(row);
+    float* m = m_store->MutableRow(row);
+    float* v = v_store->MutableRow(row);
+    for (int64_t k = 0; k < d; ++k) {
+      const auto uk = static_cast<size_t>(k);
+      const double g = grad[uk];
+      const double mk =
+          config_.beta1 * static_cast<double>(m[uk]) + (1.0 - config_.beta1) * g;
+      const double vk = config_.beta2 * static_cast<double>(v[uk]) +
+                        (1.0 - config_.beta2) * g * g;
+      m[uk] = static_cast<float>(mk);
+      v[uk] = static_cast<float>(vk);
+      const double update =
+          config_.lr * (mk / bc1) / (std::sqrt(vk / bc2) + config_.eps);
+      w[uk] = static_cast<float>(static_cast<double>(w[uk]) - update);
+    }
+  };
+  for (size_t i = 0; i < e_rows.size(); ++i) {
+    adam_row(&entities_, &ent_m_, &ent_v_, e_rows[i],
+             &e_grad[i * static_cast<size_t>(d)]);
+  }
+  for (size_t i = 0; i < r_rows.size(); ++i) {
+    adam_row(&relations_, &rel_m_, &rel_v_, r_rows[i],
+             &r_grad[i * static_cast<size_t>(d)]);
+  }
+  return batch_loss;
+}
+
+Result<eval::Metrics> ScaleTrainer::EvaluateFiltered(
+    TripleSource* queries, const kg::FilterIndex& filter) {
+  CAME_RETURN_IF_ERROR(queries->Reset());
+  const int64_t d = config_.dim;
+  const int64_t qb = config_.eval_query_batch;
+  eval::Metrics metrics;
+
+  std::vector<kg::Triple> batch;
+  std::vector<float> qmat;       // [Q, d] — eh ∘ r per query
+  std::vector<float> tail_row(static_cast<size_t>(d));
+  std::vector<float> scores;     // [Q, panel_width]
+  bool done = false;
+  while (!done) {
+    batch.clear();
+    for (int64_t i = 0; i < qb; ++i) {
+      kg::Triple t;
+      Result<bool> got = queries->Next(&t);
+      if (!got.ok()) return got.status();
+      if (!got.value()) {
+        done = true;
+        break;
+      }
+      CAME_CHECK_LT(t.head, num_entities_);
+      CAME_CHECK_LT(t.rel, num_relations_);
+      CAME_CHECK_LT(t.tail, num_entities_);
+      batch.push_back(t);
+    }
+    if (batch.empty()) break;
+    const auto nq = static_cast<int64_t>(batch.size());
+
+    // Build query vectors + target scores from row copies. Order within
+    // each query matters: only one pointer into a given store is live at
+    // a time (the second entity Row() may evict the first's slab).
+    qmat.assign(static_cast<size_t>(nq) * static_cast<size_t>(d), 0.0f);
+    std::vector<eval::RankAccumulator> accs;
+    accs.reserve(static_cast<size_t>(nq));
+    for (int64_t i = 0; i < nq; ++i) {
+      const kg::Triple& q = batch[static_cast<size_t>(i)];
+      float* qrow = &qmat[static_cast<size_t>(i) * static_cast<size_t>(d)];
+      std::memcpy(qrow, entities_.Row(q.head),
+                  sizeof(float) * static_cast<size_t>(d));
+      std::memcpy(tail_row.data(), entities_.Row(q.tail),
+                  sizeof(float) * static_cast<size_t>(d));
+      const float* rr = relations_.Row(q.rel);
+      float target_score = 0.0f;
+      for (int64_t k = 0; k < d; ++k) {
+        qrow[k] *= rr[k];
+        target_score += qrow[k] * tail_row[static_cast<size_t>(k)];
+      }
+      accs.emplace_back(target_score, q.tail, filter.Tails(q.head, q.rel));
+    }
+
+    // Shard-panel sweep: one GEMM per panel, scores fed straight into the
+    // streaming accumulators; the [Q, N] score matrix never exists.
+    int64_t row0 = 0;
+    while (row0 < num_entities_) {
+      const int64_t pend = std::min(entities_.ShardEnd(row0),
+                                    row0 + config_.eval_panel_rows);
+      const int64_t pw = pend - row0;
+      const float* panel = entities_.PanelRows(row0, pend);
+      scores.assign(static_cast<size_t>(nq) * static_cast<size_t>(pw), 0.0f);
+      tensor::gemm::Gemm(qmat.data(), panel, scores.data(), nq, d, pw,
+                 /*trans_a=*/false, /*trans_b=*/true, /*accumulate=*/false);
+      ParallelFor(0, nq, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          accs[static_cast<size_t>(i)].Accumulate(
+              &scores[static_cast<size_t>(i) * static_cast<size_t>(pw)], row0,
+              pw);
+        }
+      });
+      row0 = pend;
+    }
+    for (int64_t i = 0; i < nq; ++i) {
+      metrics.AddRank(accs[static_cast<size_t>(i)].Rank(num_entities_));
+    }
+  }
+  return metrics;
+}
+
+Status ScaleTrainer::SaveParams(const std::string& path) {
+  io::AtomicFileWriter writer(path);
+  CAME_RETURN_IF_ERROR(writer.Open());
+  uint32_t crc = 0;
+  const auto append = [&](const void* data, size_t bytes) -> Status {
+    crc = io::Crc32(data, bytes, crc);
+    return writer.Append(data, bytes);
+  };
+  const auto stream_store = [&](tensor::ShardStore& store) -> Status {
+    int64_t row0 = 0;
+    while (row0 < store.rows()) {
+      const int64_t pend = store.ShardEnd(row0);
+      const float* panel = store.PanelRows(row0, pend);
+      CAME_RETURN_IF_ERROR(
+          append(panel, sizeof(float) * static_cast<size_t>(pend - row0) *
+                            static_cast<size_t>(store.dim())));
+      row0 = pend;
+    }
+    return Status::OK();
+  };
+
+  Status st = writer.Append(kParamsMagic, sizeof(kParamsMagic));
+  const uint64_t header[3] = {static_cast<uint64_t>(num_entities_),
+                              static_cast<uint64_t>(num_relations_),
+                              static_cast<uint64_t>(config_.dim)};
+  if (st.ok()) st = append(header, sizeof(header));
+  if (st.ok()) st = stream_store(entities_);
+  if (st.ok()) st = stream_store(relations_);
+  if (st.ok()) st = writer.Append(&crc, sizeof(crc));
+  if (!st.ok()) {
+    writer.Abort();
+    return st;
+  }
+  return writer.Commit();
+}
+
+uint32_t ScaleTrainer::ParamsCrc() {
+  const uint32_t pair[2] = {entities_.ContentCrc32(),
+                            relations_.ContentCrc32()};
+  return io::Crc32(pair, sizeof(pair), 0);
+}
+
+}  // namespace came::train

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 
 #include "datagen/bkg_generator.h"
 #include "datagen/molecule.h"
+#include "datagen/stream_bkg.h"
 #include "datagen/textgen.h"
+#include "kg/dataset.h"
 
 namespace came::datagen {
 namespace {
@@ -238,6 +244,215 @@ TEST(BkgGeneratorTest, CompoundIdsHelper) {
     EXPECT_EQ(bkg.dataset.vocab.entity_type(id),
               kg::EntityType::kCompound);
   }
+}
+
+// --- config validation ------------------------------------------------------
+
+TEST(BkgConfigValidateTest, DefaultPresetsAreValid) {
+  EXPECT_TRUE(BkgConfig::DrkgMmSynth(0.1).Validate().ok());
+  EXPECT_TRUE(BkgConfig::OmahaMmSynth(0.1).Validate().ok());
+}
+
+TEST(BkgConfigValidateTest, RejectsBadCounts) {
+  auto c = BkgConfig::DrkgMmSynth(0.1);
+  c.num_genes = -1;
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+
+  c = BkgConfig::DrkgMmSynth(0.1);
+  c.num_triples = 0;
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+
+  c = BkgConfig::DrkgMmSynth(0.1);
+  c.num_genes = c.num_compounds = c.num_diseases = c.num_side_effects =
+      c.num_symptoms = 0;
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(BkgConfigValidateTest, RejectsBadClusters) {
+  auto c = BkgConfig::DrkgMmSynth(0.1);
+  c.gene_clusters = 0;
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+  // Zero clusters for an absent type is fine.
+  c = BkgConfig::DrkgMmSynth(0.1);
+  c.num_symptoms = 0;
+  c.symptom_clusters = 0;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(BkgConfigValidateTest, RejectsBadWeights) {
+  auto c = BkgConfig::DrkgMmSynth(0.1);
+  for (auto& r : c.relations) r.weight = 0.0;
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+
+  c = BkgConfig::DrkgMmSynth(0.1);
+  c.relations[0].weight = -0.5;
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+
+  c = BkgConfig::DrkgMmSynth(0.1);
+  c.relations.clear();
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(BkgConfigValidateTest, RejectsRelationOverEmptyType) {
+  auto c = BkgConfig::DrkgMmSynth(0.1);
+  c.num_side_effects = 0;  // causes_CSE now points at an empty type
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(BkgConfigValidateTest, RejectsImpossibleTripleBudget) {
+  auto c = BkgConfig::DrkgMmSynth(0.1);
+  c.num_triples = INT64_MAX / 2;  // no population admits this many
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(BkgConfigValidateTest, RejectsBadFidelityAndZipf) {
+  auto c = BkgConfig::DrkgMmSynth(0.1);
+  c.cluster_fidelity = 1.5;
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+  c = BkgConfig::DrkgMmSynth(0.1);
+  c.head_zipf = -0.1;
+  EXPECT_EQ(c.Validate().code(), Status::Code::kInvalidArgument);
+}
+
+// --- 64-bit index paths (reduced proxy scale) -------------------------------
+
+TEST(EntityLayoutTest, ArithmeticPast2To31) {
+  // A population summing past 2^31: every id computation must stay
+  // 64-bit. (The in-RAM generator at this scale would not even fit; the
+  // layout math is exactly what the streaming path relies on.)
+  BkgConfig c = BkgConfig::DrkgMmSynth(1.0);
+  c.num_genes = int64_t{3} * (int64_t{1} << 30);      // > 2^31 on its own
+  c.num_compounds = (int64_t{1} << 31) + 12345;
+  const EntityLayout layout(c);
+  EXPECT_EQ(layout.total(), c.num_genes + c.num_compounds + c.num_diseases +
+                                c.num_side_effects + c.num_symptoms);
+  EXPECT_GT(layout.total(), int64_t{1} << 32);
+
+  EXPECT_EQ(layout.TypeOf(0), kg::EntityType::kGene);
+  EXPECT_EQ(layout.TypeOf(c.num_genes - 1), kg::EntityType::kGene);
+  EXPECT_EQ(layout.TypeOf(c.num_genes), kg::EntityType::kCompound);
+  const int64_t big_id = c.num_genes + c.num_compounds - 1;  // > 2^32
+  EXPECT_EQ(layout.TypeOf(big_id), kg::EntityType::kCompound);
+  EXPECT_EQ(layout.TypeBegin(kg::EntityType::kDisease),
+            c.num_genes + c.num_compounds);
+
+  // Cluster assignment at huge ids is in range and deterministic.
+  const int64_t cl = layout.ClusterOf(big_id);
+  EXPECT_GE(cl, 0);
+  EXPECT_LT(cl, kNumDrugFamilies);
+  EXPECT_EQ(cl, layout.ClusterOf(big_id));
+}
+
+TEST(EntityLayoutTest, ScaledConfigStays64Bit) {
+  // Scaled() with a factor that pushes counts past 2^31 must not wrap.
+  const BkgConfig big = BkgConfig::DrkgMmSynth(1.0).Scaled(4.0e6);
+  EXPECT_GT(big.num_genes, int64_t{1} << 31);
+  EXPECT_GT(big.num_compounds, int64_t{1} << 31);
+  EXPECT_GT(big.num_triples, int64_t{1} << 33);
+  const EntityLayout layout(big);
+  EXPECT_EQ(layout.total(),
+            big.num_genes + big.num_compounds + big.num_diseases +
+                big.num_side_effects + big.num_symptoms);
+}
+
+TEST(MoleculeTest, LargeDecorationBudgetStays64Bit) {
+  // The decoration budget is int64 end to end; a moderate large budget
+  // exercises the accumulation loop without building a 2^31-atom graph.
+  Rng rng(3);
+  Molecule m = GenerateMolecule(DrugFamily::kPhenol, &rng, 5000);
+  EXPECT_TRUE(m.IsValid());
+  EXPECT_GT(m.num_atoms(), 4000);
+}
+
+// --- streaming generator ----------------------------------------------------
+
+class StreamBkgTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("came_stream_bkg_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(StreamBkgTest, StreamedDatasetLoadsAndIsWellFormed) {
+  const BkgConfig config = BkgConfig::DrkgMmSynth(0.1);
+  StreamBkgOptions opts;
+  opts.out_dir = dir_.string();
+  const auto r = StreamGenerateBkg(config, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const StreamBkgSummary& s = r.value();
+  EXPECT_EQ(s.num_relations,
+            static_cast<int64_t>(config.relations.size()));
+  EXPECT_GT(s.train_triples, 0);
+  const int64_t total = s.train_triples + s.valid_triples + s.test_triples;
+  EXPECT_GT(total, config.num_triples / 2);
+  EXPECT_LE(total, config.num_triples);
+  // Split roughly 8:1:1.
+  EXPECT_NEAR(static_cast<double>(s.train_triples) / total, 0.8, 0.05);
+
+  // The emitted directory round-trips through the hardened loader — every
+  // id in range, vocab dense, names unique.
+  const auto loaded = kg::Dataset::LoadTsv(dir_.string(), "streamed");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_entities(), s.num_entities);
+  EXPECT_EQ(loaded.value().num_relations(), s.num_relations);
+  EXPECT_EQ(static_cast<int64_t>(loaded.value().train.size()),
+            s.train_triples);
+
+  // Triples respect the schema's type constraints.
+  const EntityLayout layout(config);
+  for (const auto& t : loaded.value().train) {
+    const auto& schema = config.relations[static_cast<size_t>(t.rel)];
+    EXPECT_EQ(layout.TypeOf(t.head), schema.head_type);
+    EXPECT_EQ(layout.TypeOf(t.tail), schema.tail_type);
+    EXPECT_NE(t.head, t.tail);
+  }
+}
+
+TEST_F(StreamBkgTest, DeterministicPerSeed) {
+  const BkgConfig config = BkgConfig::OmahaMmSynth(0.2);
+  StreamBkgOptions opts;
+  opts.out_dir = (dir_ / "a").string();
+  ASSERT_TRUE(StreamGenerateBkg(config, opts).ok());
+  opts.out_dir = (dir_ / "b").string();
+  ASSERT_TRUE(StreamGenerateBkg(config, opts).ok());
+  for (const char* f : {"train.tsv", "valid.tsv", "test.tsv"}) {
+    std::ifstream a(dir_ / "a" / f), b(dir_ / "b" / f);
+    std::string sa((std::istreambuf_iterator<char>(a)),
+                   std::istreambuf_iterator<char>());
+    std::string sb((std::istreambuf_iterator<char>(b)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_FALSE(sa.empty());
+    EXPECT_EQ(sa, sb) << f;
+  }
+}
+
+TEST_F(StreamBkgTest, RejectsInvalidConfigAndOptions) {
+  BkgConfig bad = BkgConfig::DrkgMmSynth(0.1);
+  bad.num_triples = 0;
+  StreamBkgOptions opts;
+  opts.out_dir = dir_.string();
+  EXPECT_EQ(StreamGenerateBkg(bad, opts).status().code(),
+            Status::Code::kInvalidArgument);
+
+  StreamBkgOptions no_dir;
+  EXPECT_EQ(StreamGenerateBkg(BkgConfig::DrkgMmSynth(0.1), no_dir)
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
+
+  StreamBkgOptions bad_split;
+  bad_split.out_dir = dir_.string();
+  bad_split.train_frac = 0.95;
+  bad_split.valid_frac = 0.10;
+  EXPECT_EQ(StreamGenerateBkg(BkgConfig::DrkgMmSynth(0.1), bad_split)
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
 }
 
 }  // namespace

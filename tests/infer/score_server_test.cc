@@ -6,21 +6,26 @@
 #include "infer/score_server.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <future>
 #include <limits>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "common/parallel_for.h"
 #include "eval/ranking.h"
 #include "infer/batching_front_end.h"
+#include "infer/candidate_panels.h"
 #include "infer/fused_embedding_table.h"
 #include "kg/filter_index.h"
+#include "tensor/shard_store.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
@@ -117,14 +122,18 @@ class ScoreServerTest : public ::testing::Test {
                         const TopKOptions& opts = {}) const {
     const std::vector<float> scores = FullScores(head, rel);
     std::vector<int64_t> eligible;
-    const std::vector<int64_t>* filtered =
-        opts.filter != nullptr ? &opts.filter->Tails(head, rel) : nullptr;
+    const std::span<const int64_t> filtered =
+        opts.filter != nullptr ? opts.filter->Tails(head, rel)
+                               : std::span<const int64_t>();
     for (int64_t id = 0; id < kN; ++id) {
       if (opts.restrict_to != nullptr && !InSorted(opts.restrict_to, id)) {
         continue;
       }
       if (InSorted(opts.exclude, id)) continue;
-      if (id != opts.keep && InSorted(filtered, id)) continue;
+      if (id != opts.keep &&
+          std::binary_search(filtered.begin(), filtered.end(), id)) {
+        continue;
+      }
       eligible.push_back(id);
     }
     std::sort(eligible.begin(), eligible.end(),
@@ -362,6 +371,107 @@ TEST_F(ScoreServerTest, FrontEndDestructorDrainsOutstandingQueries) {
     const TopKResult r = f.get();  // must not hang or break the promise
     EXPECT_EQ(r.ids.size(), 3u);
   }
+}
+
+// Beyond-RAM serving parity: a ScoreServer over a ShardStorePanelSource
+// (mmap-backed slabs, tight residency budget, shard boundaries that do
+// not align with the panel width) must reproduce the in-RAM fused-table
+// server bit for bit — ids, scores, and filtered ranks.
+class ShardBackedServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/came_shard_server_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir_);
+
+    tensor::Tensor cand({kN, kDim});
+    for (int64_t i = 0; i < kN; ++i) {
+      for (int64_t j = 0; j < kDim; ++j) {
+        cand.data()[i * kDim + j] =
+            HashVal(0xC0FFEE + static_cast<uint64_t>(i),
+                    static_cast<uint64_t>(j));
+      }
+    }
+    cand.data()[5 * kDim] = std::numeric_limits<float>::quiet_NaN();
+
+    // No bias: the shard-backed source serves inner-product-only models.
+    table_ = FusedEmbeddingTable("Synthetic", cand, tensor::Tensor(),
+                                 tensor::Tensor());
+
+    // 37 rows per shard: deliberately misaligned with the 64-wide panel,
+    // so every shard boundary exercises the PanelEnd clamping.
+    tensor::ShardStoreOptions opts;
+    opts.rows_per_shard = 37;
+    opts.max_resident_shards = 2;
+    auto made = tensor::ShardStore::Create(dir_, kN, kDim, opts);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    store_ = std::move(made).value();
+    for (int64_t i = 0; i < kN; ++i) {
+      std::memcpy(store_.MutableRow(i), cand.data() + i * kDim,
+                  sizeof(float) * kDim);
+    }
+    ASSERT_TRUE(store_.Seal().ok());
+
+    ScoreServerConfig cfg;
+    cfg.panel_width = 64;
+    ram_server_ = std::make_unique<ScoreServer>(EncodeQueriesFixture,
+                                                &table_, cfg);
+    source_ = std::make_unique<ShardStorePanelSource>(&store_);
+    shard_server_ = std::make_unique<ScoreServer>(EncodeQueriesFixture,
+                                                  source_.get(), cfg);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  FusedEmbeddingTable table_;
+  tensor::ShardStore store_;
+  std::unique_ptr<ShardStorePanelSource> source_;
+  std::unique_ptr<ScoreServer> ram_server_;
+  std::unique_ptr<ScoreServer> shard_server_;
+};
+
+TEST_F(ShardBackedServerTest, TopKMatchesInRamServerBitwise) {
+  for (int64_t k : {int64_t{1}, int64_t{7}, int64_t{64}, kN + 10}) {
+    for (int64_t head = 0; head < 6; ++head) {
+      const TopKResult want = ram_server_->TopK(head, head % kNumRels, k);
+      const TopKResult got = shard_server_->TopK(head, head % kNumRels, k);
+      ASSERT_EQ(got.ids, want.ids) << "k=" << k << " head=" << head;
+      ASSERT_EQ(got.scores.size(), want.scores.size());
+      EXPECT_EQ(std::memcmp(got.scores.data(), want.scores.data(),
+                            got.scores.size() * sizeof(float)),
+                0);
+    }
+  }
+  // The residency budget (2 of 7 shards) must actually have evicted.
+  EXPECT_GT(store_.GetStats().evictions, 0);
+}
+
+TEST_F(ShardBackedServerTest, FilteredRankAndOptionsMatchInRamServer) {
+  kg::FilterIndex filter(kN, kNumRels);
+  filter.AddTriples({{3, 1, 40}, {3, 1, 41}, {3, 1, 42}, {9, 0, 100}});
+  TopKOptions opts;
+  opts.filter = &filter;
+  const std::vector<int64_t> restrict_to = {2, 3, 40, 41, 77, 150, 200};
+
+  for (int64_t head : {3, 9}) {
+    for (int64_t rel = 0; rel < kNumRels; ++rel) {
+      for (int64_t target : {0L, 40L, 42L, kN - 1}) {
+        opts.keep = target;
+        EXPECT_EQ(ram_server_->RankOf(head, rel, target, opts),
+                  shard_server_->RankOf(head, rel, target, opts));
+      }
+      opts.keep = -1;
+      opts.restrict_to = &restrict_to;
+      const TopKResult want = ram_server_->TopK(head, rel, 5, opts);
+      const TopKResult got = shard_server_->TopK(head, rel, 5, opts);
+      EXPECT_EQ(got.ids, want.ids);
+      opts.restrict_to = nullptr;
+    }
+  }
+}
+
+TEST_F(ShardBackedServerTest, ShardServerHasNoFusedTable) {
+  EXPECT_EQ(shard_server_->num_entities(), kN);
+  EXPECT_DEATH(shard_server_->table(), "not backed by a fused table");
 }
 
 }  // namespace

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <span>
+#include <vector>
 
 #include "kg/dataset.h"
 #include "kg/filter_index.h"
@@ -130,13 +135,129 @@ TEST(DatasetTest, LoadMissingDirFails) {
   EXPECT_FALSE(r.ok());
 }
 
+// Writes a structurally valid 2-entity / 1-relation dataset, then lets
+// each test overwrite one file with malformed content.
+class DatasetMalformedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("came_dataset_malformed_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    Dataset ds;
+    ds.name = "toy";
+    ds.vocab.AddEntity("Aspirin", EntityType::kCompound);
+    ds.vocab.AddEntity("TP53", EntityType::kGene);
+    ds.vocab.AddRelation("targets");
+    ds.train = {{0, 0, 1}};
+    ds.test = {{1, 0, 0}};
+    ASSERT_TRUE(ds.SaveTsv(dir_.string()).ok());
+    ASSERT_TRUE(Dataset::LoadTsv(dir_.string(), "toy").ok());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void Overwrite(const std::string& file, const std::string& content) {
+    std::ofstream out(dir_ / file, std::ios::trunc);
+    out << content;
+    ASSERT_TRUE(out.good());
+  }
+
+  Status LoadStatus() {
+    return Dataset::LoadTsv(dir_.string(), "toy").status();
+  }
+
+  void ExpectCorrupt(const std::string& want_substring) {
+    const Status st = LoadStatus();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), Status::Code::kCorruption) << st.ToString();
+    EXPECT_NE(st.ToString().find(want_substring), std::string::npos)
+        << st.ToString();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DatasetMalformedTest, TruncatedTripleLine) {
+  Overwrite("train.tsv", "0\t0\n");
+  ExpectCorrupt("expected 3 tab-separated fields");
+}
+
+TEST_F(DatasetMalformedTest, NonNumericTripleIds) {
+  Overwrite("train.tsv", "0\tzero\t1\n");
+  ExpectCorrupt("non-numeric relation id");
+  Overwrite("train.tsv", "x\t0\t1\n");
+  ExpectCorrupt("non-numeric head id");
+  Overwrite("train.tsv", "0\t0\t1x\n");
+  ExpectCorrupt("non-numeric tail id");
+}
+
+TEST_F(DatasetMalformedTest, OutOfRangeIds) {
+  Overwrite("train.tsv", "0\t0\t2\n");  // only 2 entities: ids 0 and 1
+  ExpectCorrupt("tail id 2 out of range");
+  Overwrite("train.tsv", "0\t1\t1\n");  // only relation 0 exists
+  ExpectCorrupt("relation id 1 out of range");
+  Overwrite("train.tsv", "-1\t0\t1\n");
+  ExpectCorrupt("head id -1 out of range");
+  // An id past int64 must fail as a parse error, not wrap around.
+  Overwrite("train.tsv", "99999999999999999999999\t0\t1\n");
+  ExpectCorrupt("head id");
+}
+
+TEST_F(DatasetMalformedTest, DuplicateEntityName) {
+  Overwrite("entities.tsv", "0\tAspirin\t1\n1\tAspirin\t0\n");
+  ExpectCorrupt("duplicate entity name");
+}
+
+TEST_F(DatasetMalformedTest, DuplicateRelationName) {
+  Overwrite("relations.tsv", "0\ttargets\n1\ttargets\n");
+  ExpectCorrupt("duplicate relation name");
+}
+
+TEST_F(DatasetMalformedTest, NonDenseEntityIds) {
+  Overwrite("entities.tsv", "0\tAspirin\t1\n5\tTP53\t0\n");
+  ExpectCorrupt("non-dense entity ids");
+}
+
+TEST_F(DatasetMalformedTest, InvalidEntityType) {
+  Overwrite("entities.tsv", "0\tAspirin\t99\n1\tTP53\t0\n");
+  ExpectCorrupt("invalid entity type");
+  Overwrite("entities.tsv", "0\tAspirin\tabc\n1\tTP53\t0\n");
+  ExpectCorrupt("invalid entity type");
+}
+
+TEST_F(DatasetMalformedTest, EmptyNamesRejected) {
+  Overwrite("entities.tsv", "0\t\t1\n1\tTP53\t0\n");
+  ExpectCorrupt("empty entity name");
+  // Restore a valid entity file; now break relations.
+  Overwrite("entities.tsv", "0\tAspirin\t1\n1\tTP53\t0\n");
+  Overwrite("relations.tsv", "0\t\n");
+  ExpectCorrupt("empty relation name");
+}
+
+TEST_F(DatasetMalformedTest, EmptyVocabRejected) {
+  Overwrite("entities.tsv", "");
+  ExpectCorrupt("no entities");
+}
+
+TEST_F(DatasetMalformedTest, CrlfLinesStillParse) {
+  Overwrite("train.tsv", "0\t0\t1\r\n");
+  const auto loaded = Dataset::LoadTsv(dir_.string(), "toy");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().train.size(), 1u);
+  EXPECT_EQ(loaded.value().train[0], (Triple{0, 0, 1}));
+}
+
+std::vector<int64_t> ToVec(std::span<const int64_t> s) {
+  return {s.begin(), s.end()};
+}
+
 TEST(FilterIndexTest, ForwardAndInversePostings) {
   FilterIndex idx(10, 2);
   idx.AddTriples({{1, 0, 3}, {1, 0, 5}, {2, 1, 3}});
-  EXPECT_EQ(idx.Tails(1, 0), (std::vector<int64_t>{3, 5}));
+  EXPECT_EQ(ToVec(idx.Tails(1, 0)), (std::vector<int64_t>{3, 5}));
   // Inverse relation id = rel + num_relations.
-  EXPECT_EQ(idx.Tails(3, 2), (std::vector<int64_t>{1}));
-  EXPECT_EQ(idx.Tails(3, 3), (std::vector<int64_t>{2}));
+  EXPECT_EQ(ToVec(idx.Tails(3, 2)), (std::vector<int64_t>{1}));
+  EXPECT_EQ(ToVec(idx.Tails(3, 3)), (std::vector<int64_t>{2}));
   EXPECT_TRUE(idx.Contains(1, 0, 5));
   EXPECT_FALSE(idx.Contains(1, 0, 4));
   EXPECT_TRUE(idx.Tails(9, 1).empty());
@@ -146,6 +267,75 @@ TEST(FilterIndexTest, DedupsPostings) {
   FilterIndex idx(4, 1);
   idx.AddTriples({{0, 0, 1}, {0, 0, 1}});
   EXPECT_EQ(idx.Tails(0, 0).size(), 1u);
+}
+
+TEST(FilterIndexTest, IncrementalAddsMerge) {
+  FilterIndex idx(10, 1);
+  idx.AddTriples({{1, 0, 5}});
+  idx.AddTriples({{1, 0, 3}, {1, 0, 5}});
+  EXPECT_EQ(ToVec(idx.Tails(1, 0)), (std::vector<int64_t>{3, 5}));
+  EXPECT_EQ(idx.num_postings(), 4);  // {1,0}->3,5 plus inverses
+}
+
+TEST(FilterIndexTest, EntityWithEveryTailKnown) {
+  // Degenerate shape: one head related to every entity (itself included).
+  FilterIndex idx(6, 1);
+  std::vector<Triple> triples;
+  for (int64_t t = 0; t < 6; ++t) triples.push_back({0, 0, t});
+  idx.AddTriples(triples);
+  EXPECT_EQ(ToVec(idx.Tails(0, 0)), (std::vector<int64_t>{0, 1, 2, 3, 4, 5}));
+  for (int64_t t = 0; t < 6; ++t) EXPECT_TRUE(idx.Contains(0, 0, t));
+  // Every entity's inverse posting for relation 1 is exactly {0}.
+  for (int64_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(ToVec(idx.Tails(t, 1)), (std::vector<int64_t>{0}));
+  }
+}
+
+TEST(FilterIndexTest, EmptyRelationHasNoPostings) {
+  FilterIndex idx(8, 3);
+  idx.AddTriples({{0, 0, 1}, {2, 2, 3}});
+  // Relation 1 never appears: no key matches it, forward or inverse.
+  for (int64_t h = 0; h < 8; ++h) {
+    EXPECT_TRUE(idx.Tails(h, 1).empty());
+    EXPECT_TRUE(idx.Tails(h, 1 + 3).empty());
+    EXPECT_FALSE(idx.Contains(h, 1, 0));
+  }
+}
+
+TEST(FilterIndexTest, InverseRoundTrip) {
+  // Every forward posting (h, r) -> t must appear as (t, r + R) -> h and
+  // vice versa — the inverse index is an involution.
+  FilterIndex idx(12, 2);
+  const std::vector<Triple> triples = {
+      {1, 0, 3}, {1, 0, 7}, {3, 1, 1}, {5, 0, 5}, {11, 1, 0}};
+  idx.AddTriples(triples);
+  const int64_t R = 2;
+  for (int64_t h = 0; h < 12; ++h) {
+    for (int64_t r = 0; r < R; ++r) {
+      for (int64_t t : idx.Tails(h, r)) {
+        EXPECT_TRUE(idx.Contains(t, r + R, h))
+            << "missing inverse of (" << h << "," << r << "," << t << ")";
+      }
+      for (int64_t t : idx.Tails(h, r + R)) {
+        EXPECT_TRUE(idx.Contains(t, r, h))
+            << "missing forward of inverse (" << h << "," << r << "," << t
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(FilterIndexTest, TailsInRangeSubsetsPanel) {
+  FilterIndex idx(100, 1);
+  idx.AddTriples({{0, 0, 3}, {0, 0, 17}, {0, 0, 42}, {0, 0, 99}});
+  EXPECT_EQ(ToVec(idx.TailsInRange(0, 0, 0, 100)),
+            (std::vector<int64_t>{3, 17, 42, 99}));
+  EXPECT_EQ(ToVec(idx.TailsInRange(0, 0, 10, 50)),
+            (std::vector<int64_t>{17, 42}));
+  EXPECT_EQ(ToVec(idx.TailsInRange(0, 0, 17, 18)),
+            (std::vector<int64_t>{17}));
+  EXPECT_TRUE(idx.TailsInRange(0, 0, 18, 42).empty());
+  EXPECT_TRUE(idx.TailsInRange(5, 0, 0, 100).empty());
 }
 
 TEST(FilterIndexTest, RejectsInverseRelationInput) {

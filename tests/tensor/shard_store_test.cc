@@ -1,0 +1,304 @@
+#include "tensor/shard_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+
+namespace came::tensor {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/shard_store_" + name + "_" +
+                          std::to_string(::getpid());
+  // Fresh directory per test: drop any leftovers from a previous run.
+  std::remove((dir + "/manifest").c_str());
+  for (int i = 0; i < 64; ++i) {
+    std::remove((dir + "/slab_" + std::to_string(i) + ".bin").c_str());
+  }
+  return dir;
+}
+
+float RowValue(int64_t row, int64_t col) {
+  return static_cast<float>(row) * 1000.0f + static_cast<float>(col) + 0.25f;
+}
+
+void FillStore(ShardStore* s) {
+  for (int64_t r = 0; r < s->rows(); ++r) {
+    float* row = s->MutableRow(r);
+    for (int64_t c = 0; c < s->dim(); ++c) row[c] = RowValue(r, c);
+  }
+}
+
+void ExpectStoreContents(ShardStore* s) {
+  for (int64_t r = 0; r < s->rows(); ++r) {
+    const float* row = s->Row(r);
+    for (int64_t c = 0; c < s->dim(); ++c) {
+      ASSERT_EQ(row[c], RowValue(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(ShardStoreTest, InRamRoundTrip) {
+  Result<ShardStore> s = ShardStore::InRam(17, 5);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_TRUE(s.value().in_ram());
+  EXPECT_EQ(s.value().num_shards(), 1);
+  EXPECT_EQ(s.value().rows_per_shard(), 17);
+  FillStore(&s.value());
+  ExpectStoreContents(&s.value());
+  // Zero-filled at construction: untouched store reads zeros.
+  Result<ShardStore> z = ShardStore::InRam(4, 3);
+  ASSERT_TRUE(z.ok());
+  for (int64_t r = 0; r < 4; ++r) {
+    const float* row = z.value().Row(r);
+    for (int64_t c = 0; c < 3; ++c) EXPECT_EQ(row[c], 0.0f);
+  }
+}
+
+TEST(ShardStoreTest, RejectsDegenerateShapes) {
+  EXPECT_FALSE(ShardStore::InRam(0, 4).ok());
+  EXPECT_FALSE(ShardStore::InRam(4, 0).ok());
+  EXPECT_FALSE(ShardStore::Create(TestDir("degenerate"), -1, 4).ok());
+}
+
+TEST(ShardStoreTest, CreateWriteSealOpenRoundTrip) {
+  const std::string dir = TestDir("roundtrip");
+  ShardStoreOptions opts;
+  opts.rows_per_shard = 16;
+  opts.max_resident_shards = 2;
+  Result<ShardStore> created = ShardStore::Create(dir, 100, 8, opts);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ShardStore& s = created.value();
+  EXPECT_EQ(s.num_shards(), 7);  // ceil(100 / 16)
+  EXPECT_FALSE(s.in_ram());
+  FillStore(&s);
+  ExpectStoreContents(&s);
+  // The residency budget was honoured: writing 7 shards through 2 slots
+  // must have evicted.
+  EXPECT_LE(s.GetStats().resident_shards, 2);
+  EXPECT_GT(s.GetStats().evictions, 0);
+  ASSERT_TRUE(s.Seal().ok());
+
+  ShardStoreOptions open_opts;
+  open_opts.max_resident_shards = 3;
+  Result<ShardStore> reopened = ShardStore::Open(dir, open_opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().rows(), 100);
+  EXPECT_EQ(reopened.value().dim(), 8);
+  EXPECT_EQ(reopened.value().rows_per_shard(), 16);
+  ExpectStoreContents(&reopened.value());
+  EXPECT_LE(reopened.value().GetStats().resident_shards, 3);
+}
+
+TEST(ShardStoreTest, ZeroRowsPerShardMeansSingleShard) {
+  const std::string dir = TestDir("single");
+  Result<ShardStore> s = ShardStore::Create(dir, 33, 4);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s.value().num_shards(), 1);
+  EXPECT_EQ(s.value().rows_per_shard(), 33);
+  EXPECT_EQ(s.value().ShardEnd(0), 33);
+}
+
+TEST(ShardStoreTest, PanelAccessRespectsShardBoundaries) {
+  const std::string dir = TestDir("panels");
+  ShardStoreOptions opts;
+  opts.rows_per_shard = 10;
+  Result<ShardStore> created = ShardStore::Create(dir, 25, 3, opts);
+  ASSERT_TRUE(created.ok());
+  ShardStore& s = created.value();
+  FillStore(&s);
+  EXPECT_EQ(s.ShardEnd(0), 10);
+  EXPECT_EQ(s.ShardEnd(9), 10);
+  EXPECT_EQ(s.ShardEnd(10), 20);
+  EXPECT_EQ(s.ShardEnd(24), 25);  // last shard is short
+  const float* panel = s.PanelRows(10, 20);
+  for (int64_t r = 0; r < 10; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(panel[r * 3 + c], RowValue(10 + r, c));
+    }
+  }
+#if GTEST_HAS_DEATH_TEST
+  EXPECT_DEATH(s.PanelRows(5, 15), "crosses a shard boundary");
+#endif
+}
+
+TEST(ShardStoreTest, LruEvictsLeastRecentlyUsed) {
+  const std::string dir = TestDir("lru");
+  ShardStoreOptions opts;
+  opts.rows_per_shard = 4;
+  opts.max_resident_shards = 2;
+  Result<ShardStore> created = ShardStore::Create(dir, 16, 2, opts);
+  ASSERT_TRUE(created.ok());
+  ShardStore& s = created.value();
+  (void)s.Row(0);   // shard 0 resident
+  (void)s.Row(4);   // shard 1 resident
+  (void)s.Row(0);   // refresh shard 0
+  (void)s.Row(8);   // shard 2 -> evicts shard 1 (the LRU)
+  const auto before = s.GetStats();
+  (void)s.Row(0);   // still resident: a hit, no new mapping
+  const auto after = s.GetStats();
+  EXPECT_EQ(after.map_misses, before.map_misses);
+  EXPECT_EQ(after.map_hits, before.map_hits + 1);
+  EXPECT_EQ(after.resident_shards, 2);
+  EXPECT_EQ(after.evictions, 1);
+}
+
+TEST(ShardStoreTest, ContentCrcIndependentOfGeometry) {
+  const std::string dir_a = TestDir("crc_a");
+  const std::string dir_b = TestDir("crc_b");
+  ShardStoreOptions a_opts;
+  a_opts.rows_per_shard = 7;
+  a_opts.max_resident_shards = 1;
+  Result<ShardStore> a = ShardStore::Create(dir_a, 40, 6, a_opts);
+  Result<ShardStore> b = ShardStore::Create(dir_b, 40, 6);  // one shard
+  Result<ShardStore> c = ShardStore::InRam(40, 6);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  FillStore(&a.value());
+  FillStore(&b.value());
+  FillStore(&c.value());
+  const uint32_t crc = a.value().ContentCrc32();
+  EXPECT_EQ(crc, b.value().ContentCrc32());
+  EXPECT_EQ(crc, c.value().ContentCrc32());
+}
+
+TEST(ShardStoreTest, OpenRefusesUnsealedStore) {
+  const std::string dir = TestDir("unsealed");
+  Result<ShardStore> created = ShardStore::Create(dir, 8, 2);
+  ASSERT_TRUE(created.ok());
+  FillStore(&created.value());
+  // No Seal(): the manifest still says "unsealed".
+  Result<ShardStore> reopened = ShardStore::Open(dir);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(ShardStoreTest, MutatingSealedStoreUnsealsManifest) {
+  const std::string dir = TestDir("unseal_on_write");
+  Result<ShardStore> created = ShardStore::Create(dir, 8, 2);
+  ASSERT_TRUE(created.ok());
+  FillStore(&created.value());
+  ASSERT_TRUE(created.value().Seal().ok());
+  {
+    Result<ShardStore> opened = ShardStore::Open(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    opened.value().MutableRow(3)[0] = 9.0f;
+    // The first mutation republished the manifest as unsealed, so a crash
+    // here would read as "mid-write", not as stale-but-sealed.
+  }
+  Result<ShardStore> stale = ShardStore::Open(dir);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), Status::Code::kFailedPrecondition);
+}
+
+// --- corruption matrix ----------------------------------------------------
+
+class ShardStoreCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TestDir("corrupt");
+    ShardStoreOptions opts;
+    opts.rows_per_shard = 4;
+    Result<ShardStore> created = ShardStore::Create(dir_, 10, 2, opts);
+    ASSERT_TRUE(created.ok());
+    FillStore(&created.value());
+    ASSERT_TRUE(created.value().Seal().ok());
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::string out;
+    const Status st = io::ReadFile(path, &out);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  static void WriteAll(const std::string& path, const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  std::string manifest() const { return dir_ + "/manifest"; }
+  std::string slab(int i) const {
+    return dir_ + "/slab_" + std::to_string(i) + ".bin";
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ShardStoreCorruptionTest, EveryManifestByteFlipIsDetected) {
+  const std::string pristine = ReadAll(manifest());
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    std::string bad = pristine;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    WriteAll(manifest(), bad);
+    Result<ShardStore> opened = ShardStore::Open(dir_);
+    EXPECT_FALSE(opened.ok()) << "flip at manifest byte " << i;
+  }
+  WriteAll(manifest(), pristine);
+  EXPECT_TRUE(ShardStore::Open(dir_).ok());
+}
+
+TEST_F(ShardStoreCorruptionTest, EveryManifestTruncationIsDetected) {
+  const std::string pristine = ReadAll(manifest());
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    WriteAll(manifest(), pristine.substr(0, len));
+    EXPECT_FALSE(ShardStore::Open(dir_).ok()) << "truncated to " << len;
+  }
+  WriteAll(manifest(), pristine);
+  EXPECT_TRUE(ShardStore::Open(dir_).ok());
+}
+
+TEST_F(ShardStoreCorruptionTest, ManifestTrailingByteIsDetected) {
+  const std::string pristine = ReadAll(manifest());
+  WriteAll(manifest(), pristine + "x");
+  Result<ShardStore> opened = ShardStore::Open(dir_);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(ShardStoreCorruptionTest, SlabBitFlipIsDetected) {
+  const std::string pristine = ReadAll(slab(1));
+  for (const size_t at : {size_t{0}, pristine.size() / 2, pristine.size() - 1}) {
+    std::string bad = pristine;
+    bad[at] = static_cast<char>(bad[at] ^ 0x01);
+    WriteAll(slab(1), bad);
+    Result<ShardStore> opened = ShardStore::Open(dir_);
+    ASSERT_FALSE(opened.ok()) << "flip at slab byte " << at;
+    EXPECT_EQ(opened.status().code(), Status::Code::kCorruption);
+  }
+  WriteAll(slab(1), pristine);
+  EXPECT_TRUE(ShardStore::Open(dir_).ok());
+}
+
+TEST_F(ShardStoreCorruptionTest, SlabTruncationIsDetected) {
+  const std::string pristine = ReadAll(slab(2));
+  WriteAll(slab(2), pristine.substr(0, pristine.size() - 4));
+  Result<ShardStore> opened = ShardStore::Open(dir_);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(ShardStoreCorruptionTest, SlabTrailingBytesAreDetected) {
+  const std::string pristine = ReadAll(slab(0));
+  WriteAll(slab(0), pristine + std::string(4, '\0'));
+  Result<ShardStore> opened = ShardStore::Open(dir_);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(ShardStoreCorruptionTest, SizeCheckOnlyOpenStillCatchesTruncation) {
+  ShardStoreOptions opts;
+  opts.verify_on_open = false;
+  EXPECT_TRUE(ShardStore::Open(dir_, opts).ok());
+  const std::string pristine = ReadAll(slab(0));
+  WriteAll(slab(0), pristine.substr(0, pristine.size() - 1));
+  EXPECT_FALSE(ShardStore::Open(dir_, opts).ok());
+}
+
+}  // namespace
+}  // namespace came::tensor

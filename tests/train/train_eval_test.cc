@@ -327,8 +327,7 @@ class ScriptedEvalModel : public baselines::KgcModel {
     tensor::Tensor scores({b, num_entities()});
     for (int64_t i = 0; i < b; ++i) {
       float* row = scores.data() + i * num_entities();
-      const std::vector<int64_t>& tails = filter_->Tails(h[i], r[i]);
-      for (int64_t t : tails) row[t] = 10.0f;
+      for (int64_t t : filter_->Tails(h[i], r[i])) row[t] = 10.0f;
       int64_t need = boosted;
       for (int64_t t = num_entities() - 1; t >= 0 && need > 0; --t) {
         if (row[t] == 0.0f) {
