@@ -13,7 +13,7 @@ OpRegistry& OpRegistry::Instance() {
 
 int OpRegistry::Register(const std::string& name, BroadcastSpec broadcast) {
   CAME_CHECK(!name.empty()) << "op name must be non-empty";
-  std::lock_guard<std::mutex> lock(mu_);
+  came::MutexLock lock(&mu_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) {
     CAME_CHECK(ops_[static_cast<size_t>(it->second)].broadcast == broadcast)
@@ -40,25 +40,25 @@ int64_t OpRegistry::NoTapeDispatches(int id) const {
 }
 
 int OpRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  came::MutexLock lock(&mu_);
   auto it = by_name_.find(name);
   return it == by_name_.end() ? -1 : it->second;
 }
 
 OpInfo OpRegistry::Get(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  came::MutexLock lock(&mu_);
   CAME_CHECK(id >= 0 && id < static_cast<int>(ops_.size()))
       << "unknown op id " << id;
   return ops_[static_cast<size_t>(id)];
 }
 
 int OpRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  came::MutexLock lock(&mu_);
   return static_cast<int>(ops_.size());
 }
 
 std::vector<OpInfo> OpRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  came::MutexLock lock(&mu_);
   return ops_;
 }
 

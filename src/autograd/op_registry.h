@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace came::ag {
 
@@ -44,18 +46,19 @@ class OpRegistry {
   /// the first registration wins; re-registering with a conflicting spec
   /// CHECK-fails, catching copy-paste bugs between op implementations.
   int Register(const std::string& name,
-               BroadcastSpec broadcast = BroadcastSpec::kNone);
+               BroadcastSpec broadcast = BroadcastSpec::kNone)
+      CAME_EXCLUDES(mu_);
 
   /// Id for `name`, or -1 if never registered.
-  int Find(const std::string& name) const;
+  int Find(const std::string& name) const CAME_EXCLUDES(mu_);
 
   /// Copy of the metadata for `id`; CHECK-fails on out-of-range ids.
-  OpInfo Get(int id) const;
+  OpInfo Get(int id) const CAME_EXCLUDES(mu_);
 
-  int size() const;
+  int size() const CAME_EXCLUDES(mu_);
 
   /// Snapshot of every registered op, in registration order.
-  std::vector<OpInfo> Snapshot() const;
+  std::vector<OpInfo> Snapshot() const CAME_EXCLUDES(mu_);
 
   /// Records one forward-only dispatch of `id` (grad mode off or no input
   /// requiring grad — the op executed without allocating a tape node).
@@ -74,9 +77,11 @@ class OpRegistry {
  private:
   OpRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::vector<OpInfo> ops_;
-  std::unordered_map<std::string, int> by_name_;
+  /// Guards the name/metadata tables; the dispatch counters below are
+  /// deliberately outside it (relaxed atomics on the hot inference path).
+  mutable came::Mutex mu_;
+  std::vector<OpInfo> ops_ CAME_GUARDED_BY(mu_);
+  std::unordered_map<std::string, int> by_name_ CAME_GUARDED_BY(mu_);
   /// Index 0 counts unregistered ids; op `id` lives at `id + 1`.
   std::atomic<int64_t> no_tape_dispatches_[kMaxOps + 1] = {};
 };

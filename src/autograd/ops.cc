@@ -208,6 +208,7 @@ Var Relu(const Var& v) {
   auto s = v.state();
   Tensor x = v.value();
   return MakeResult(kOp, std::move(out), {v}, [s, x](const Tensor& g) {
+    // fully-written: ternary loop below stores every element of d
     Tensor d = Tensor::Uninitialized(g.shape());
     const float* px = x.data();
     const float* pg = g.data();
@@ -236,6 +237,7 @@ Var LogSigmoid(const Var& v) {
   static const int kOp = RegisterOp("LogSigmoid");
   // log sigmoid(x) = min(x, 0) - log(1 + exp(-|x|))
   Tensor x = v.value();
+  // fully-written: the loop below stores every element of out
   Tensor out = Tensor::Uninitialized(x.shape());
   for (int64_t i = 0; i < x.numel(); ++i) {
     const float xi = x.data()[i];
@@ -251,6 +253,7 @@ Var LogSigmoid(const Var& v) {
 
 namespace {
 Tensor MapTensor(const Tensor& t, float (*f)(float)) {
+  // fully-written: f is applied to (and stored at) every element
   Tensor out = Tensor::Uninitialized(t.shape());
   for (int64_t i = 0; i < t.numel(); ++i) out.data()[i] = f(t.data()[i]);
   return out;
@@ -286,6 +289,7 @@ Var Abs(const Var& v) {
   Tensor x = v.value();
   auto s = v.state();
   return MakeResult(kOp, ts::Abs(x), {v}, [s, x](const Tensor& g) {
+    // fully-written: the sign-flip loop stores every element of d
     Tensor d = Tensor::Uninitialized(g.shape());
     for (int64_t i = 0; i < d.numel(); ++i) {
       d.data()[i] = x.data()[i] >= 0 ? g.data()[i] : -g.data()[i];
@@ -513,9 +517,10 @@ Var LayerNormImpl(int op_id, const Var& v, const Var& gamma, const Var& beta,
     CAME_CHECK_EQ(beta.numel(), d);
   }
 
-  Tensor xhat = Tensor::Uninitialized(x.shape());
-  Tensor inv_sigma = Tensor::Uninitialized(Shape{rows});
-  Tensor out = Tensor::Uninitialized(x.shape());
+  // The per-row pass below writes every element of all three buffers.
+  Tensor xhat = Tensor::Uninitialized(x.shape());      // fully-written: per row
+  Tensor inv_sigma = Tensor::Uninitialized(Shape{rows});  // fully-written: per row
+  Tensor out = Tensor::Uninitialized(x.shape());       // fully-written: per row
   const float* px = x.data();
   float* ph = xhat.data();
   float* po = out.data();
@@ -577,6 +582,7 @@ Var LayerNormImpl(int op_id, const Var& v, const Var& gamma, const Var& beta,
           bs->AccumulateGrad(dbeta);
         }
         if (xs->requires_grad) {
+          // fully-written: the per-row loop stores every element of dx
           Tensor dx = Tensor::Uninitialized(xs->value.shape());
           for (int64_t r = 0; r < rows; ++r) {
             // ghat = g * gamma (or g); dx = (ghat - mean(ghat)
@@ -687,8 +693,8 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias, int64_t pad) {
 
   Tensor cols = ts::Im2Col(x, kh, kw, pad);  // [B, cin*kh*kw, L]
   Tensor w2d = w.Reshape(Shape{filters, cin * kh * kw});
-  // out[b] = w2d x cols[b], multiplied in place on raw slices; every slab
-  // is fully written by the accumulate=false GEMM below.
+  // fully-written: out[b] = w2d x cols[b] on raw slices; every slab is
+  // overwritten by the accumulate=false GEMM below.
   Tensor out = Tensor::Uninitialized(Shape{batch, filters, out_h, out_w});
   const int64_t l = out_h * out_w;
   const int64_t col_stride = cin * kh * kw * l;
@@ -734,7 +740,8 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias, int64_t pad) {
           bs->AccumulateGrad(dbias);
         }
         // dw2d accumulates across the batch (accumulate=true GEMM), so it
-        // must start zeroed; dcols is fully overwritten per slab.
+        // must start zeroed.
+        // fully-written: dcols is overwritten slab-by-slab below.
         Tensor dw2d(Shape{filters, cin * kh * kw});
         Tensor dcols = Tensor::Uninitialized(Shape{batch, cin * kh * kw, l});
         for (int64_t b = 0; b < batch; ++b) {
@@ -768,6 +775,7 @@ Var Dropout(const Var& v, float p, Rng* rng, bool training) {
   CAME_CHECK_LT(p, 1.0f);
   CAME_CHECK(rng != nullptr);
   const float scale = 1.0f / (1.0f - p);
+  // fully-written: the Bernoulli loop stores every mask element
   Tensor mask = Tensor::Uninitialized(v.shape());
   for (int64_t i = 0; i < mask.numel(); ++i) {
     mask.data()[i] = rng->Bernoulli(p) ? 0.0f : scale;
@@ -799,6 +807,7 @@ Var CoAttentionApply(const Var& x, const Var& a, const Var& b,
 
   // The softmax is stored TRANSPOSED — st[j][i] = S[i][j] — so both the
   // forward column pass and the backward pass touch contiguous memory.
+  // fully-written: the per-row forward pass stores every st column
   Tensor softmax_t = Tensor::Uninitialized(Shape{batch, d, d});
   Tensor out = Tensor::Uninitialized(Shape{batch, d});
   for (int64_t r = 0; r < batch; ++r) {

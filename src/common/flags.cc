@@ -72,7 +72,7 @@ namespace {
 
 [[noreturn]] void Die(const std::string& flag, const std::string& reason,
                       const std::string& text) {
-  std::fprintf(stderr, "flag --%s: %s, got \"%s\"\n", flag.c_str(),
+  (void)std::fprintf(stderr, "flag --%s: %s, got \"%s\"\n", flag.c_str(),
                reason.c_str(), text.c_str());
   std::exit(2);
 }

@@ -179,7 +179,11 @@ Status AtomicFileWriter::Commit() {
 
 void AtomicFileWriter::Abort() {
   if (committed_) return;
-  if (writer_.is_open()) writer_.Close();  // ignore errors: best-effort
+  if (writer_.is_open()) {
+    // Best-effort: Abort already runs on an error path (or in a
+    // destructor), so a close failure is logged, not propagated.
+    writer_.Close().LogIfError("AtomicFileWriter::Abort");
+  }
   ::unlink(tmp_path_.c_str());
 }
 

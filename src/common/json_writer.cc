@@ -31,7 +31,7 @@ std::string JsonEscape(const std::string& s) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          (void)std::snprintf(buf, sizeof(buf), "\\u%04x", c);
           out += buf;
         } else {
           out += c;
@@ -129,7 +129,7 @@ void JsonWriter::Double(double v) {
     out_ += "null";
   } else {
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    (void)std::snprintf(buf, sizeof(buf), "%.6g", v);
     out_ += buf;
   }
   if (stack_.empty()) done_ = true;

@@ -35,8 +35,8 @@ CheckFailStream::CheckFailStream(const char* file, int line,
 }
 
 CheckFailStream::~CheckFailStream() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
-  std::fflush(stderr);
+  (void)std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  (void)std::fflush(stderr);
   std::abort();
 }
 
@@ -49,7 +49,7 @@ LogStream::LogStream(LogLevel level, const char* file, int line)
 
 LogStream::~LogStream() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    (void)std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
 }
 

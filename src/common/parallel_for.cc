@@ -1,14 +1,16 @@
 #include "common/parallel_for.h"
 
 #include <algorithm>
-#include <condition_variable>
+#include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace came {
 
@@ -22,10 +24,9 @@ thread_local bool tls_in_parallel_region = false;
 int ResolveDefaultThreads() {
   const char* env = std::getenv("CAME_NUM_THREADS");
   if (env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != nullptr && *end == '\0' && v >= 1) {
-      return static_cast<int>(std::min<long>(v, 256));
+    const Result<int64_t> v = flags::ParseInt(env);
+    if (v.ok() && v.value() >= 1) {
+      return static_cast<int>(std::min<int64_t>(v.value(), 256));
     }
     CAME_LOG(Warning) << "ignoring invalid CAME_NUM_THREADS=\"" << env
                       << "\"; using hardware_concurrency";
@@ -40,6 +41,9 @@ int ResolveDefaultThreads() {
 /// go through the task mutex — chunks are sized to amortise far more work
 /// than a lock acquisition, and the generation check under the same lock
 /// makes a late-waking worker provably unable to touch a newer task.
+///
+/// Lock order: run_mu_ before mu_ (Run/Resize take run_mu_ first, then mu_
+/// for task state). Workers only ever take mu_.
 class WorkerPool {
  public:
   static WorkerPool& Instance() {
@@ -48,24 +52,27 @@ class WorkerPool {
     return *pool;
   }
 
-  int threads() const { return nthreads_; }
+  /// Lock-free: read from hot kernel paths (and from inside chunks, where
+  /// blocking on run_mu_ would deadlock against the Run holding it).
+  int threads() const { return nthreads_.load(std::memory_order_relaxed); }
 
-  void Resize(int n) {
+  void Resize(int n) CAME_EXCLUDES(run_mu_) {
     n = std::max(1, n);
-    std::lock_guard<std::mutex> run_lock(run_mu_);
-    if (n == nthreads_) return;
+    MutexLock run_lock(&run_mu_);
+    if (n == nthreads_.load(std::memory_order_relaxed)) return;
     StopWorkers();
-    nthreads_ = n;
+    nthreads_.store(n, std::memory_order_relaxed);
     StartWorkers();
   }
 
   /// Executes chunk_fn(0..num_chunks-1), each chunk exactly once, across
   /// the pool plus the calling thread. Rethrows the first chunk exception.
-  void Run(int64_t num_chunks, const std::function<void(int64_t)>& chunk_fn) {
-    std::lock_guard<std::mutex> run_lock(run_mu_);
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& chunk_fn)
+      CAME_EXCLUDES(run_mu_, mu_) {
+    MutexLock run_lock(&run_mu_);
     uint64_t generation;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       chunk_fn_ = &chunk_fn;
       num_chunks_ = num_chunks;
       next_chunk_ = 0;
@@ -73,49 +80,54 @@ class WorkerPool {
       error_ = nullptr;
       generation = ++generation_;
     }
-    cv_work_.notify_all();
+    cv_work_.NotifyAll();
     WorkChunks(generation);
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
-    chunk_fn_ = nullptr;
-    if (error_) {
-      std::exception_ptr e = error_;
+    std::exception_ptr error;
+    {
+      MutexLock lock(&mu_);
+      while (remaining_ != 0) cv_done_.Wait(&mu_);
+      chunk_fn_ = nullptr;
+      error = error_;
       error_ = nullptr;
-      lock.unlock();
-      std::rethrow_exception(e);
     }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
   explicit WorkerPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+    MutexLock run_lock(&run_mu_);
     StartWorkers();
   }
 
-  void StartWorkers() {
-    shutdown_ = false;
-    for (int i = 1; i < nthreads_; ++i) {
+  void StartWorkers() CAME_REQUIRES(run_mu_) {
+    {
+      MutexLock lock(&mu_);
+      shutdown_ = false;
+    }
+    const int n = nthreads_.load(std::memory_order_relaxed);
+    for (int i = 1; i < n; ++i) {
       workers_.emplace_back([this] { WorkerLoop(); });
     }
   }
 
-  void StopWorkers() {
+  void StopWorkers() CAME_REQUIRES(run_mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       shutdown_ = true;
     }
-    cv_work_.notify_all();
+    cv_work_.NotifyAll();
     for (std::thread& t : workers_) t.join();
     workers_.clear();
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() CAME_EXCLUDES(mu_) {
     uint64_t seen_generation = 0;
     while (true) {
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_work_.wait(lock, [&] {
-          return shutdown_ || generation_ != seen_generation;
-        });
+        MutexLock lock(&mu_);
+        while (!shutdown_ && generation_ == seen_generation) {
+          cv_work_.Wait(&mu_);
+        }
         if (shutdown_) return;
         seen_generation = generation_;
       }
@@ -127,12 +139,12 @@ class WorkerPool {
   /// Returns when that task has no unclaimed chunks left (or was already
   /// superseded — possible only for a worker whose wake-up raced the end
   /// of the task, which then claims nothing).
-  void WorkChunks(uint64_t generation) {
+  void WorkChunks(uint64_t generation) CAME_EXCLUDES(mu_) {
     while (true) {
       const std::function<void(int64_t)>* fn = nullptr;
       int64_t c = 0;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (generation_ != generation || next_chunk_ >= num_chunks_) return;
         c = next_chunk_++;
         fn = chunk_fn_;
@@ -141,32 +153,34 @@ class WorkerPool {
       try {
         (*fn)(c);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (!error_) error_ = std::current_exception();
       }
       tls_in_parallel_region = false;
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--remaining_ == 0) cv_done_.notify_all();
+      MutexLock lock(&mu_);
+      if (--remaining_ == 0) cv_done_.NotifyAll();
     }
   }
 
-  // Serialises top-level Run/Resize callers.
-  std::mutex run_mu_;
+  // Serialises top-level Run/Resize callers; guards the worker threads.
+  Mutex run_mu_;
+  std::vector<std::thread> workers_ CAME_GUARDED_BY(run_mu_);
 
-  // Guards the task state below.
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  uint64_t generation_ = 0;
-  const std::function<void(int64_t)>* chunk_fn_ = nullptr;
-  int64_t num_chunks_ = 0;
-  int64_t next_chunk_ = 0;
-  int64_t remaining_ = 0;
-  std::exception_ptr error_;
-  bool shutdown_ = false;
+  // Guards the task state below. Taken after run_mu_ when both are held.
+  Mutex mu_ CAME_ACQUIRED_AFTER(run_mu_);
+  CondVar cv_work_;
+  CondVar cv_done_;
+  uint64_t generation_ CAME_GUARDED_BY(mu_) = 0;
+  const std::function<void(int64_t)>* chunk_fn_ CAME_GUARDED_BY(mu_) =
+      nullptr;
+  int64_t num_chunks_ CAME_GUARDED_BY(mu_) = 0;
+  int64_t next_chunk_ CAME_GUARDED_BY(mu_) = 0;
+  int64_t remaining_ CAME_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ CAME_GUARDED_BY(mu_);
+  bool shutdown_ CAME_GUARDED_BY(mu_) = false;
 
-  int nthreads_;
-  std::vector<std::thread> workers_;
+  // Written only under run_mu_ (Resize); read lock-free from threads().
+  std::atomic<int> nthreads_;
 };
 
 }  // namespace

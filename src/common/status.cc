@@ -1,6 +1,13 @@
 #include "common/status.h"
 
+#include "common/logging.h"
+
 namespace came {
+
+void Status::LogIfError(const char* context) const {
+  if (ok()) return;
+  CAME_LOG(Warning) << context << ": " << ToString();
+}
 
 std::string Status::ToString() const {
   switch (code_) {

@@ -10,7 +10,14 @@ namespace came {
 /// malformed configuration). Programming errors use CAME_CHECK instead.
 /// Mirrors the RocksDB `Status` idiom: cheap to copy when OK, carries a
 /// code + message otherwise.
-class Status {
+///
+/// The class itself is [[nodiscard]]: every function returning a Status by
+/// value makes the caller handle or propagate it — a silently dropped
+/// error is a compile warning (an error under CAME_WERROR/CI). Call sites
+/// that genuinely cannot act on a failure state that explicitly with
+/// LogIfError (never a bare `(void)` cast — tools/lint_project.py rejects
+/// those).
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -40,12 +47,18 @@ class Status {
     return Status(Code::kFailedPrecondition, std::move(msg));
   }
 
-  bool ok() const { return code_ == Code::kOk; }
-  Code code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Human-readable form, e.g. "InvalidArgument: bad shape".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
+
+  /// Explicit terminal handler for best-effort operations (benchmark
+  /// output, optional artefact dumps): logs non-OK statuses at Warning
+  /// with `context` and deliberately continues. Using this instead of a
+  /// `(void)` cast keeps "this error is survivable" an auditable decision.
+  void LogIfError(const char* context) const;
 
  private:
   Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
@@ -55,8 +68,10 @@ class Status {
 };
 
 /// Value-or-error return type for fallible constructors/factories.
+/// [[nodiscard]] for the same reason as Status: discarding one discards
+/// the error path.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): intentional for ergonomics.
   Result(T value) : value_(std::move(value)) {}

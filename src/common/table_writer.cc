@@ -18,7 +18,7 @@ void TableWriter::AddRow(std::vector<std::string> row) {
 
 std::string TableWriter::Num(double v, int precision) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  (void)std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
 }
 

@@ -1,0 +1,80 @@
+#ifndef CAME_COMMON_THREAD_ANNOTATIONS_H_
+#define CAME_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros. Under clang with
+/// `-Wthread-safety` (CMake option CAME_THREAD_SAFETY) these turn locking
+/// contracts into compile errors: a `CAME_GUARDED_BY(mu_)` field touched
+/// without `mu_` held, a `CAME_REQUIRES(mu_)` method called unlocked, or a
+/// lock acquired in a scope annotated `CAME_EXCLUDES` all fail the build.
+/// Under every other compiler the macros expand to nothing, so annotated
+/// code stays portable.
+///
+/// Annotate with the wrapper types from common/mutex.h (`came::Mutex`,
+/// `came::MutexLock`, `came::CondVar`) — raw `std::mutex` is invisible to
+/// the analysis and is banned in src/ by tools/lint_project.py.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CAME_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define CAME_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define CAME_CAPABILITY(x) CAME_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Convenience form of CAME_CAPABILITY for mutex-like types.
+#define CAME_LOCKABLE CAME_THREAD_ANNOTATION_ATTRIBUTE_(capability("mutex"))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define CAME_SCOPED_CAPABILITY \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define CAME_GUARDED_BY(x) CAME_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define CAME_PT_GUARDED_BY(x) \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define CAME_REQUIRES(...) \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (e.g. a
+/// public method that locks them itself — catches self-deadlock).
+#define CAME_EXCLUDES(...) \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define CAME_ACQUIRE(...) \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (no longer held on return).
+#define CAME_RELEASE(...) \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; holds the capability iff it returned
+/// `result` (e.g. CAME_TRY_ACQUIRE(true) for a bool TryLock).
+#define CAME_TRY_ACQUIRE(...) \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the capability protecting its result.
+#define CAME_RETURN_CAPABILITY(x) \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Declares a required acquisition order: this capability must be taken
+/// after `...` (purely documentation for the analysis; the runtime
+/// CAME_DEADLOCK_CHECK validator enforces order dynamically).
+#define CAME_ACQUIRED_AFTER(...) \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+#define CAME_ACQUIRED_BEFORE(...) \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+/// Escape hatch: body is exempt from the analysis. Every use needs a
+/// comment justifying why the contract cannot be expressed.
+#define CAME_NO_THREAD_SAFETY_ANALYSIS \
+  CAME_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // CAME_COMMON_THREAD_ANNOTATIONS_H_

@@ -41,7 +41,7 @@ double Metrics::Hits10() const {
 
 std::string Metrics::ToString() const {
   char buf[160];
-  std::snprintf(buf, sizeof(buf),
+  (void)std::snprintf(buf, sizeof(buf),
                 "MRR=%.1f MR=%.0f H@1=%.1f H@3=%.1f H@10=%.1f (n=%lld)",
                 Mrr(), Mr(), Hits1(), Hits3(), Hits10(),
                 static_cast<long long>(count));

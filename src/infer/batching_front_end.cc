@@ -20,22 +20,22 @@ BatchingFrontEnd::BatchingFrontEnd(ScoreServer* server, int64_t k,
 
 BatchingFrontEnd::~BatchingFrontEnd() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    came::MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   worker_.join();
 }
 
 std::future<TopKResult> BatchingFrontEnd::Submit(int64_t head, int64_t rel) {
   std::future<TopKResult> future;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    came::MutexLock lock(&mu_);
     CAME_CHECK(!stop_) << "Submit after shutdown";
     queue_.push_back({head, rel, std::promise<TopKResult>()});
     future = queue_.back().promise.get_future();
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -45,8 +45,8 @@ void BatchingFrontEnd::WorkerLoop() {
   std::vector<int64_t> rels;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      came::MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stop_ set and fully drained
       // Take everything that has piled up while the previous batch ran,
       // capped at max_batch.
@@ -69,7 +69,7 @@ void BatchingFrontEnd::WorkerLoop() {
     // Count the batch before fulfilling its promises: the moment a
     // client's future resolves, GetStats already covers its query.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      came::MutexLock lock(&mu_);
       ++stats_.batches_executed;
       stats_.queries_served += static_cast<int64_t>(batch.size());
       stats_.max_coalesced = std::max(stats_.max_coalesced,
@@ -82,7 +82,7 @@ void BatchingFrontEnd::WorkerLoop() {
 }
 
 BatchingFrontEnd::Stats BatchingFrontEnd::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  came::MutexLock lock(&mu_);
   return stats_;
 }
 

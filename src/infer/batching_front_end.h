@@ -1,13 +1,13 @@
 #ifndef CAME_INFER_BATCHING_FRONT_END_H_
 #define CAME_INFER_BATCHING_FRONT_END_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "infer/score_server.h"
 
 namespace came::infer {
@@ -39,7 +39,8 @@ class BatchingFrontEnd {
   BatchingFrontEnd& operator=(const BatchingFrontEnd&) = delete;
 
   /// Enqueues one query; the future resolves when its batch executes.
-  std::future<TopKResult> Submit(int64_t head, int64_t rel);
+  std::future<TopKResult> Submit(int64_t head, int64_t rel)
+      CAME_EXCLUDES(mu_);
 
   struct Stats {
     int64_t queries_served = 0;
@@ -47,7 +48,7 @@ class BatchingFrontEnd {
     /// Largest batch actually coalesced (1 = no coalescing happened).
     int64_t max_coalesced = 0;
   };
-  Stats GetStats() const;
+  Stats GetStats() const CAME_EXCLUDES(mu_);
 
  private:
   struct Pending {
@@ -56,18 +57,21 @@ class BatchingFrontEnd {
     std::promise<TopKResult> promise;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() CAME_EXCLUDES(mu_);
 
   ScoreServer* server_;
   int64_t k_;
   TopKOptions opts_;
   BatchingFrontEndConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool stop_ = false;
-  Stats stats_;
+  /// Guards the submission queue, shutdown flag and stats. Never held
+  /// across TopKBatch — the worker drains under the lock, then scores
+  /// unlocked, so Submit stays responsive during a batch.
+  mutable came::Mutex mu_;
+  came::CondVar cv_;
+  std::deque<Pending> queue_ CAME_GUARDED_BY(mu_);
+  bool stop_ CAME_GUARDED_BY(mu_) = false;
+  Stats stats_ CAME_GUARDED_BY(mu_);
   std::thread worker_;
 };
 

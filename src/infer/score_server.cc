@@ -148,7 +148,7 @@ std::vector<TopKResult> ScoreServer::TopKBatch(
     const std::vector<int64_t>& heads, const std::vector<int64_t>& rels,
     int64_t k, const TopKOptions& opts) {
   CAME_CHECK_GT(k, 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  came::MutexLock lock(&mu_);
   const tensor::Tensor q = EncodeQueries(heads, rels);
   const int64_t b = q.dim(0);
   const int64_t d = q.dim(1);
@@ -210,7 +210,7 @@ std::vector<TopKResult> ScoreServer::TopKBatch(
 
 double ScoreServer::RankOf(int64_t head, int64_t rel, int64_t target,
                            const TopKOptions& opts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  came::MutexLock lock(&mu_);
   const int64_t n = source_->num_entities();
   CAME_CHECK_GE(target, 0);
   CAME_CHECK_LT(target, n);
@@ -257,7 +257,7 @@ double ScoreServer::RankOf(int64_t head, int64_t rel, int64_t target,
 }
 
 ScoreServer::Stats ScoreServer::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  came::MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -4,9 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "infer/candidate_panels.h"
 #include "infer/fused_embedding_table.h"
 #include "kg/filter_index.h"
@@ -93,20 +94,21 @@ class ScoreServer {
   /// Top-K for a single query. K is clamped to the number of eligible
   /// candidates (K > N returns them all, ranked).
   TopKResult TopK(int64_t head, int64_t rel, int64_t k,
-                  const TopKOptions& opts = {});
+                  const TopKOptions& opts = {}) CAME_EXCLUDES(mu_);
 
   /// Top-K for an aligned batch of queries (one GEMM per panel for the
   /// whole batch).
   std::vector<TopKResult> TopKBatch(const std::vector<int64_t>& heads,
                                     const std::vector<int64_t>& rels,
-                                    int64_t k, const TopKOptions& opts = {});
+                                    int64_t k, const TopKOptions& opts = {})
+      CAME_EXCLUDES(mu_);
 
   /// Filtered rank of `target` for (head, rel, ?), identical to the
   /// Evaluator's protocol (1 + #better + #equal/2, NaN target worst),
   /// computed over panels without materialising the score vector.
   /// Filtering uses opts.filter; `target` is always kept.
   double RankOf(int64_t head, int64_t rel, int64_t target,
-                const TopKOptions& opts = {});
+                const TopKOptions& opts = {}) CAME_EXCLUDES(mu_);
 
   int64_t num_entities() const { return source_->num_entities(); }
   /// The fused table, when this server was built over one (CHECK-fails
@@ -118,20 +120,24 @@ class ScoreServer {
     int64_t batches_executed = 0;
     int64_t panels_scored = 0;
   };
-  Stats GetStats() const;
+  Stats GetStats() const CAME_EXCLUDES(mu_);
 
  private:
-  /// Encodes and validates the query matrix ([B, d]). Caller holds mu_.
+  /// Encodes and validates the query matrix ([B, d]).
   tensor::Tensor EncodeQueries(const std::vector<int64_t>& heads,
-                               const std::vector<int64_t>& rels);
+                               const std::vector<int64_t>& rels)
+      CAME_REQUIRES(mu_);
 
   QueryEncoder encoder_;
   const FusedEmbeddingTable* table_ = nullptr;  // null for shard-backed
   std::unique_ptr<CandidatePanelSource> owned_source_;
   CandidatePanelSource* source_ = nullptr;
   ScoreServerConfig config_;
-  mutable std::mutex mu_;
-  Stats stats_;
+  /// Serialises the whole scoring sweep: the panel source's residency
+  /// state (ShardStore LRU) and the stats are both behind it. EncodeQueries
+  /// runs under it by contract even though it only reads immutable state.
+  mutable came::Mutex mu_;
+  Stats stats_ CAME_GUARDED_BY(mu_);
 };
 
 }  // namespace came::infer

@@ -47,6 +47,7 @@ tensor::Tensor EmbeddingInit(tensor::Shape shape, Rng* rng) {
 }
 
 tensor::Tensor NormalInit(tensor::Shape shape, Rng* rng, double stddev) {
+  // fully-written: the sampling loop stores every element
   tensor::Tensor t = tensor::Tensor::Uninitialized(std::move(shape));
   for (int64_t i = 0; i < t.numel(); ++i) {
     t.data()[i] = static_cast<float>(rng->Normal(0.0, stddev));
@@ -56,6 +57,7 @@ tensor::Tensor NormalInit(tensor::Shape shape, Rng* rng, double stddev) {
 
 tensor::Tensor UniformInit(tensor::Shape shape, Rng* rng, double lo,
                            double hi) {
+  // fully-written: the sampling loop stores every element
   tensor::Tensor t = tensor::Tensor::Uninitialized(std::move(shape));
   for (int64_t i = 0; i < t.numel(); ++i) {
     t.data()[i] = static_cast<float>(rng->Uniform(lo, hi));

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <new>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace came::tensor::pool {
 
@@ -93,8 +94,8 @@ void Poison(float* p, int64_t numel) {
 // --- shared pool + thread caches ----------------------------------------
 
 struct SharedPool {
-  std::mutex mu;
-  std::vector<std::vector<float*>> lists;  // one stack per size class
+  came::Mutex mu;
+  std::vector<std::vector<float*>> lists CAME_GUARDED_BY(mu);  // per class
 };
 
 // Leaked singleton: thread caches flush into it from thread_local
@@ -116,7 +117,7 @@ struct ThreadCache {
   ~ThreadCache() { FlushTo(Shared()); }
 
   void FlushTo(SharedPool& shared) {
-    std::lock_guard<std::mutex> lock(shared.mu);
+    came::MutexLock lock(&shared.mu);
     for (size_t cls = 0; cls < lists.size(); ++cls) {
       auto& src = lists[cls];
       auto& dst = shared.lists[cls];
@@ -146,7 +147,7 @@ void ReleaseToPool(float* p, int64_t capacity) {
     // that actually re-acquire this class.
     const size_t spill = list.size() / 2;
     SharedPool& shared = Shared();
-    std::lock_guard<std::mutex> lock(shared.mu);
+    came::MutexLock lock(&shared.mu);
     auto& dst = shared.lists[static_cast<size_t>(cls)];
     dst.insert(dst.end(), list.begin(),
                list.begin() + static_cast<int64_t>(spill));
@@ -164,7 +165,7 @@ float* TryAcquireFromPool(int cls, int64_t capacity) {
     list.pop_back();
   } else {
     SharedPool& shared = Shared();
-    std::lock_guard<std::mutex> lock(shared.mu);
+    came::MutexLock lock(&shared.mu);
     auto& dst = shared.lists[static_cast<size_t>(cls)];
     if (!dst.empty()) {
       p = dst.back();
@@ -301,7 +302,7 @@ void Clear() {
     cache.lists[cls].clear();
   }
   SharedPool& shared = Shared();
-  std::lock_guard<std::mutex> lock(shared.mu);
+  came::MutexLock lock(&shared.mu);
   for (size_t cls = 0; cls < shared.lists.size(); ++cls) {
     for (float* p : shared.lists[cls]) {
       HeapFree(p);

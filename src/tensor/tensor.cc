@@ -47,6 +47,7 @@ Tensor Tensor::Uninitialized(Shape shape) {
 }
 
 Tensor Tensor::Full(Shape shape, float value) {
+  // fully-written: Fill stores every element
   Tensor t = Uninitialized(std::move(shape));
   t.Fill(value);
   return t;
@@ -104,6 +105,7 @@ void Tensor::set(std::initializer_list<int64_t> idx, float value) {
 }
 
 Tensor Tensor::Clone() const {
+  // fully-written: memcpy covers all numel_ elements (0-sized skips)
   Tensor t = Uninitialized(shape_);
   if (numel_ > 0) {
     std::memcpy(t.data(), data(), static_cast<size_t>(numel_) * sizeof(float));

@@ -48,6 +48,7 @@ std::vector<int64_t> BroadcastStrides(const Shape& padded, const Shape& out) {
 template <typename F>
 Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F op) {
   if (SameShape(a.shape(), b.shape())) {
+    // fully-written: elementwise ParallelFor stores every output
     Tensor out = Tensor::Uninitialized(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
@@ -65,6 +66,7 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F op) {
   const auto stra = BroadcastStrides(sa, out_shape);
   const auto strb = BroadcastStrides(sb, out_shape);
 
+  // fully-written: the strided broadcast loop stores every output
   Tensor out = Tensor::Uninitialized(out_shape);
   float* po = out.data();
   const float* pa = a.data();
@@ -104,6 +106,7 @@ Tensor BinaryBroadcast(const Tensor& a, const Tensor& b, F op) {
 
 template <typename F>
 Tensor Unary(const Tensor& t, F op) {
+  // fully-written: op is applied to (and stored at) every element
   Tensor out = Tensor::Uninitialized(t.shape());
   const float* pi = t.data();
   float* po = out.data();
@@ -246,7 +249,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const int64_t n = trans_b ? b.dim(0) : b.dim(1);
   CAME_CHECK_EQ(k, kb) << "matmul inner dim: " << ShapeToString(a.shape())
                        << " x " << ShapeToString(b.shape());
-  // Gemm with accumulate=false fully writes C, so uninitialised is safe.
+  // fully-written: Gemm with accumulate=false overwrites all of C.
   Tensor c = Tensor::Uninitialized(Shape{m, n});
   gemm::Gemm(a.data(), b.data(), c.data(), m, k, n, trans_a, trans_b,
              /*accumulate=*/false);
@@ -265,6 +268,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool trans_a,
   const int64_t n = trans_b ? b.dim(1) : b.dim(2);
   CAME_CHECK_EQ(k, kb) << "bmm inner dim: " << ShapeToString(a.shape())
                        << " x " << ShapeToString(b.shape());
+  // fully-written: accumulate=false GEMM overwrites each batch slab
   Tensor c = Tensor::Uninitialized(Shape{batch, m, n});
   const int64_t a_stride = a.dim(1) * a.dim(2);
   const int64_t b_stride = b.dim(1) * b.dim(2);
@@ -291,6 +295,7 @@ Tensor Transpose2D(const Tensor& t) {
   CAME_CHECK_EQ(t.ndim(), 2);
   const int64_t r = t.dim(0);
   const int64_t c = t.dim(1);
+  // fully-written: every (j, i) target is stored by the swap loops
   Tensor out = Tensor::Uninitialized(Shape{c, r});
   for (int64_t i = 0; i < r; ++i) {
     for (int64_t j = 0; j < c; ++j) {
@@ -305,6 +310,7 @@ Tensor BatchTranspose(const Tensor& t) {
   const int64_t b = t.dim(0);
   const int64_t r = t.dim(1);
   const int64_t c = t.dim(2);
+  // fully-written: every transposed element is stored per batch
   Tensor out = Tensor::Uninitialized(Shape{b, c, r});
   for (int64_t bi = 0; bi < b; ++bi) {
     const float* src = t.data() + bi * r * c;
@@ -359,6 +365,7 @@ Tensor MaxAlong(const Tensor& t, int64_t dim, bool keepdim) {
   int64_t inner;
   AxisDecompose(t.shape(), dim, &outer, &axis, &inner);
   CAME_CHECK_GT(axis, 0);
+  // fully-written: the max reduction stores every (outer, inner) cell
   Tensor out = Tensor::Uninitialized(ReducedShape(t.shape(), dim, keepdim));
   const float* pi = t.data();
   float* po = out.data();
@@ -379,6 +386,7 @@ Tensor SoftmaxAlong(const Tensor& t, int64_t dim) {
   int64_t axis;
   int64_t inner;
   AxisDecompose(t.shape(), dim, &outer, &axis, &inner);
+  // fully-written: the normalise pass stores every element
   Tensor out = Tensor::Uninitialized(t.shape());
   const float* pi = t.data();
   float* po = out.data();
@@ -418,6 +426,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   }
   Shape out_shape = parts[0].shape();
   out_shape[static_cast<size_t>(dim)] = total;
+  // fully-written: the parts' copies tile the whole concat axis
   Tensor out = Tensor::Uninitialized(out_shape);
 
   int64_t outer;
@@ -444,6 +453,7 @@ Tensor SliceAlong(const Tensor& t, int64_t dim, int64_t start, int64_t len) {
   CAME_CHECK_LE(start + len, t.dim(dim));
   Shape out_shape = t.shape();
   out_shape[static_cast<size_t>(dim)] = len;
+  // fully-written: the per-outer copies cover the full slice
   Tensor out = Tensor::Uninitialized(out_shape);
 
   int64_t outer;
@@ -462,6 +472,7 @@ Tensor GatherRows(const Tensor& matrix, const std::vector<int64_t>& indices) {
   CAME_CHECK_EQ(matrix.ndim(), 2);
   const int64_t n = matrix.dim(0);
   const int64_t d = matrix.dim(1);
+  // fully-written: one row copy per index covers the whole output
   Tensor out = Tensor::Uninitialized(Shape{static_cast<int64_t>(indices.size()), d});
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t r = indices[i];
@@ -495,6 +506,7 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& indices,
 Tensor Where(const Tensor& mask, const Tensor& a, const Tensor& b) {
   CAME_CHECK(SameShape(mask.shape(), a.shape()));
   CAME_CHECK(SameShape(a.shape(), b.shape()));
+  // fully-written: the select loop stores every element
   Tensor out = Tensor::Uninitialized(a.shape());
   const float* pm = mask.data();
   const float* pa = a.data();
@@ -515,7 +527,7 @@ Tensor Im2Col(const Tensor& input, int64_t kh, int64_t kw, int64_t pad) {
   const int64_t out_w = w + 2 * pad - kw + 1;
   CAME_CHECK_GT(out_h, 0);
   CAME_CHECK_GT(out_w, 0);
-  // Fully written below (padding cells are stored explicitly as 0).
+  // fully-written: padding cells are stored explicitly as 0 below.
   Tensor cols = Tensor::Uninitialized(Shape{b, c * kh * kw, out_h * out_w});
   const float* pi = input.data();
   float* po = cols.data();

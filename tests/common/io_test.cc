@@ -96,6 +96,28 @@ TEST(AtomicWriteTest, AbortLeavesDestinationUntouched) {
   ::unlink(path.c_str());
 }
 
+TEST(AtomicWriteTest, AbortUnderFailingCloseLogsInsteadOfSwallowing) {
+  // Abort runs on error paths where Close itself can fail (here: the crash
+  // failpoint poisons every subsequent fd operation). The failure must be
+  // surfaced through Status::LogIfError — not silently discarded — and the
+  // destination must stay untouched.
+  const std::string path = TempPath("abort_failing_close");
+  ASSERT_TRUE(WriteFileAtomic(path, "good", 4).ok());
+  {
+    AtomicFileWriter w(path);
+    ASSERT_TRUE(w.Open().ok());
+    ScopedFailpoint fp({FailpointKind::kCrashAfterBytes, 2});
+    Status append = w.Append("doomed", 6);
+    EXPECT_FALSE(append.ok());
+    ::testing::internal::CaptureStderr();
+    w.Abort();
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("AtomicFileWriter::Abort"), std::string::npos) << err;
+  }
+  EXPECT_EQ(MustRead(path), "good");
+  ::unlink(path.c_str());
+}
+
 TEST(AtomicWriteTest, DestructorAbortsUncommittedWrite) {
   const std::string path = TempPath("dtor");
   ASSERT_TRUE(WriteFileAtomic(path, "good", 4).ok());
@@ -127,7 +149,7 @@ TEST_F(FailpointTest, ShortWritePersistsPrefixAndErrors) {
     const Status st = w.Append("0123456789", 10);
     EXPECT_EQ(st.code(), Status::Code::kIOError);
     EXPECT_EQ(w.bytes_written(), 4u);  // torn: only the prefix landed
-    w.Close();
+    EXPECT_TRUE(w.Close().ok());  // fd itself is healthy after a short write
   }
   EXPECT_EQ(MustRead(raw), "0123");
   ::unlink(raw.c_str());
@@ -143,7 +165,7 @@ TEST_F(FailpointTest, EnospcPersistsNothingPastThreshold) {
     const Status st = w.Append("4567", 4);
     EXPECT_EQ(st.code(), Status::Code::kIOError);
     EXPECT_EQ(w.bytes_written(), 4u);
-    w.Close();
+    EXPECT_TRUE(w.Close().ok());  // ENOSPC injection does not poison the fd
   }
   EXPECT_EQ(MustRead(raw), "0123");
   ::unlink(raw.c_str());

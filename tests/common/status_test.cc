@@ -39,6 +39,23 @@ TEST(StatusTest, ReturnIfErrorMacro) {
   EXPECT_EQ(s.message(), "inner");
 }
 
+TEST(StatusTest, LogIfErrorIsSilentOnOk) {
+  ::testing::internal::CaptureStderr();
+  Status::OK().LogIfError("should never appear");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(StatusTest, LogIfErrorEmitsContextAndMessage) {
+  // The sanctioned way to drop a Status is LogIfError (class-level
+  // [[nodiscard]] plus the S1 lint rule forbid silent discards); it must
+  // actually surface the error it swallows.
+  ::testing::internal::CaptureStderr();
+  Status::IOError("disk gone").LogIfError("Flush");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("Flush"), std::string::npos) << err;
+  EXPECT_NE(err.find("IOError: disk gone"), std::string::npos) << err;
+}
+
 TEST(ResultTest, HoldsValueWhenOk) {
   Result<int> r(42);
   ASSERT_TRUE(r.ok());

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Negative-compile harness for the clang Thread Safety annotations.
+#
+# Verifies the analysis actually has teeth: the positive fixture must
+# compile cleanly under -Wthread-safety -Werror=thread-safety, and each
+# negative fixture (an unguarded CAME_GUARDED_BY access; a CAME_REQUIRES
+# call without the lock) must FAIL to compile with a thread-safety
+# diagnostic. A silent pass on the negatives would mean the annotations
+# are wired up wrong (e.g. macros expanding to nothing under clang).
+#
+# Usage: thread_safety_compile_test.sh <src-dir> [clang++-path]
+# Exit:  0 all checks hold; 77 clang unavailable (ctest SKIP_RETURN_CODE);
+#        1 a check failed.
+set -u
+
+SRC="${1:?usage: thread_safety_compile_test.sh <src-dir> [clang++]}"
+CLANG="${2:-clang++}"
+FIXTURES="$(dirname "$0")/thread_safety_fixtures"
+
+case "$CLANG" in
+  *-NOTFOUND|"") CLANG=clang++ ;;
+esac
+if ! command -v "$CLANG" >/dev/null 2>&1; then
+  echo "SKIP: no clang++ on PATH; thread-safety analysis is clang-only"
+  exit 77
+fi
+
+FLAGS="-std=c++20 -fsyntax-only -I$SRC -Wthread-safety -Werror=thread-safety"
+fail=0
+
+# Positive control: annotated-and-correct code must be accepted.
+if ! err=$("$CLANG" $FLAGS "$FIXTURES/positive_guarded.cc" 2>&1); then
+  echo "FAIL: positive_guarded.cc did not compile under -Wthread-safety:"
+  echo "$err"
+  fail=1
+else
+  echo "ok: positive_guarded.cc accepted"
+fi
+
+# Negatives: each defect class must be rejected, and rejected for the
+# right reason (a thread-safety diagnostic, not some unrelated error).
+for f in negative_unguarded_access.cc negative_missing_lock_call.cc; do
+  if err=$("$CLANG" $FLAGS "$FIXTURES/$f" 2>&1); then
+    echo "FAIL: $f compiled but must be rejected by -Wthread-safety"
+    fail=1
+  elif ! printf '%s' "$err" | grep -q 'thread-safety'; then
+    echo "FAIL: $f was rejected, but not by a thread-safety diagnostic:"
+    echo "$err"
+    fail=1
+  else
+    echo "ok: $f rejected with a thread-safety diagnostic"
+  fi
+done
+
+exit $fail

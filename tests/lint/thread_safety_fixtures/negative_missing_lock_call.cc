@@ -1,0 +1,26 @@
+// Negative fixture: calls a CAME_REQUIRES(mu_) function without holding
+// mu_. clang -Wthread-safety -Werror=thread-safety MUST reject this
+// translation unit; the harness fails if it compiles.
+#include "common/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void DepositLocked(int amount) CAME_REQUIRES(mu_) { balance_ += amount; }
+
+  // Defect: caller does not acquire mu_ before the REQUIRES call.
+  void Deposit(int amount) { DepositLocked(amount); }
+
+ private:
+  came::Mutex mu_;
+  int balance_ CAME_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Negative fixture: reads/writes a CAME_GUARDED_BY member without holding
+// its mutex. clang -Wthread-safety -Werror=thread-safety MUST reject this
+// translation unit; the harness fails if it compiles.
+#include "common/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  // Defect: no lock taken, balance_ is guarded by mu_.
+  void Deposit(int amount) { balance_ += amount; }
+
+ private:
+  came::Mutex mu_;
+  int balance_ CAME_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Positive control: correctly annotated code that must compile cleanly
+// under clang -Wthread-safety -Werror=thread-safety. If this file stops
+// compiling, the harness (not the analysis) is broken.
+#include "common/mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) CAME_EXCLUDES(mu_) {
+    came::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int Balance() CAME_EXCLUDES(mu_) {
+    came::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  void DepositLocked(int amount) CAME_REQUIRES(mu_) { balance_ += amount; }
+
+  void DepositTwice(int amount) CAME_EXCLUDES(mu_) {
+    came::MutexLock lock(&mu_);
+    DepositLocked(amount);
+    DepositLocked(amount);
+  }
+
+  void WaitUntilFunded() CAME_EXCLUDES(mu_) {
+    came::MutexLock lock(&mu_);
+    while (balance_ == 0) cv_.Wait(&mu_);
+  }
+
+ private:
+  came::Mutex mu_;
+  came::CondVar cv_;
+  int balance_ CAME_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  a.DepositTwice(2);
+  return a.Balance() == 5 ? 0 : 1;
+}
