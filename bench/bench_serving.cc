@@ -13,11 +13,24 @@
 // latency and QPS per (mode, threads), plus the batched/unbatched
 // throughput ratio at the highest thread count.
 //
+// A second section benchmarks the quantized scoring path (int8 / bf16
+// candidate matrices) against the fp32 server on the same workload:
+// per-query top-K agreement and Jaccard overlap, the max absolute score
+// error over the returned candidates, the entity-matrix byte ratio, and
+// unbatched throughput at the max thread count. The parity numbers are
+// computed with the int8 GEMM microkernel *pinned* (--pin_kernel,
+// default scalar) so the CI gate compares host-independent results; the
+// resolved kernel is recorded in the JSON and asserted to match the
+// request. Throughput is then measured on the auto-dispatched kernel.
+//
 // Run:  ./bench_serving [scale] [ignored] [--json_out=PATH]
+//                       [--pin_kernel=scalar|avx2|vnni]
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <future>
 #include <string>
 #include <thread>
@@ -30,7 +43,9 @@
 #include "common/stopwatch.h"
 #include "infer/batching_front_end.h"
 #include "infer/fused_embedding_table.h"
+#include "infer/score_dtype.h"
 #include "infer/score_server.h"
+#include "tensor/qgemm.h"
 
 namespace came {
 namespace {
@@ -147,16 +162,111 @@ ModeResult RunBatched(infer::ScoreServer* server,
   return res;
 }
 
+// Quantized-vs-fp32 quality and throughput on one workload.
+struct QuantResult {
+  std::string dtype;
+  std::string parity_kernel;    // int8 microkernel the parity ran on
+  double agreement_at_k = 0;    // mean |top-K ids ∩ fp32 top-K ids| / K
+  double jaccard_at_k = 0;      // mean |∩| / |∪| of the two id sets
+  double max_abs_score_err = 0; // over every returned quantized candidate
+  int64_t entity_matrix_bytes = 0;
+  double bytes_ratio = 0;       // vs N * d * 4 fp32 bytes
+  double qps_at_max_threads = 0;
+  double throughput_vs_fp32 = 0;
+};
+
+QuantResult RunQuantized(infer::ScoreServer* fp32_server,
+                         baselines::InnerProductKgcModel* model,
+                         const infer::FusedEmbeddingTable* table,
+                         infer::ScoreDtype dtype,
+                         tensor::qgemm::Kernel pin_kernel,
+                         const std::vector<int64_t>& heads,
+                         const std::vector<int64_t>& rels,
+                         double fp32_qps_at_max) {
+  infer::ScoreServerConfig cfg;
+  cfg.dtype = dtype;
+  infer::ScoreServer qserver(model, table, cfg);
+
+  QuantResult res;
+  res.dtype = infer::ScoreDtypeName(dtype);
+  res.entity_matrix_bytes = qserver.quantized_table().entity_matrix_bytes();
+  res.bytes_ratio =
+      static_cast<double>(res.entity_matrix_bytes) /
+      static_cast<double>(table->num_entities() * table->dim() * 4);
+
+  // Parity on the pinned microkernel: host-independent CI-gated numbers.
+  CAME_CHECK(tensor::qgemm::KernelAvailable(pin_kernel));
+  tensor::qgemm::SetKernel(pin_kernel);
+  CAME_CHECK(tensor::qgemm::ActiveKernel() == pin_kernel);
+  res.parity_kernel = tensor::qgemm::KernelName(pin_kernel);
+
+  double agreement_sum = 0;
+  double jaccard_sum = 0;
+  for (size_t i = 0; i < heads.size(); ++i) {
+    const infer::TopKResult want =
+        fp32_server->TopK(heads[i], rels[i], kTopK);
+    const infer::TopKResult got = qserver.TopK(heads[i], rels[i], kTopK);
+    std::vector<int64_t> a = want.ids;
+    std::vector<int64_t> b = got.ids;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<int64_t> both;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(both));
+    const double inter = static_cast<double>(both.size());
+    const double uni = static_cast<double>(a.size() + b.size()) - inter;
+    agreement_sum += inter / static_cast<double>(want.ids.size());
+    jaccard_sum += uni > 0 ? inter / uni : 1.0;
+
+    // fp32 scores of exactly the quantized server's answers, via a
+    // restricted fp32 query — the score error the user actually sees.
+    infer::TopKOptions opts;
+    opts.restrict_to = &b;
+    const infer::TopKResult ref =
+        fp32_server->TopK(heads[i], rels[i], kTopK, opts);
+    for (size_t r = 0; r < got.ids.size(); ++r) {
+      for (size_t s = 0; s < ref.ids.size(); ++s) {
+        if (ref.ids[s] != got.ids[r]) continue;
+        const double err = std::fabs(static_cast<double>(got.scores[r]) -
+                                     static_cast<double>(ref.scores[s]));
+        res.max_abs_score_err = std::max(res.max_abs_score_err, err);
+      }
+    }
+  }
+  res.agreement_at_k = agreement_sum / static_cast<double>(heads.size());
+  res.jaccard_at_k = jaccard_sum / static_cast<double>(heads.size());
+
+  // Throughput on the auto-dispatched (native) kernel, like production.
+  tensor::qgemm::SetKernel(tensor::qgemm::Kernel::kAuto);
+  const ModeResult t = RunUnbatched(&qserver, heads, rels, kMaxThreads);
+  res.qps_at_max_threads = t.qps;
+  res.throughput_vs_fp32 =
+      fp32_qps_at_max > 0 ? t.qps / fp32_qps_at_max : 0;
+  tensor::qgemm::SetKernel(pin_kernel);
+  return res;
+}
+
 int Main(int argc, char** argv) {
   std::string json_out = "BENCH_serving.json";
+  std::string pin_kernel_name = "scalar";
   std::vector<char*> positional = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json_out=", 0) == 0) {
       json_out = arg.substr(std::strlen("--json_out="));
+    } else if (arg.rfind("--pin_kernel=", 0) == 0) {
+      pin_kernel_name = arg.substr(std::strlen("--pin_kernel="));
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  tensor::qgemm::Kernel pin_kernel = tensor::qgemm::Kernel::kScalar;
+  if (pin_kernel_name == "avx2") {
+    pin_kernel = tensor::qgemm::Kernel::kAvx2;
+  } else if (pin_kernel_name == "vnni") {
+    pin_kernel = tensor::qgemm::Kernel::kVnni;
+  } else {
+    CAME_CHECK(pin_kernel_name == "scalar");
   }
   // Reuse the shared bench CLI for the dataset scale; epochs is unused
   // (serving cost does not depend on the weights, so no training).
@@ -218,6 +328,22 @@ int Main(int argc, char** argv) {
   std::printf("batched/unbatched throughput at %d threads: %.2fx\n",
               kMaxThreads, speedup);
 
+  // Quantized scoring path vs the fp32 server on the same workload.
+  std::vector<QuantResult> quant;
+  for (const infer::ScoreDtype dtype :
+       {infer::ScoreDtype::kInt8, infer::ScoreDtype::kBf16}) {
+    QuantResult q = RunQuantized(&server, ip, &table, dtype, pin_kernel,
+                                 heads, rels, unbatched_qps_at_max);
+    std::printf(
+        "%-5s agreement@%lld %.4f  jaccard %.4f  max|err| %.3g  "
+        "bytes %.2fx fp32  %8.1f qps @%dt (%.2fx fp32, kernel %s)\n",
+        q.dtype.c_str(), static_cast<long long>(kTopK), q.agreement_at_k,
+        q.jaccard_at_k, q.max_abs_score_err, q.bytes_ratio,
+        q.qps_at_max_threads, kMaxThreads, q.throughput_vs_fp32,
+        q.parity_kernel.c_str());
+    quant.push_back(q);
+  }
+
   JsonWriter w;
   w.BeginObject();
   w.Key("bench");
@@ -259,6 +385,41 @@ int Main(int argc, char** argv) {
   w.EndArray();
   w.Key("batched_speedup_at_max_threads");
   w.Double(speedup);
+  w.Key("quantized");
+  w.BeginObject();
+  w.Key("parity_kernel");
+  w.String(pin_kernel_name);
+  w.Key("throughput_kernel");
+  w.String(tensor::qgemm::KernelName(
+      tensor::qgemm::KernelAvailable(tensor::qgemm::Kernel::kVnni)
+          ? tensor::qgemm::Kernel::kVnni
+          : (tensor::qgemm::KernelAvailable(tensor::qgemm::Kernel::kAvx2)
+                 ? tensor::qgemm::Kernel::kAvx2
+                 : tensor::qgemm::Kernel::kScalar)));
+  for (const QuantResult& q : quant) {
+    w.Key(q.dtype);
+    w.BeginObject();
+    w.Key("parity_kernel");
+    w.String(q.parity_kernel);
+    w.Key("agreement_at_k");
+    w.Double(q.agreement_at_k);
+    w.Key("jaccard_at_k");
+    w.Double(q.jaccard_at_k);
+    w.Key("max_abs_score_err");
+    w.Double(q.max_abs_score_err);
+    w.Key("entity_matrix_bytes");
+    w.Int(q.entity_matrix_bytes);
+    w.Key("fp32_entity_matrix_bytes");
+    w.Int(ds.num_entities() * table.dim() * 4);
+    w.Key("bytes_ratio");
+    w.Double(q.bytes_ratio);
+    w.Key("qps_at_max_threads");
+    w.Double(q.qps_at_max_threads);
+    w.Key("throughput_vs_fp32");
+    w.Double(q.throughput_vs_fp32);
+    w.EndObject();
+  }
+  w.EndObject();
   w.EndObject();
   if (w.WriteFile(json_out)) {
     std::printf("wrote %s\n", json_out.c_str());

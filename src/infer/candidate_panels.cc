@@ -4,6 +4,24 @@
 
 namespace came::infer {
 
+const int8_t* CandidatePanelSource::PanelInt8(int64_t, int64_t) {
+  CAME_CHECK(false) << "source dtype " << ScoreDtypeName(dtype())
+                    << " has no int8 panels";
+  return nullptr;
+}
+
+const float* CandidatePanelSource::PanelScales(int64_t, int64_t) {
+  CAME_CHECK(false) << "source dtype " << ScoreDtypeName(dtype())
+                    << " has no int8 row scales";
+  return nullptr;
+}
+
+const uint16_t* CandidatePanelSource::PanelBf16(int64_t, int64_t) {
+  CAME_CHECK(false) << "source dtype " << ScoreDtypeName(dtype())
+                    << " has no bf16 panels";
+  return nullptr;
+}
+
 FusedTablePanelSource::FusedTablePanelSource(const FusedEmbeddingTable* table)
     : table_(table) {
   CAME_CHECK(table_ != nullptr);
@@ -35,6 +53,19 @@ ShardStorePanelSource::ShardStorePanelSource(tensor::ShardStore* store)
   CAME_CHECK(store_ != nullptr);
 }
 
+ScoreDtype ShardStorePanelSource::dtype() const {
+  switch (store_->dtype()) {
+    case tensor::ShardDtype::kF32:
+      return ScoreDtype::kFp32;
+    case tensor::ShardDtype::kInt8:
+      return ScoreDtype::kInt8;
+    case tensor::ShardDtype::kBf16:
+      return ScoreDtype::kBf16;
+  }
+  CAME_CHECK(false) << "unknown shard dtype";
+  return ScoreDtype::kFp32;
+}
+
 int64_t ShardStorePanelSource::PanelEnd(int64_t begin) const {
   return store_->ShardEnd(begin);
 }
@@ -46,6 +77,18 @@ const float* ShardStorePanelSource::Panel(int64_t begin, int64_t end) {
 const float* ShardStorePanelSource::BiasPanel(int64_t, int64_t) {
   CAME_CHECK(false) << "shard-backed candidate source has no bias";
   return nullptr;
+}
+
+const int8_t* ShardStorePanelSource::PanelInt8(int64_t begin, int64_t end) {
+  return store_->QuantPanelRows(begin, end);
+}
+
+const float* ShardStorePanelSource::PanelScales(int64_t begin, int64_t end) {
+  return store_->PanelScales(begin, end);
+}
+
+const uint16_t* ShardStorePanelSource::PanelBf16(int64_t begin, int64_t end) {
+  return store_->Bf16PanelRows(begin, end);
 }
 
 }  // namespace came::infer

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "infer/fused_embedding_table.h"
+#include "infer/score_dtype.h"
 #include "tensor/shard_store.h"
 
 namespace came::infer {
@@ -38,6 +39,27 @@ class CandidatePanelSource {
   /// (result[j] is the bias of entity begin + j). Only called when
   /// has_bias() is true.
   virtual const float* BiasPanel(int64_t begin, int64_t end) = 0;
+
+  /// Storage precision of this source's candidate rows. The ScoreServer
+  /// routes its sweep on this: kFp32 sources serve Panel(), kInt8 serve
+  /// PanelInt8()+PanelScales(), kBf16 serve PanelBf16(). The base
+  /// implementations of the quantized accessors CHECK-fail, so an fp32
+  /// source never has to think about them.
+  virtual ScoreDtype dtype() const { return ScoreDtype::kFp32; }
+
+  /// Quantized candidate rows [begin, end), row-major int8 [end-begin,
+  /// dim]. Same lifetime contract as Panel(). Requires dtype() == kInt8.
+  virtual const int8_t* PanelInt8(int64_t begin, int64_t end);
+
+  /// Per-row fp32 dequantization scales for rows [begin, end), indexed
+  /// panel-locally. Requires dtype() == kInt8. Unlike Panel/BiasPanel,
+  /// the scales pointer stays valid alongside the PanelInt8 pointer for
+  /// the same range (both live in the same mapping or table).
+  virtual const float* PanelScales(int64_t begin, int64_t end);
+
+  /// bf16 candidate rows [begin, end), row-major [end-begin, dim].
+  /// Requires dtype() == kBf16.
+  virtual const uint16_t* PanelBf16(int64_t begin, int64_t end);
 };
 
 /// The in-RAM special case: panels are pointer arithmetic into the fused
@@ -62,6 +84,9 @@ class FusedTablePanelSource : public CandidatePanelSource {
 /// sealed from the trainer's published slabs); panels are zero-copy views
 /// into the mapped slab and must respect shard boundaries, which
 /// PanelEnd reports. No per-entity bias (inner-product-only models).
+/// Quantized stores (ShardStore::Quantize) are served through the same
+/// source: dtype() mirrors the store's ShardDtype and the matching panel
+/// accessors route to the store's quantized slab views.
 class ShardStorePanelSource : public CandidatePanelSource {
  public:
   /// `store` is not owned and must outlive the source. The ScoreServer
@@ -72,9 +97,13 @@ class ShardStorePanelSource : public CandidatePanelSource {
   int64_t num_entities() const override { return store_->rows(); }
   int64_t dim() const override { return store_->dim(); }
   bool has_bias() const override { return false; }
+  ScoreDtype dtype() const override;
   int64_t PanelEnd(int64_t begin) const override;
   const float* Panel(int64_t begin, int64_t end) override;
   const float* BiasPanel(int64_t begin, int64_t end) override;
+  const int8_t* PanelInt8(int64_t begin, int64_t end) override;
+  const float* PanelScales(int64_t begin, int64_t end) override;
+  const uint16_t* PanelBf16(int64_t begin, int64_t end) override;
 
  private:
   tensor::ShardStore* store_;

@@ -194,6 +194,11 @@ Status FusedEmbeddingTable::Load(const std::string& path,
   }
   uint32_t version = 0;
   CAME_RETURN_IF_ERROR(r.ReadPod(&version));
+  if (version == 2) {
+    return Status::InvalidArgument(
+        path + ": fused table version 2 is the quantized format; load it "
+               "with QuantizedTable::Load");
+  }
   if (version != kVersion) {
     return Status::InvalidArgument(path + ": unsupported fused table version " +
                                    std::to_string(version));

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "baselines/kgc_model.h"
 #include "common/logging.h"
 #include "common/parallel_for.h"
 #include "eval/ranking.h"
 #include "tensor/gemm.h"
+#include "tensor/qgemm.h"
 #include "tensor/storage_pool.h"
 
 namespace came::infer {
@@ -108,7 +111,17 @@ ScoreServer::ScoreServer(QueryEncoder encoder,
     : encoder_(std::move(encoder)), table_(table), config_(config) {
   CAME_CHECK(encoder_ != nullptr);
   CAME_CHECK(table_ != nullptr);
-  owned_source_ = std::make_unique<FusedTablePanelSource>(table_);
+  if (config_.dtype == ScoreDtype::kFp32) {
+    owned_source_ = std::make_unique<FusedTablePanelSource>(table_);
+  } else {
+    // Quantize the candidate matrix once at construction; the sweep then
+    // scores against the compact snapshot for the server's lifetime.
+    Result<QuantizedTable> qt = QuantizedTable::Build(*table_, config_.dtype);
+    CAME_CHECK(qt.ok()) << qt.status().ToString();
+    owned_qtable_ = std::make_unique<QuantizedTable>(std::move(qt).value());
+    owned_source_ =
+        std::make_unique<QuantizedTablePanelSource>(owned_qtable_.get());
+  }
   source_ = owned_source_.get();
   CAME_CHECK_GT(source_->num_entities(), 0) << "empty fused table";
   CAME_CHECK_GT(config_.panel_width, 0);
@@ -126,6 +139,12 @@ ScoreServer::ScoreServer(QueryEncoder encoder, CandidatePanelSource* source,
 const FusedEmbeddingTable& ScoreServer::table() const {
   CAME_CHECK(table_ != nullptr) << "server is not backed by a fused table";
   return *table_;
+}
+
+const QuantizedTable& ScoreServer::quantized_table() const {
+  CAME_CHECK(owned_qtable_ != nullptr)
+      << "server is not scoring a quantized fused table";
+  return *owned_qtable_;
 }
 
 tensor::Tensor ScoreServer::EncodeQueries(const std::vector<int64_t>& heads,
@@ -158,6 +177,29 @@ std::vector<TopKResult> ScoreServer::TopKBatch(
   for (auto& h : heaps) h.reserve(static_cast<size_t>(std::min(k, n)));
 
   const int64_t panel = std::min(config_.panel_width, n);
+  const ScoreDtype dtype = source_->dtype();
+  // Query-side state for the quantized paths: int8 queries are encoded
+  // once per batch as a two-digit (hi + residual) pair, so the query
+  // contributes ~127x less error than the int8 candidate rows (a
+  // non-finite query degrades to NaN scales → NaN scores → ranked
+  // worst); bf16 panels decode into an fp32 scratch panel and reuse the
+  // fp32 GEMM.
+  std::vector<int8_t> q8_hi;
+  std::vector<float> q8_hi_scales;
+  std::vector<int8_t> q8_lo;
+  std::vector<float> q8_lo_scales;
+  if (dtype == ScoreDtype::kInt8) {
+    q8_hi.resize(static_cast<size_t>(b * d));
+    q8_hi_scales.resize(static_cast<size_t>(b));
+    q8_lo.resize(static_cast<size_t>(b * d));
+    q8_lo_scales.resize(static_cast<size_t>(b));
+    tensor::qgemm::QuantizeRowsInt8ServingTwoDigit(
+        q.data(), b, d, q8_hi.data(), q8_hi_scales.data(), q8_lo.data(),
+        q8_lo_scales.data());
+  }
+  std::optional<tensor::pool::ScratchLease> decode;
+  if (dtype == ScoreDtype::kBf16) decode.emplace(panel * d);
+
   tensor::pool::ScratchLease scores(b * panel);
   int64_t p0 = 0;
   while (p0 < n) {
@@ -167,10 +209,29 @@ std::vector<TopKResult> ScoreServer::TopKBatch(
                                   p0 + config_.panel_width);
     const int64_t pw = pend - p0;
     // q [B, d] x candidates[p0 .. pend) [pw, d]^T -> [B, pw]. Bitwise
-    // equal to columns [p0, pend) of the full [B, N] score GEMM.
-    tensor::gemm::Gemm(q.data(), source_->Panel(p0, pend), scores.data(), b,
-                       d, pw, /*trans_a=*/false, /*trans_b=*/true,
-                       /*accumulate=*/false);
+    // equal to columns [p0, pend) of the full [B, N] score GEMM (fp32
+    // and bf16 paths), or of the full int8 score GEMM (exact int32
+    // accumulation makes panel width irrelevant there too).
+    switch (dtype) {
+      case ScoreDtype::kFp32:
+        tensor::gemm::Gemm(q.data(), source_->Panel(p0, pend), scores.data(),
+                           b, d, pw, /*trans_a=*/false, /*trans_b=*/true,
+                           /*accumulate=*/false);
+        break;
+      case ScoreDtype::kInt8:
+        tensor::qgemm::GemmInt8TwoDigit(
+            q8_hi.data(), q8_hi_scales.data(), q8_lo.data(),
+            q8_lo_scales.data(), source_->PanelInt8(p0, pend),
+            source_->PanelScales(p0, pend), scores.data(), b, d, pw);
+        break;
+      case ScoreDtype::kBf16:
+        tensor::qgemm::DecodeBf16(source_->PanelBf16(p0, pend), pw * d,
+                                  decode->data());
+        tensor::gemm::Gemm(q.data(), decode->data(), scores.data(), b, d, pw,
+                           /*trans_a=*/false, /*trans_b=*/true,
+                           /*accumulate=*/false);
+        break;
+    }
     // After the GEMM consumed the panel pointer: the bias panel may
     // invalidate it per the CandidatePanelSource contract.
     const float* bias =
@@ -223,15 +284,51 @@ double ScoreServer::RankOf(int64_t head, int64_t rel, int64_t target,
                              : std::span<const int64_t>();
 
   const int64_t panel = std::min(config_.panel_width, n);
+  const ScoreDtype dtype = source_->dtype();
+  std::vector<int8_t> q8_hi;
+  std::vector<float> q8_hi_scales;
+  std::vector<int8_t> q8_lo;
+  std::vector<float> q8_lo_scales;
+  if (dtype == ScoreDtype::kInt8) {
+    q8_hi.resize(static_cast<size_t>(d));
+    q8_hi_scales.resize(1);
+    q8_lo.resize(static_cast<size_t>(d));
+    q8_lo_scales.resize(1);
+    tensor::qgemm::QuantizeRowsInt8ServingTwoDigit(
+        q.data(), 1, d, q8_hi.data(), q8_hi_scales.data(), q8_lo.data(),
+        q8_lo_scales.data());
+  }
+  std::optional<tensor::pool::ScratchLease> decode;
+  if (dtype == ScoreDtype::kBf16) decode.emplace(panel * d);
+
   tensor::pool::ScratchLease scores(panel);
 
   // The target's score first (the accumulator compares against it). A
-  // 1-wide GEMM is bitwise identical to the same element of any wider
-  // panel: per-element k-accumulation order does not depend on n.
+  // 1-wide panel is bitwise identical to the same element of any wider
+  // panel in every dtype: fp32/bf16 because the per-element
+  // k-accumulation order does not depend on n, int8 because the dot is
+  // exact integer arithmetic.
   float s_target;
-  tensor::gemm::Gemm(q.data(), source_->Panel(target, target + 1), &s_target,
-                     1, d, 1, /*trans_a=*/false, /*trans_b=*/true,
-                     /*accumulate=*/false);
+  switch (dtype) {
+    case ScoreDtype::kFp32:
+      tensor::gemm::Gemm(q.data(), source_->Panel(target, target + 1),
+                         &s_target, 1, d, 1, /*trans_a=*/false,
+                         /*trans_b=*/true, /*accumulate=*/false);
+      break;
+    case ScoreDtype::kInt8:
+      tensor::qgemm::GemmInt8TwoDigit(
+          q8_hi.data(), q8_hi_scales.data(), q8_lo.data(),
+          q8_lo_scales.data(), source_->PanelInt8(target, target + 1),
+          source_->PanelScales(target, target + 1), &s_target, 1, d, 1);
+      break;
+    case ScoreDtype::kBf16:
+      tensor::qgemm::DecodeBf16(source_->PanelBf16(target, target + 1), d,
+                                decode->data());
+      tensor::gemm::Gemm(q.data(), decode->data(), &s_target, 1, d, 1,
+                         /*trans_a=*/false, /*trans_b=*/true,
+                         /*accumulate=*/false);
+      break;
+  }
   if (has_bias) s_target += source_->BiasPanel(target, target + 1)[0];
 
   eval::RankAccumulator acc(s_target, target, filtered);
@@ -240,9 +337,26 @@ double ScoreServer::RankOf(int64_t head, int64_t rel, int64_t target,
     const int64_t pend = std::min(source_->PanelEnd(p0),
                                   p0 + config_.panel_width);
     const int64_t pw = pend - p0;
-    tensor::gemm::Gemm(q.data(), source_->Panel(p0, pend), scores.data(), 1,
-                       d, pw, /*trans_a=*/false, /*trans_b=*/true,
-                       /*accumulate=*/false);
+    switch (dtype) {
+      case ScoreDtype::kFp32:
+        tensor::gemm::Gemm(q.data(), source_->Panel(p0, pend), scores.data(),
+                           1, d, pw, /*trans_a=*/false, /*trans_b=*/true,
+                           /*accumulate=*/false);
+        break;
+      case ScoreDtype::kInt8:
+        tensor::qgemm::GemmInt8TwoDigit(
+            q8_hi.data(), q8_hi_scales.data(), q8_lo.data(),
+            q8_lo_scales.data(), source_->PanelInt8(p0, pend),
+            source_->PanelScales(p0, pend), scores.data(), 1, d, pw);
+        break;
+      case ScoreDtype::kBf16:
+        tensor::qgemm::DecodeBf16(source_->PanelBf16(p0, pend), pw * d,
+                                  decode->data());
+        tensor::gemm::Gemm(q.data(), decode->data(), scores.data(), 1, d, pw,
+                           /*trans_a=*/false, /*trans_b=*/true,
+                           /*accumulate=*/false);
+        break;
+    }
     ++stats_.panels_scored;
     if (has_bias) {
       const float* bias = source_->BiasPanel(p0, pend);

@@ -10,6 +10,8 @@
 #include "common/thread_annotations.h"
 #include "infer/candidate_panels.h"
 #include "infer/fused_embedding_table.h"
+#include "infer/quantized_table.h"
+#include "infer/score_dtype.h"
 #include "kg/filter_index.h"
 #include "tensor/tensor.h"
 
@@ -29,6 +31,14 @@ struct ScoreServerConfig {
   /// batch is batch_size * panel_width floats — the full N-entity score
   /// vector is never materialised.
   int64_t panel_width = 1024;
+  /// Candidate-matrix precision for fused-table servers. Defaults to
+  /// CAME_SCORE_DTYPE (fp32 when unset), so exporting the variable flips
+  /// every fused-table server in the process without a code change. A
+  /// non-fp32 value makes the server quantize the table at construction
+  /// and score through the matching qgemm path. Ignored by the
+  /// CandidatePanelSource constructor, where the source's own dtype()
+  /// governs (e.g. a quantized ShardStore).
+  ScoreDtype dtype = ScoreDtypeFromEnv();
 };
 
 /// Top-K answer for one (h, r, ?) query, best-first under the serving
@@ -111,9 +121,16 @@ class ScoreServer {
                 const TopKOptions& opts = {}) CAME_EXCLUDES(mu_);
 
   int64_t num_entities() const { return source_->num_entities(); }
+  /// The precision the sweep actually scores in (the panel source's
+  /// dtype — for fused-table servers this is config.dtype).
+  ScoreDtype score_dtype() const { return source_->dtype(); }
   /// The fused table, when this server was built over one (CHECK-fails
   /// for shard-backed servers).
   const FusedEmbeddingTable& table() const;
+  /// The quantized table a non-fp32 fused-table server scores against
+  /// (CHECK-fails when score_dtype() is fp32 or the server is
+  /// source-backed).
+  const QuantizedTable& quantized_table() const;
 
   struct Stats {
     int64_t queries_served = 0;
@@ -130,6 +147,8 @@ class ScoreServer {
 
   QueryEncoder encoder_;
   const FusedEmbeddingTable* table_ = nullptr;  // null for shard-backed
+  /// Owned quantized snapshot of `table_` when config.dtype != fp32.
+  std::unique_ptr<QuantizedTable> owned_qtable_;
   std::unique_ptr<CandidatePanelSource> owned_source_;
   CandidatePanelSource* source_ = nullptr;
   ScoreServerConfig config_;

@@ -9,18 +9,22 @@
 #include <cstring>
 #include <utility>
 
+#include <vector>
+
 #include "common/io.h"
 #include "common/logging.h"
+#include "tensor/qgemm.h"
 
 namespace came::tensor {
 
 namespace {
 
-// Manifest layout (version 1, little-endian):
+// Manifest layout (little-endian):
 //   magic   8 bytes "CAMESHD1"
 //   len     u64                  -- payload byte length
 //   payload:
-//     version        u64 (1)
+//     version        u64           -- 1 (fp32) or 2 (quantized)
+//     dtype          u8            -- version 2 only: 1 int8, 2 bf16
 //     rows           i64
 //     dim            i64
 //     rows_per_shard i64
@@ -28,9 +32,14 @@ namespace {
 //     num_shards     u64
 //     crc[i]         u32 per shard  -- slab payload CRC32 (sealed only)
 //   crc     u32                  -- CRC32 of the payload
+// fp32 stores keep writing version 1 (bit-identical to the format before
+// quantized stores existed), so pre-existing stores and tools stay valid.
 constexpr char kMagic[8] = {'C', 'A', 'M', 'E', 'S', 'H', 'D', '1'};
 constexpr uint64_t kVersion = 1;
+constexpr uint64_t kQuantVersion = 2;
 constexpr uint64_t kMaxShards = 1ULL << 24;
+
+int64_t PadTo64(int64_t n) { return (n + 63) & ~int64_t{63}; }
 
 template <typename T>
 void AppendPod(std::string* buf, const T& value) {
@@ -64,8 +73,22 @@ class Reader {
 
 std::string ManifestPath(const std::string& dir) { return dir + "/manifest"; }
 
-int64_t ShardBytes(int64_t begin, int64_t end, int64_t dim) {
-  return (end - begin) * dim * static_cast<int64_t>(sizeof(float));
+int64_t ShardBytesDt(int64_t begin, int64_t end, int64_t dim,
+                     ShardDtype dtype) {
+  const int64_t rows = end - begin;
+  switch (dtype) {
+    case ShardDtype::kF32:
+      return rows * dim * static_cast<int64_t>(sizeof(float));
+    case ShardDtype::kBf16:
+      return rows * dim * static_cast<int64_t>(sizeof(uint16_t));
+    case ShardDtype::kInt8:
+      // int8 rows, padded so the per-row fp32 scale block that follows
+      // is 64-byte aligned inside the mapping.
+      return PadTo64(rows * dim) +
+             rows * static_cast<int64_t>(sizeof(float));
+  }
+  CAME_CHECK(false) << "unknown shard dtype";
+  return 0;
 }
 
 /// CRC32 of a slab file's payload via a transient read-only mapping (does
@@ -104,12 +127,29 @@ Result<uint32_t> SlabFileCrc(const std::string& path, int64_t bytes) {
 
 }  // namespace
 
+std::string ShardDtypeName(ShardDtype dtype) {
+  switch (dtype) {
+    case ShardDtype::kF32:
+      return "f32";
+    case ShardDtype::kInt8:
+      return "int8";
+    case ShardDtype::kBf16:
+      return "bf16";
+  }
+  return "unknown";
+}
+
+int64_t ShardStore::ShardByteSize(int64_t begin, int64_t end) const {
+  return ShardBytesDt(begin, end, dim_, dtype_);
+}
+
 ShardStore::~ShardStore() { ReleaseAll(); }
 
 void ShardStore::MoveFrom(ShardStore&& other) {
   dir_ = std::move(other.dir_);
   rows_ = other.rows_;
   dim_ = other.dim_;
+  dtype_ = other.dtype_;
   rows_per_shard_ = other.rows_per_shard_;
   max_resident_ = other.max_resident_;
   sealed_ = other.sealed_;
@@ -139,7 +179,7 @@ void ShardStore::ReleaseAll() {
     if (shards_[i].base != nullptr) {
       ::munmap(shards_[i].base,
                static_cast<size_t>(
-                   ShardBytes(shards_[i].begin, shards_[i].end, dim_)));
+                   ShardByteSize(shards_[i].begin, shards_[i].end)));
       shards_[i].base = nullptr;
     }
   }
@@ -163,7 +203,7 @@ Result<ShardStore> ShardStore::InRam(int64_t rows, int64_t dim) {
   Shard& sh = s.shards_[0];
   sh.begin = 0;
   sh.end = rows;
-  const size_t bytes = static_cast<size_t>(ShardBytes(0, rows, dim));
+  const size_t bytes = static_cast<size_t>(s.ShardByteSize(0, rows));
   void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (base == MAP_FAILED) {
@@ -217,7 +257,7 @@ Result<ShardStore> ShardStore::Create(const std::string& dir, int64_t rows,
       return Status::IOError("open " + path + ": " + std::strerror(errno));
     }
     // ftruncate reserves a sparse zero-filled payload without writing it.
-    if (::ftruncate(fd, ShardBytes(sh.begin, sh.end, dim)) != 0) {
+    if (::ftruncate(fd, s.ShardByteSize(sh.begin, sh.end)) != 0) {
       const int err = errno;
       ::close(fd);
       return Status::IOError("ftruncate " + path + ": " + std::strerror(err));
@@ -255,12 +295,22 @@ Result<ShardStore> ShardStore::Open(const std::string& dir,
   Reader r(payload, payload_len);
   uint64_t version = 0;
   CAME_RETURN_IF_ERROR(r.ReadPod(&version));
-  if (version != kVersion) {
+  if (version != kVersion && version != kQuantVersion) {
     return Status::Corruption(dir + ": unsupported shard store version " +
                               std::to_string(version));
   }
   ShardStore s;
   s.dir_ = dir;
+  if (version == kQuantVersion) {
+    uint8_t dtype_byte = 0;
+    CAME_RETURN_IF_ERROR(r.ReadPod(&dtype_byte));
+    if (dtype_byte != static_cast<uint8_t>(ShardDtype::kInt8) &&
+        dtype_byte != static_cast<uint8_t>(ShardDtype::kBf16)) {
+      return Status::Corruption(dir + ": unknown quantized slab dtype byte " +
+                                std::to_string(dtype_byte));
+    }
+    s.dtype_ = static_cast<ShardDtype>(dtype_byte);
+  }
   uint8_t sealed = 0;
   uint64_t n_shards = 0;
   CAME_RETURN_IF_ERROR(r.ReadPod(&s.rows_));
@@ -296,7 +346,7 @@ Result<ShardStore> ShardStore::Open(const std::string& dir,
     const std::string path = s.SlabPath(static_cast<int64_t>(i));
     if (options.verify_on_open) {
       Result<uint32_t> crc =
-          SlabFileCrc(path, ShardBytes(sh.begin, sh.end, s.dim_));
+          SlabFileCrc(path, s.ShardByteSize(sh.begin, sh.end));
       if (!crc.ok()) return crc.status();
       if (crc.value() != sh.crc) {
         return Status::Corruption(path + ": slab checksum mismatch");
@@ -306,7 +356,7 @@ Result<ShardStore> ShardStore::Open(const std::string& dir,
       if (::stat(path.c_str(), &st) != 0) {
         return Status::IOError("stat " + path + ": " + std::strerror(errno));
       }
-      if (st.st_size != ShardBytes(sh.begin, sh.end, s.dim_)) {
+      if (st.st_size != s.ShardByteSize(sh.begin, sh.end)) {
         return Status::Corruption(path + ": slab size mismatch");
       }
     }
@@ -314,9 +364,100 @@ Result<ShardStore> ShardStore::Open(const std::string& dir,
   return s;
 }
 
+Result<ShardStore> ShardStore::Quantize(ShardStore* src,
+                                        const std::string& dir,
+                                        ShardDtype dtype,
+                                        const ShardStoreOptions& options) {
+  if (src == nullptr) {
+    return Status::InvalidArgument("Quantize wants a source store");
+  }
+  if (src->dtype() != ShardDtype::kF32) {
+    return Status::InvalidArgument("Quantize wants an fp32 source store, got " +
+                                   ShardDtypeName(src->dtype()));
+  }
+  if (dtype == ShardDtype::kF32) {
+    return Status::InvalidArgument(
+        "Quantize target dtype must be int8 or bf16");
+  }
+  if (src->in_ram() && dir.empty()) {
+    return Status::InvalidArgument("Quantize wants a destination directory");
+  }
+  if (options.max_resident_shards < 0) {
+    return Status::InvalidArgument("negative shard-store option");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + dir + ": " + std::strerror(errno));
+  }
+  {
+    struct stat st {};
+    if (::stat(ManifestPath(dir).c_str(), &st) == 0) {
+      return Status::InvalidArgument(dir +
+                                     " already holds a shard store manifest");
+    }
+  }
+
+  ShardStore s;
+  s.dir_ = dir;
+  s.rows_ = src->rows();
+  s.dim_ = src->dim();
+  s.dtype_ = dtype;
+  s.rows_per_shard_ = src->rows_per_shard();
+  s.max_resident_ = options.max_resident_shards;
+  const int64_t n_shards = src->num_shards();
+  s.shards_.resize(static_cast<size_t>(n_shards));
+
+  // One slab at a time: read the fp32 rows from the source's mapping,
+  // re-encode into a payload buffer, write the slab, record its CRC.
+  // Peak memory is a single encoded slab regardless of table size.
+  std::string payload;
+  for (int64_t i = 0; i < n_shards; ++i) {
+    Shard& sh = s.shards_[static_cast<size_t>(i)];
+    sh.begin = i * s.rows_per_shard_;
+    sh.end = std::min(s.rows_, sh.begin + s.rows_per_shard_);
+    const int64_t srows = sh.end - sh.begin;
+    const float* rows = src->PanelRows(sh.begin, sh.end);
+    payload.assign(static_cast<size_t>(s.ShardByteSize(sh.begin, sh.end)),
+                   '\0');
+    if (dtype == ShardDtype::kInt8) {
+      std::vector<int8_t> q(static_cast<size_t>(srows * s.dim_));
+      std::vector<float> scales(static_cast<size_t>(srows));
+      Status st = qgemm::QuantizeRowsInt8(rows, srows, s.dim_, q.data(),
+                                          scales.data());
+      if (!st.ok()) {
+        return Status::InvalidArgument("slab " + std::to_string(i) + ": " +
+                                       st.message());
+      }
+      std::memcpy(payload.data(), q.data(), q.size());
+      std::memcpy(payload.data() + PadTo64(srows * s.dim_), scales.data(),
+                  scales.size() * sizeof(float));
+    } else {
+      std::vector<uint16_t> enc(static_cast<size_t>(srows * s.dim_));
+      Status st = qgemm::EncodeRowsBf16(rows, srows, s.dim_, enc.data());
+      if (!st.ok()) {
+        return Status::InvalidArgument("slab " + std::to_string(i) + ": " +
+                                       st.message());
+      }
+      std::memcpy(payload.data(), enc.data(),
+                  enc.size() * sizeof(uint16_t));
+    }
+    CAME_RETURN_IF_ERROR(io::WriteFileAtomic(
+        s.SlabPath(i), payload.data(), payload.size()));
+    sh.crc = io::Crc32(payload.data(), payload.size());
+  }
+  // Slabs and CRCs are durable; publish the sealed manifest directly —
+  // a quantized store is never served unsealed.
+  CAME_RETURN_IF_ERROR(s.WriteManifest(/*sealed=*/true));
+  return s;
+}
+
 Status ShardStore::WriteManifest(bool sealed) {
   std::string payload;
-  AppendPod(&payload, kVersion);
+  if (dtype_ == ShardDtype::kF32) {
+    AppendPod(&payload, kVersion);
+  } else {
+    AppendPod(&payload, kQuantVersion);
+    AppendPod(&payload, static_cast<uint8_t>(dtype_));
+  }
   AppendPod(&payload, rows_);
   AppendPod(&payload, dim_);
   AppendPod(&payload, rows_per_shard_);
@@ -357,7 +498,7 @@ Status ShardStore::MapShard(int64_t shard) {
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
   }
-  const int64_t bytes = ShardBytes(sh.begin, sh.end, dim_);
+  const int64_t bytes = ShardByteSize(sh.begin, sh.end);
   void* base = ::mmap(nullptr, static_cast<size_t>(bytes),
                       PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
   ::close(fd);
@@ -375,7 +516,7 @@ Status ShardStore::MapShard(int64_t shard) {
 void ShardStore::UnmapShard(int64_t shard) {
   Shard& sh = shards_[static_cast<size_t>(shard)];
   if (sh.base == nullptr) return;
-  const int64_t bytes = ShardBytes(sh.begin, sh.end, dim_);
+  const int64_t bytes = ShardByteSize(sh.begin, sh.end);
   // MAP_SHARED dirty pages survive the unmap in the page cache; durability
   // and checksums are re-established by Seal().
   ::munmap(sh.base, static_cast<size_t>(bytes));
@@ -385,7 +526,7 @@ void ShardStore::UnmapShard(int64_t shard) {
   stats_.resident_bytes -= bytes;
 }
 
-Result<float*> ShardStore::Acquire(int64_t shard) {
+Result<char*> ShardStore::Acquire(int64_t shard) {
   Shard& sh = shards_[static_cast<size_t>(shard)];
   if (sh.base == nullptr) {
     CAME_RETURN_IF_ERROR(MapShard(shard));
@@ -393,24 +534,43 @@ Result<float*> ShardStore::Acquire(int64_t shard) {
     ++stats_.map_hits;
   }
   sh.last_use = ++clock_;
-  return static_cast<float*>(sh.base);
+  return static_cast<char*>(sh.base);
+}
+
+char* ShardStore::AcquirePanel(int64_t begin, int64_t end,
+                               int64_t* shard_out) {
+  CAME_CHECK_LT(begin, end);
+  CAME_CHECK_GE(begin, 0);
+  CAME_CHECK_LE(end, rows_);
+  const int64_t shard = ShardIndex(begin);
+  CAME_CHECK_LE(end, shards_[static_cast<size_t>(shard)].end)
+      << "panel crosses a shard boundary";
+  Result<char*> base = Acquire(shard);
+  CAME_CHECK(base.ok()) << base.status().ToString();
+  *shard_out = shard;
+  return base.value();
 }
 
 const float* ShardStore::Row(int64_t r) {
+  CAME_CHECK(dtype_ == ShardDtype::kF32)
+      << "fp32 row access on a " << ShardDtypeName(dtype_) << " store";
   CAME_CHECK_GE(r, 0);
   CAME_CHECK_LT(r, rows_);
   const int64_t shard = ShardIndex(r);
-  Result<float*> base = Acquire(shard);
+  Result<char*> base = Acquire(shard);
   CAME_CHECK(base.ok()) << base.status().ToString();
-  return base.value() +
+  return reinterpret_cast<const float*>(base.value()) +
          (r - shards_[static_cast<size_t>(shard)].begin) * dim_;
 }
 
 float* ShardStore::MutableRow(int64_t r) {
+  CAME_CHECK(dtype_ == ShardDtype::kF32)
+      << "quantized stores are immutable (dtype " << ShardDtypeName(dtype_)
+      << ")";
   CAME_CHECK_GE(r, 0);
   CAME_CHECK_LT(r, rows_);
   const int64_t shard = ShardIndex(r);
-  Result<float*> base = Acquire(shard);
+  Result<char*> base = Acquire(shard);
   CAME_CHECK(base.ok()) << base.status().ToString();
   Shard& sh = shards_[static_cast<size_t>(shard)];
   sh.dirty = true;
@@ -420,19 +580,43 @@ float* ShardStore::MutableRow(int64_t r) {
     const Status st = WriteManifest(/*sealed=*/false);
     CAME_CHECK(st.ok()) << st.ToString();
   }
-  return base.value() + (r - sh.begin) * dim_;
+  return reinterpret_cast<float*>(base.value()) + (r - sh.begin) * dim_;
 }
 
 const float* ShardStore::PanelRows(int64_t begin, int64_t end) {
-  CAME_CHECK_LT(begin, end);
-  CAME_CHECK_GE(begin, 0);
-  CAME_CHECK_LE(end, rows_);
-  const int64_t shard = ShardIndex(begin);
-  CAME_CHECK_LE(end, shards_[static_cast<size_t>(shard)].end)
-      << "panel crosses a shard boundary";
-  Result<float*> base = Acquire(shard);
-  CAME_CHECK(base.ok()) << base.status().ToString();
-  return base.value() +
+  CAME_CHECK(dtype_ == ShardDtype::kF32)
+      << "fp32 panel access on a " << ShardDtypeName(dtype_) << " store";
+  int64_t shard = 0;
+  const char* base = AcquirePanel(begin, end, &shard);
+  return reinterpret_cast<const float*>(base) +
+         (begin - shards_[static_cast<size_t>(shard)].begin) * dim_;
+}
+
+const int8_t* ShardStore::QuantPanelRows(int64_t begin, int64_t end) {
+  CAME_CHECK(dtype_ == ShardDtype::kInt8)
+      << "int8 panel access on a " << ShardDtypeName(dtype_) << " store";
+  int64_t shard = 0;
+  const char* base = AcquirePanel(begin, end, &shard);
+  return reinterpret_cast<const int8_t*>(base) +
+         (begin - shards_[static_cast<size_t>(shard)].begin) * dim_;
+}
+
+const float* ShardStore::PanelScales(int64_t begin, int64_t end) {
+  CAME_CHECK(dtype_ == ShardDtype::kInt8)
+      << "row scales on a " << ShardDtypeName(dtype_) << " store";
+  int64_t shard = 0;
+  const char* base = AcquirePanel(begin, end, &shard);
+  const Shard& sh = shards_[static_cast<size_t>(shard)];
+  const char* scales = base + PadTo64((sh.end - sh.begin) * dim_);
+  return reinterpret_cast<const float*>(scales) + (begin - sh.begin);
+}
+
+const uint16_t* ShardStore::Bf16PanelRows(int64_t begin, int64_t end) {
+  CAME_CHECK(dtype_ == ShardDtype::kBf16)
+      << "bf16 panel access on a " << ShardDtypeName(dtype_) << " store";
+  int64_t shard = 0;
+  const char* base = AcquirePanel(begin, end, &shard);
+  return reinterpret_cast<const uint16_t*>(base) +
          (begin - shards_[static_cast<size_t>(shard)].begin) * dim_;
 }
 
@@ -446,7 +630,7 @@ Status ShardStore::Seal() {
   if (in_ram()) return Status::OK();
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& sh = shards_[i];
-    const int64_t bytes = ShardBytes(sh.begin, sh.end, dim_);
+    const int64_t bytes = ShardByteSize(sh.begin, sh.end);
     if (sh.base != nullptr) {
       if (::msync(sh.base, static_cast<size_t>(bytes), MS_SYNC) != 0) {
         return Status::IOError("msync " + SlabPath(static_cast<int64_t>(i)) +
@@ -480,9 +664,12 @@ uint32_t ShardStore::ContentCrc32() {
   uint32_t crc = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
     const Shard& sh = shards_[i];
-    const float* base = PanelRows(sh.begin, sh.end);
+    int64_t shard = 0;
+    // Raw slab bytes, not PanelRows: the hash covers whatever encoding
+    // the store carries (for fp32 that is the same bytes as before).
+    const char* base = AcquirePanel(sh.begin, sh.end, &shard);
     crc = io::Crc32(
-        base, static_cast<size_t>(ShardBytes(sh.begin, sh.end, dim_)), crc);
+        base, static_cast<size_t>(ShardByteSize(sh.begin, sh.end)), crc);
   }
   return crc;
 }

@@ -9,6 +9,14 @@
 
 namespace came::tensor {
 
+/// Element encoding of a ShardStore's slab payloads. The trainer always
+/// produces kF32 stores; kInt8/kBf16 stores are derived from a sealed
+/// fp32 store via ShardStore::Quantize and are immutable (serving-only).
+enum class ShardDtype : uint8_t { kF32 = 0, kInt8 = 1, kBf16 = 2 };
+
+/// "f32" | "int8" | "bf16".
+std::string ShardDtypeName(ShardDtype dtype);
+
 /// Residency policy for a ShardStore.
 struct ShardStoreOptions {
   /// Rows per on-disk slab. 0 means one slab covering every row — the
@@ -31,10 +39,16 @@ struct ShardStoreOptions {
 ///   * `manifest` — versioned, CRC-framed metadata (magic "CAMESHD1",
 ///     written atomically via the crash-safe temp+fsync+rename path):
 ///     shape, slab geometry, a sealed flag, and one payload CRC32 per
-///     slab.
-///   * `slab_<i>.bin` — raw little-endian float payload of rows
+///     slab. fp32 stores write manifest version 1 (bit-identical to the
+///     pre-quantization format); quantized stores write version 2, which
+///     adds one dtype byte after the version field.
+///   * `slab_<i>.bin` — raw little-endian payload of rows
 ///     [i*rows_per_shard, min((i+1)*rows_per_shard, rows)), no header,
-///     so a mapped slab is directly addressable at float alignment.
+///     so a mapped slab is directly addressable at element alignment.
+///     fp32/bf16 slabs are the bare row data; int8 slabs are the int8
+///     rows, zero-padded to a 64-byte boundary, followed by one fp32
+///     dequantization scale per row (the padding keeps the scale block
+///     float-aligned inside the mapping).
 ///
 /// Lifecycle: `Create` makes zero-filled slabs and an *unsealed*
 /// manifest; mutate rows freely; `Seal()` msyncs every dirty slab,
@@ -78,23 +92,47 @@ class ShardStore {
   static Result<ShardStore> Open(const std::string& dir,
                                  const ShardStoreOptions& options = {});
 
+  /// Re-encodes a sealed-or-unsealed fp32 store's rows into a new
+  /// *sealed* quantized store at `dir` (must not already hold a
+  /// manifest), streaming shard by shard so peak memory is one slab. The
+  /// geometry (rows_per_shard) is inherited from `src`. `dtype` must be
+  /// kInt8 or kBf16; rows containing NaN/Inf are rejected with
+  /// InvalidArgument. The result is immutable: MutableRow and the fp32
+  /// accessors CHECK-fail on it.
+  static Result<ShardStore> Quantize(ShardStore* src, const std::string& dir,
+                                     ShardDtype dtype,
+                                     const ShardStoreOptions& options = {});
+
   int64_t rows() const { return rows_; }
   int64_t dim() const { return dim_; }
+  ShardDtype dtype() const { return dtype_; }
   int64_t rows_per_shard() const { return rows_per_shard_; }
   int64_t num_shards() const { return static_cast<int64_t>(shards_.size()); }
   bool in_ram() const { return dir_.empty(); }
   const std::string& dir() const { return dir_; }
 
-  /// Read access to row `r`. May fault the owning slab in (and evict the
-  /// least-recently-used one).
+  /// Read access to row `r` (fp32 stores only). May fault the owning
+  /// slab in (and evict the least-recently-used one).
   const float* Row(int64_t r);
-  /// Write access; marks the owning slab dirty (its CRC is stale until
-  /// the next Seal).
+  /// Write access (fp32 stores only); marks the owning slab dirty (its
+  /// CRC is stale until the next Seal).
   float* MutableRow(int64_t r);
 
   /// Contiguous rows [begin, end), which must not cross a slab boundary
-  /// (use ShardEnd to clamp panels). Zero-copy into the mapping.
+  /// (use ShardEnd to clamp panels). Zero-copy into the mapping. fp32
+  /// stores only — quantized stores serve the accessors below.
   const float* PanelRows(int64_t begin, int64_t end);
+
+  /// int8 rows [begin, end) of a kInt8 store (same boundary and lifetime
+  /// contract as PanelRows).
+  const int8_t* QuantPanelRows(int64_t begin, int64_t end);
+  /// Per-row fp32 dequantization scales for rows [begin, end) of a kInt8
+  /// store, indexed panel-locally. Lives in the same mapping as
+  /// QuantPanelRows for the same range, so both pointers are usable
+  /// together.
+  const float* PanelScales(int64_t begin, int64_t end);
+  /// bf16 rows [begin, end) of a kBf16 store.
+  const uint16_t* Bf16PanelRows(int64_t begin, int64_t end);
 
   /// Exclusive end of the slab containing `row` (clamped to rows()).
   int64_t ShardEnd(int64_t row) const;
@@ -128,8 +166,15 @@ class ShardStore {
 
   int64_t ShardIndex(int64_t row) const { return row / rows_per_shard_; }
   std::string SlabPath(int64_t shard) const;
+  /// On-disk slab bytes for rows [begin, end) under this store's dtype
+  /// (int8 slabs include the padded scale block).
+  int64_t ShardByteSize(int64_t begin, int64_t end) const;
   /// Ensures the shard is mapped; returns its payload base.
-  Result<float*> Acquire(int64_t shard);
+  Result<char*> Acquire(int64_t shard);
+  /// Acquire + CHECK-on-IO-failure, with the panel bounds checks shared
+  /// by every panel accessor. Returns the mapped slab base and (via
+  /// `shard_out`) the owning shard index.
+  char* AcquirePanel(int64_t begin, int64_t end, int64_t* shard_out);
   Status MapShard(int64_t shard);
   void UnmapShard(int64_t shard);
   Status WriteManifest(bool sealed);
@@ -139,6 +184,7 @@ class ShardStore {
   std::string dir_;
   int64_t rows_ = 0;
   int64_t dim_ = 0;
+  ShardDtype dtype_ = ShardDtype::kF32;
   int64_t rows_per_shard_ = 0;
   int64_t max_resident_ = 0;
   bool sealed_ = false;

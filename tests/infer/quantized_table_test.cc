@@ -1,0 +1,323 @@
+// QuantizedTable contract tests: Build rejects garbage, Save/Load is a
+// bitwise round trip for both encodings, the v1/v2 CAMEFET loaders
+// reject each other's files with a precise message, and the corruption
+// matrix (byte flip / truncation / trailing garbage) surfaces as
+// Corruption instead of being served.
+#include "infer/quantized_table.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "infer/fused_embedding_table.h"
+#include "infer/score_dtype.h"
+#include "tensor/qgemm.h"
+#include "tensor/tensor.h"
+
+namespace came::infer {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int64_t kN = 53;
+constexpr int64_t kDim = 7;
+
+FusedEmbeddingTable MakeTable(bool with_bias, uint64_t seed = 0xF00D) {
+  Rng rng(seed);
+  tensor::Tensor cand({kN, kDim});
+  for (int64_t i = 0; i < kN * kDim; ++i) {
+    cand.data()[i] = static_cast<float>(rng.Normal());
+  }
+  // One all-zero row: scale 0 must round-trip.
+  std::memset(cand.data() + 17 * kDim, 0, sizeof(float) * kDim);
+  tensor::Tensor bias;
+  if (with_bias) {
+    bias = tensor::Tensor({kN});
+    for (int64_t i = 0; i < kN; ++i) {
+      bias.data()[i] = static_cast<float>(rng.Normal());
+    }
+  }
+  return FusedEmbeddingTable("QuantFixture", cand, bias, tensor::Tensor());
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+class QuantizedTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/came_qtable_test_" + std::to_string(getpid());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(QuantizedTableTest, BuildInt8MatchesDirectQuantization) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/true);
+  const Result<QuantizedTable> built =
+      QuantizedTable::Build(table, ScoreDtype::kInt8);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const QuantizedTable& q = built.value();
+  EXPECT_EQ(q.dtype(), ScoreDtype::kInt8);
+  EXPECT_EQ(q.num_entities(), kN);
+  EXPECT_EQ(q.dim(), kDim);
+  EXPECT_EQ(q.model_name(), "QuantFixture");
+  ASSERT_TRUE(q.has_bias());
+  EXPECT_EQ(std::memcmp(q.bias().data(), table.bias().data(),
+                        sizeof(float) * kN),
+            0);
+
+  std::vector<int8_t> want_rows(static_cast<size_t>(kN * kDim));
+  std::vector<float> want_scales(static_cast<size_t>(kN));
+  ASSERT_TRUE(tensor::qgemm::QuantizeRowsInt8(table.candidates().data(), kN,
+                                              kDim, want_rows.data(),
+                                              want_scales.data())
+                  .ok());
+  EXPECT_EQ(std::memcmp(q.int8_rows(), want_rows.data(), want_rows.size()), 0);
+  EXPECT_EQ(std::memcmp(q.scales(), want_scales.data(),
+                        want_scales.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(q.scales()[17], 0.0f);  // the all-zero row
+  // int8 bytes + fp32 scales: well under the 0.3x fp32 budget.
+  EXPECT_EQ(q.entity_matrix_bytes(), kN * kDim + kN * 4);
+  EXPECT_LT(static_cast<double>(q.entity_matrix_bytes()),
+            0.5 * static_cast<double>(kN * kDim * 4));
+}
+
+TEST_F(QuantizedTableTest, BuildBf16MatchesDirectEncoding) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/false);
+  const Result<QuantizedTable> built =
+      QuantizedTable::Build(table, ScoreDtype::kBf16);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const QuantizedTable& q = built.value();
+  EXPECT_EQ(q.dtype(), ScoreDtype::kBf16);
+  EXPECT_FALSE(q.has_bias());
+  std::vector<uint16_t> want(static_cast<size_t>(kN * kDim));
+  ASSERT_TRUE(tensor::qgemm::EncodeRowsBf16(table.candidates().data(), kN,
+                                            kDim, want.data())
+                  .ok());
+  EXPECT_EQ(std::memcmp(q.bf16_rows(), want.data(),
+                        want.size() * sizeof(uint16_t)),
+            0);
+  EXPECT_EQ(q.entity_matrix_bytes(), kN * kDim * 2);
+}
+
+TEST_F(QuantizedTableTest, BuildRejectsFp32EmptyAndNonFinite) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/true);
+  const Result<QuantizedTable> fp32 =
+      QuantizedTable::Build(table, ScoreDtype::kFp32);
+  ASSERT_FALSE(fp32.ok());
+  EXPECT_EQ(fp32.status().code(), Status::Code::kInvalidArgument);
+
+  const FusedEmbeddingTable empty;
+  const Result<QuantizedTable> from_empty =
+      QuantizedTable::Build(empty, ScoreDtype::kInt8);
+  ASSERT_FALSE(from_empty.ok());
+  EXPECT_EQ(from_empty.status().code(), Status::Code::kInvalidArgument);
+
+  tensor::Tensor cand({2, 3});
+  for (int64_t i = 0; i < 6; ++i) cand.data()[i] = 1.0f;
+  cand.data()[4] = std::numeric_limits<float>::quiet_NaN();
+  const FusedEmbeddingTable poisoned("Poisoned", cand, tensor::Tensor(),
+                                     tensor::Tensor());
+  for (const ScoreDtype dtype : {ScoreDtype::kInt8, ScoreDtype::kBf16}) {
+    const Result<QuantizedTable> bad = QuantizedTable::Build(poisoned, dtype);
+    ASSERT_FALSE(bad.ok()) << ScoreDtypeName(dtype);
+    EXPECT_EQ(bad.status().code(), Status::Code::kInvalidArgument);
+    EXPECT_NE(bad.status().message().find("row 1"), std::string::npos)
+        << bad.status().ToString();
+  }
+}
+
+TEST_F(QuantizedTableTest, SaveLoadRoundTripInt8WithBias) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/true);
+  const QuantizedTable q =
+      QuantizedTable::Build(table, ScoreDtype::kInt8).value();
+  const std::string path = Path("int8.fet");
+  ASSERT_TRUE(q.Save(path).ok());
+
+  QuantizedTable loaded;
+  const Status st = QuantizedTable::Load(path, &loaded);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(loaded.model_name(), q.model_name());
+  EXPECT_EQ(loaded.dtype(), ScoreDtype::kInt8);
+  EXPECT_EQ(loaded.num_entities(), kN);
+  EXPECT_EQ(loaded.dim(), kDim);
+  EXPECT_EQ(std::memcmp(loaded.int8_rows(), q.int8_rows(),
+                        static_cast<size_t>(kN * kDim)),
+            0);
+  EXPECT_EQ(std::memcmp(loaded.scales(), q.scales(), sizeof(float) * kN), 0);
+  ASSERT_TRUE(loaded.has_bias());
+  EXPECT_EQ(std::memcmp(loaded.bias().data(), q.bias().data(),
+                        sizeof(float) * kN),
+            0);
+}
+
+TEST_F(QuantizedTableTest, SaveLoadRoundTripBf16NoBias) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/false);
+  const QuantizedTable q =
+      QuantizedTable::Build(table, ScoreDtype::kBf16).value();
+  const std::string path = Path("bf16.fet");
+  ASSERT_TRUE(q.Save(path).ok());
+
+  QuantizedTable loaded;
+  ASSERT_TRUE(QuantizedTable::Load(path, &loaded).ok());
+  EXPECT_EQ(loaded.dtype(), ScoreDtype::kBf16);
+  EXPECT_FALSE(loaded.has_bias());
+  EXPECT_EQ(std::memcmp(loaded.bf16_rows(), q.bf16_rows(),
+                        sizeof(uint16_t) * kN * kDim),
+            0);
+}
+
+TEST_F(QuantizedTableTest, VersionCrossLoadsGivePreciseErrors) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/true);
+  const std::string v1_path = Path("v1.fet");
+  ASSERT_TRUE(table.Save(v1_path).ok());
+  const std::string v2_path = Path("v2.fet");
+  ASSERT_TRUE(QuantizedTable::Build(table, ScoreDtype::kInt8)
+                  .value()
+                  .Save(v2_path)
+                  .ok());
+
+  // v2 file into the v1 loader: told to use QuantizedTable::Load.
+  FusedEmbeddingTable fp32_out;
+  const Status v1_st = FusedEmbeddingTable::Load(v2_path, &fp32_out);
+  ASSERT_FALSE(v1_st.ok());
+  EXPECT_EQ(v1_st.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(v1_st.message().find("QuantizedTable"), std::string::npos)
+      << v1_st.ToString();
+
+  // v1 file into the v2 loader: told to use FusedEmbeddingTable::Load.
+  QuantizedTable q_out;
+  const Status v2_st = QuantizedTable::Load(v1_path, &q_out);
+  ASSERT_FALSE(v2_st.ok());
+  EXPECT_EQ(v2_st.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(v2_st.message().find("FusedEmbeddingTable"), std::string::npos)
+      << v2_st.ToString();
+}
+
+// Corruption matrix: every single-byte flip past the version field, every
+// truncation point, and trailing garbage must load as an error (almost
+// always Corruption; flips inside a length field can surface as the
+// bounds check it trips). What must never happen is a silent "ok".
+TEST_F(QuantizedTableTest, CorruptionMatrixByteFlips) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/true);
+  const std::string path = Path("flip.fet");
+  ASSERT_TRUE(QuantizedTable::Build(table, ScoreDtype::kInt8)
+                  .value()
+                  .Save(path)
+                  .ok());
+  const std::string good = ReadAll(path);
+  ASSERT_GT(good.size(), 32u);
+
+  // Stride through the file so the test stays fast while still covering
+  // every section; always hit the first/last byte.
+  for (size_t pos = 0; pos < good.size();
+       pos = (pos + 13 < good.size() || pos == good.size() - 1)
+                 ? pos + 13
+                 : good.size() - 1) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    WriteAll(path, bad);
+    QuantizedTable out;
+    const Status st = QuantizedTable::Load(path, &out);
+    EXPECT_FALSE(st.ok()) << "byte flip at offset " << pos
+                          << " loaded successfully";
+  }
+}
+
+TEST_F(QuantizedTableTest, CorruptionMatrixTruncation) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/false);
+  const std::string path = Path("trunc.fet");
+  ASSERT_TRUE(QuantizedTable::Build(table, ScoreDtype::kBf16)
+                  .value()
+                  .Save(path)
+                  .ok());
+  const std::string good = ReadAll(path);
+  for (const size_t keep :
+       {size_t{0}, size_t{4}, size_t{15}, good.size() / 2, good.size() - 1}) {
+    WriteAll(path, good.substr(0, keep));
+    QuantizedTable out;
+    const Status st = QuantizedTable::Load(path, &out);
+    EXPECT_FALSE(st.ok()) << "truncated to " << keep << " bytes loaded";
+  }
+}
+
+TEST_F(QuantizedTableTest, CorruptionMatrixTrailingGarbage) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/true);
+  const std::string path = Path("trail.fet");
+  ASSERT_TRUE(QuantizedTable::Build(table, ScoreDtype::kInt8)
+                  .value()
+                  .Save(path)
+                  .ok());
+  const std::string good = ReadAll(path);
+  WriteAll(path, good + std::string(17, '\x5a'));
+  QuantizedTable out;
+  const Status st = QuantizedTable::Load(path, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kCorruption) << st.ToString();
+}
+
+TEST_F(QuantizedTableTest, PanelSourceServesPointerSlices) {
+  const FusedEmbeddingTable table = MakeTable(/*with_bias=*/true);
+  const QuantizedTable q =
+      QuantizedTable::Build(table, ScoreDtype::kInt8).value();
+  QuantizedTablePanelSource src(&q);
+  EXPECT_EQ(src.num_entities(), kN);
+  EXPECT_EQ(src.dim(), kDim);
+  EXPECT_TRUE(src.has_bias());
+  EXPECT_EQ(src.dtype(), ScoreDtype::kInt8);
+  EXPECT_EQ(src.PanelEnd(0), kN);  // in-RAM: no shard boundaries
+  EXPECT_EQ(src.PanelInt8(10, 20), q.int8_rows() + 10 * kDim);
+  EXPECT_EQ(src.PanelScales(10, 20), q.scales() + 10);
+  EXPECT_EQ(src.BiasPanel(10, 20), q.bias().data() + 10);
+  EXPECT_DEATH(src.Panel(0, 10), "");
+
+  const QuantizedTable qb =
+      QuantizedTable::Build(table, ScoreDtype::kBf16).value();
+  QuantizedTablePanelSource srcb(&qb);
+  EXPECT_EQ(srcb.dtype(), ScoreDtype::kBf16);
+  EXPECT_EQ(srcb.PanelBf16(3, 9), qb.bf16_rows() + 3 * kDim);
+  EXPECT_DEATH(srcb.PanelInt8(0, 1), "");
+}
+
+TEST(ScoreDtypeTest, ParseAndName) {
+  EXPECT_EQ(ScoreDtypeName(ScoreDtype::kFp32), "fp32");
+  EXPECT_EQ(ScoreDtypeName(ScoreDtype::kInt8), "int8");
+  EXPECT_EQ(ScoreDtypeName(ScoreDtype::kBf16), "bf16");
+  for (const ScoreDtype d :
+       {ScoreDtype::kFp32, ScoreDtype::kInt8, ScoreDtype::kBf16}) {
+    const Result<ScoreDtype> parsed = ParseScoreDtype(ScoreDtypeName(d));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), d);
+  }
+  EXPECT_FALSE(ParseScoreDtype("fp16").ok());
+  EXPECT_FALSE(ParseScoreDtype("").ok());
+}
+
+}  // namespace
+}  // namespace came::infer

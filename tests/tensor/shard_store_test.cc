@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/io.h"
+#include "tensor/qgemm.h"
 
 namespace came::tensor {
 namespace {
@@ -298,6 +302,239 @@ TEST_F(ShardStoreCorruptionTest, SizeCheckOnlyOpenStillCatchesTruncation) {
   const std::string pristine = ReadAll(slab(0));
   WriteAll(slab(0), pristine.substr(0, pristine.size() - 1));
   EXPECT_FALSE(ShardStore::Open(dir_, opts).ok());
+}
+
+// --- quantized stores -----------------------------------------------------
+
+class ShardStoreQuantizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    src_dir_ = TestDir("quant_src");
+    ShardStoreOptions opts;
+    opts.rows_per_shard = 4;  // ceil(10 / 4) = 3 shards, short tail
+    Result<ShardStore> created = ShardStore::Create(src_dir_, 10, 3, opts);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    src_ = std::move(created).value();
+    FillStore(&src_);
+    // An all-zero row: its int8 scale must round-trip as exactly 0.
+    std::memset(src_.MutableRow(6), 0, sizeof(float) * 3);
+    ASSERT_TRUE(src_.Seal().ok());
+  }
+
+  std::string src_dir_;
+  ShardStore src_;
+};
+
+TEST_F(ShardStoreQuantizeTest, Int8QuantizeMatchesDirectQuantization) {
+  const std::string dir = TestDir("quant_int8");
+  Result<ShardStore> made = ShardStore::Quantize(&src_, dir, ShardDtype::kInt8);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  ShardStore& q = made.value();
+  EXPECT_EQ(q.dtype(), ShardDtype::kInt8);
+  EXPECT_EQ(q.rows(), 10);
+  EXPECT_EQ(q.dim(), 3);
+  EXPECT_EQ(q.rows_per_shard(), 4);  // geometry inherited
+  EXPECT_EQ(q.num_shards(), 3);
+
+  // Per shard: the slab contents equal quantizing the fp32 rows directly.
+  for (int64_t begin = 0; begin < 10; begin = q.ShardEnd(begin)) {
+    const int64_t end = q.ShardEnd(begin);
+    const int64_t rows = end - begin;
+    const float* fp32 = src_.PanelRows(begin, end);
+    std::vector<int8_t> want_q(static_cast<size_t>(rows * 3));
+    std::vector<float> want_s(static_cast<size_t>(rows));
+    ASSERT_TRUE(qgemm::QuantizeRowsInt8(fp32, rows, 3, want_q.data(),
+                                        want_s.data())
+                    .ok());
+    EXPECT_EQ(std::memcmp(q.QuantPanelRows(begin, end), want_q.data(),
+                          want_q.size()),
+              0)
+        << "shard at row " << begin;
+    EXPECT_EQ(std::memcmp(q.PanelScales(begin, end), want_s.data(),
+                          want_s.size() * sizeof(float)),
+              0);
+  }
+  EXPECT_EQ(q.PanelScales(4, 8)[2], 0.0f);  // row 6, the all-zero row
+
+  // Sealed from birth: a fresh Open succeeds and verifies CRCs.
+  Result<ShardStore> reopened = ShardStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().dtype(), ShardDtype::kInt8);
+  EXPECT_EQ(reopened.value().ContentCrc32(), q.ContentCrc32());
+
+#if GTEST_HAS_DEATH_TEST
+  // Quantized stores are immutable and fp32-accessor-free.
+  EXPECT_DEATH(q.MutableRow(0), "");
+  EXPECT_DEATH(q.Row(0), "");
+  EXPECT_DEATH(q.PanelRows(0, 4), "");
+  EXPECT_DEATH(q.Bf16PanelRows(0, 4), "");
+#endif
+}
+
+TEST_F(ShardStoreQuantizeTest, Bf16QuantizeMatchesDirectEncoding) {
+  const std::string dir = TestDir("quant_bf16");
+  Result<ShardStore> made = ShardStore::Quantize(&src_, dir, ShardDtype::kBf16);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  ShardStore& q = made.value();
+  EXPECT_EQ(q.dtype(), ShardDtype::kBf16);
+  for (int64_t begin = 0; begin < 10; begin = q.ShardEnd(begin)) {
+    const int64_t end = q.ShardEnd(begin);
+    const int64_t rows = end - begin;
+    std::vector<uint16_t> want(static_cast<size_t>(rows * 3));
+    ASSERT_TRUE(qgemm::EncodeRowsBf16(src_.PanelRows(begin, end), rows, 3,
+                                      want.data())
+                    .ok());
+    EXPECT_EQ(std::memcmp(q.Bf16PanelRows(begin, end), want.data(),
+                          want.size() * sizeof(uint16_t)),
+              0);
+  }
+  Result<ShardStore> reopened = ShardStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().dtype(), ShardDtype::kBf16);
+}
+
+TEST_F(ShardStoreQuantizeTest, QuantizeRejectsBadInputs) {
+  // Target dtype must be a quantized one.
+  EXPECT_FALSE(
+      ShardStore::Quantize(&src_, TestDir("quant_f32"), ShardDtype::kF32)
+          .ok());
+  // Destination must not already hold a manifest.
+  EXPECT_FALSE(
+      ShardStore::Quantize(&src_, src_dir_, ShardDtype::kInt8).ok());
+  // A quantized store cannot be quantized again.
+  const std::string dir = TestDir("quant_again_src");
+  Result<ShardStore> once = ShardStore::Quantize(&src_, dir, ShardDtype::kInt8);
+  ASSERT_TRUE(once.ok());
+  EXPECT_FALSE(ShardStore::Quantize(&once.value(), TestDir("quant_again_dst"),
+                                    ShardDtype::kBf16)
+                   .ok());
+}
+
+TEST_F(ShardStoreQuantizeTest, QuantizeRejectsNonFiniteRows) {
+  const std::string bad_dir = TestDir("quant_nan_src");
+  Result<ShardStore> created = ShardStore::Create(bad_dir, 4, 2);
+  ASSERT_TRUE(created.ok());
+  FillStore(&created.value());
+  created.value().MutableRow(2)[1] = std::numeric_limits<float>::quiet_NaN();
+  for (const ShardDtype dtype : {ShardDtype::kInt8, ShardDtype::kBf16}) {
+    Result<ShardStore> q = ShardStore::Quantize(
+        &created.value(), TestDir("quant_nan_dst"), dtype);
+    ASSERT_FALSE(q.ok()) << ShardDtypeName(dtype);
+    EXPECT_EQ(q.status().code(), Status::Code::kInvalidArgument);
+  }
+}
+
+// Corruption matrix for the quantized container: the v2 manifest (with
+// its dtype byte) and the int8 slab layout (padded rows + scale block)
+// must be covered by the same CRC framing as fp32 stores.
+class QuantShardCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string src_dir = TestDir("qcorrupt_src");
+    ShardStoreOptions opts;
+    opts.rows_per_shard = 4;
+    Result<ShardStore> created = ShardStore::Create(src_dir, 10, 3, opts);
+    ASSERT_TRUE(created.ok());
+    FillStore(&created.value());
+    ASSERT_TRUE(created.value().Seal().ok());
+    dir_ = TestDir("qcorrupt");
+    Result<ShardStore> q =
+        ShardStore::Quantize(&created.value(), dir_, ShardDtype::kInt8);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::string out;
+    const Status st = io::ReadFile(path, &out);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  static void WriteAll(const std::string& path, const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  std::string manifest() const { return dir_ + "/manifest"; }
+  std::string slab(int i) const {
+    return dir_ + "/slab_" + std::to_string(i) + ".bin";
+  }
+
+  std::string dir_;
+};
+
+TEST_F(QuantShardCorruptionTest, EveryManifestByteFlipIsDetected) {
+  const std::string pristine = ReadAll(manifest());
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    std::string bad = pristine;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    WriteAll(manifest(), bad);
+    EXPECT_FALSE(ShardStore::Open(dir_).ok())
+        << "flip at v2 manifest byte " << i;
+  }
+  WriteAll(manifest(), pristine);
+  EXPECT_TRUE(ShardStore::Open(dir_).ok());
+}
+
+TEST_F(QuantShardCorruptionTest, ManifestTruncationAndTrailingDetected) {
+  const std::string pristine = ReadAll(manifest());
+  for (size_t len = 0; len < pristine.size(); len += 3) {
+    WriteAll(manifest(), pristine.substr(0, len));
+    EXPECT_FALSE(ShardStore::Open(dir_).ok()) << "truncated to " << len;
+  }
+  WriteAll(manifest(), pristine + "x");
+  Result<ShardStore> trailing = ShardStore::Open(dir_);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(QuantShardCorruptionTest, SlabFlipsDetectedInRowsPadAndScales) {
+  // Slab 0 holds 4 rows x 3 cols int8 (12 bytes), zero-pad to 64, then
+  // 4 fp32 scales: flip one byte in each region.
+  const std::string pristine = ReadAll(slab(0));
+  ASSERT_EQ(pristine.size(), 64u + 16u);
+  for (const size_t at : {size_t{5}, size_t{30}, size_t{66}}) {
+    std::string bad = pristine;
+    bad[at] = static_cast<char>(bad[at] ^ 0x01);
+    WriteAll(slab(0), bad);
+    Result<ShardStore> opened = ShardStore::Open(dir_);
+    ASSERT_FALSE(opened.ok()) << "flip at slab byte " << at;
+    EXPECT_EQ(opened.status().code(), Status::Code::kCorruption);
+  }
+  WriteAll(slab(0), pristine);
+  EXPECT_TRUE(ShardStore::Open(dir_).ok());
+}
+
+TEST_F(QuantShardCorruptionTest, SlabTruncationAndTrailingDetected) {
+  const std::string pristine = ReadAll(slab(1));
+  WriteAll(slab(1), pristine.substr(0, pristine.size() - 4));
+  Result<ShardStore> truncated = ShardStore::Open(dir_);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), Status::Code::kCorruption);
+  WriteAll(slab(1), pristine + std::string(4, '\0'));
+  Result<ShardStore> trailing = ShardStore::Open(dir_);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(QuantShardCorruptionTest, ManifestDtypeByteFlipIsDetected) {
+  // Flipping the dtype byte alone (byte right after the u64 version in
+  // the framed payload) must fail the manifest CRC — a store can never
+  // silently change encoding.
+  const std::string pristine = ReadAll(manifest());
+  bool found_int8_byte = false;
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    if (pristine[i] != 0x01) continue;
+    found_int8_byte = true;
+    std::string bad = pristine;
+    bad[i] = 0x02;  // int8 -> bf16
+    WriteAll(manifest(), bad);
+    EXPECT_FALSE(ShardStore::Open(dir_).ok()) << "dtype swap at byte " << i;
+  }
+  ASSERT_TRUE(found_int8_byte);
+  WriteAll(manifest(), pristine);
+  EXPECT_TRUE(ShardStore::Open(dir_).ok());
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""CI gate for the quantized serving path.
+
+Reads the BENCH_serving.json emitted by bench_serving and enforces the
+quantized-vs-fp32 quality floor on the int8 section:
+
+  * top-K agreement >= the floor (default 0.99),
+  * entity-matrix bytes <= the ratio ceiling (default 0.3x fp32),
+  * the parity numbers were produced on the *expected pinned kernel*
+    (default scalar), so the gated values are host-independent,
+  * quantized throughput at the max thread count is reported (and gated
+    only by --min_throughput_ratio when explicitly requested: wall-clock
+    numbers from shared CI runners are too noisy for a hard default gate).
+
+Exit code 0 when every check passes, 1 with a per-check report otherwise.
+
+Usage:
+  check_serving_parity.py --json BENCH_serving.json [--min_agreement 0.99]
+      [--max_bytes_ratio 0.3] [--expect_kernel scalar]
+      [--min_throughput_ratio R]
+  check_serving_parity.py --self-test
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+
+
+def check(bench, min_agreement, max_bytes_ratio, expect_kernel,
+          min_throughput_ratio):
+    """Returns a list of failure strings (empty = gate passes)."""
+    failures = []
+    quant = bench.get("quantized")
+    if quant is None:
+        return ["BENCH_serving.json has no \"quantized\" section"]
+    int8 = quant.get("int8")
+    if int8 is None:
+        return ["\"quantized\" section has no \"int8\" entry"]
+
+    kernel = int8.get("parity_kernel")
+    if kernel != expect_kernel:
+        failures.append(
+            f"parity kernel is {kernel!r}, expected {expect_kernel!r} — "
+            "the gated numbers are not host-independent")
+
+    agreement = int8.get("agreement_at_k", 0.0)
+    if agreement < min_agreement:
+        failures.append(
+            f"int8 top-K agreement {agreement:.4f} < floor {min_agreement}")
+
+    ratio = int8.get("bytes_ratio", 1.0)
+    if ratio > max_bytes_ratio:
+        failures.append(
+            f"int8 entity-matrix bytes {ratio:.3f}x fp32 > "
+            f"ceiling {max_bytes_ratio}x")
+
+    if min_throughput_ratio is not None:
+        tput = int8.get("throughput_vs_fp32", 0.0)
+        if tput < min_throughput_ratio:
+            failures.append(
+                f"int8 throughput {tput:.2f}x fp32 < "
+                f"floor {min_throughput_ratio}x")
+    return failures
+
+
+def run_gate(args):
+    with open(args.json, "r", encoding="utf-8") as f:
+        bench = json.load(f)
+    failures = check(bench, args.min_agreement, args.max_bytes_ratio,
+                     args.expect_kernel, args.min_throughput_ratio)
+    int8 = bench.get("quantized", {}).get("int8", {})
+    print(f"quantized serving gate ({args.json}):")
+    print(f"  parity kernel      {int8.get('parity_kernel')}")
+    print(f"  agreement@K        {int8.get('agreement_at_k')}")
+    print(f"  jaccard@K          {int8.get('jaccard_at_k')}")
+    print(f"  max |score err|    {int8.get('max_abs_score_err')}")
+    print(f"  bytes vs fp32      {int8.get('bytes_ratio')}")
+    print(f"  throughput vs fp32 {int8.get('throughput_vs_fp32')}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+def self_test():
+    """The gate gates itself: known-good and each known-bad shape."""
+    good = {
+        "quantized": {
+            "int8": {
+                "parity_kernel": "scalar",
+                "agreement_at_k": 0.995,
+                "bytes_ratio": 0.28,
+                "throughput_vs_fp32": 1.1,
+            }
+        }
+    }
+    cases = []
+
+    def variant(**overrides):
+        bench = json.loads(json.dumps(good))
+        bench["quantized"]["int8"].update(overrides)
+        return bench
+
+    cases.append(("good", good, 0))
+    cases.append(("low agreement", variant(agreement_at_k=0.98), 1))
+    cases.append(("fat bytes", variant(bytes_ratio=0.5), 1))
+    cases.append(("wrong kernel", variant(parity_kernel="vnni"), 1))
+    cases.append(("missing section", {"bench": "serving"}, 1))
+    cases.append(("missing int8", {"quantized": {}}, 1))
+
+    failed = []
+    for name, bench, want in cases:
+        got = 1 if check(bench, 0.99, 0.3, "scalar", None) else 0
+        if got != want:
+            failed.append(f"{name}: gate returned {got}, wanted {want}")
+    # Throughput is only gated when a floor is passed explicitly.
+    if check(variant(throughput_vs_fp32=0.5), 0.99, 0.3, "scalar", None):
+        failed.append("throughput gated without an explicit floor")
+    if not check(variant(throughput_vs_fp32=0.5), 0.99, 0.3, "scalar", 1.0):
+        failed.append("throughput floor not enforced when requested")
+    # End to end through a real temp file.
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+        json.dump(good, f)
+        path = f.name
+    ns = argparse.Namespace(json=path, min_agreement=0.99,
+                            max_bytes_ratio=0.3, expect_kernel="scalar",
+                            min_throughput_ratio=None)
+    if run_gate(ns) != 0:
+        failed.append("end-to-end run on known-good JSON failed")
+
+    if failed:
+        for f in failed:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test: {len(cases) + 3} cases OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", help="BENCH_serving.json to gate")
+    parser.add_argument("--min_agreement", type=float, default=0.99)
+    parser.add_argument("--max_bytes_ratio", type=float, default=0.3)
+    parser.add_argument("--expect_kernel", default="scalar")
+    parser.add_argument("--min_throughput_ratio", type=float, default=None)
+    parser.add_argument("--self-test", action="store_true",
+                        dest="self_test")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.json:
+        parser.error("--json is required unless --self-test")
+    return run_gate(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
