@@ -23,15 +23,26 @@
 // resolved kernel is recorded in the JSON and asserted to match the
 // request. Throughput is then measured on the auto-dispatched kernel.
 //
+// A third section measures the exact panel-skip pruning on a
+// deliberately norm-skewed synthetic table (a hot band of large-norm
+// rows in front of a long small-norm tail — the shape pruning exists
+// for): prune-on (concurrent sweeps) vs prune-off (the pre-pruning
+// serialised server) QPS/p99 at 1/4/8 clients, the fraction of panels
+// skipped, and a pruned-vs-unpruned bitwise parity grid over
+// {fp32, int8, bf16} x {plain, ties, NaN, filtered} that
+// tools/check_serving_parity.py gates on.
+//
 // Run:  ./bench_serving [scale] [ignored] [--json_out=PATH]
 //                       [--pin_kernel=scalar|avx2|vnni]
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iterator>
 #include <future>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,7 +56,9 @@
 #include "infer/fused_embedding_table.h"
 #include "infer/score_dtype.h"
 #include "infer/score_server.h"
+#include "kg/filter_index.h"
 #include "tensor/qgemm.h"
+#include "tensor/tensor.h"
 
 namespace came {
 namespace {
@@ -86,9 +99,11 @@ ModeResult RunUnbatched(infer::ScoreServer* server,
         const size_t i = next.fetch_add(1);
         if (i >= heads.size()) return;
         Stopwatch sw;
-        const infer::TopKResult r = server->TopK(heads[i], rels[i], kTopK);
+        const Result<infer::TopKResult> r =
+            server->TopK(heads[i], rels[i], kTopK);
         lat_us[static_cast<size_t>(t)].push_back(sw.ElapsedSeconds() * 1e6);
-        CAME_CHECK(!r.ids.empty());
+        CAME_CHECK(r.ok()) << r.status().ToString();
+        CAME_CHECK(!r.value().ids.empty());
       }
     });
   }
@@ -203,9 +218,13 @@ QuantResult RunQuantized(infer::ScoreServer* fp32_server,
   double agreement_sum = 0;
   double jaccard_sum = 0;
   for (size_t i = 0; i < heads.size(); ++i) {
-    const infer::TopKResult want =
+    Result<infer::TopKResult> want_r =
         fp32_server->TopK(heads[i], rels[i], kTopK);
-    const infer::TopKResult got = qserver.TopK(heads[i], rels[i], kTopK);
+    CAME_CHECK(want_r.ok()) << want_r.status().ToString();
+    Result<infer::TopKResult> got_r = qserver.TopK(heads[i], rels[i], kTopK);
+    CAME_CHECK(got_r.ok()) << got_r.status().ToString();
+    const infer::TopKResult want = std::move(want_r).value();
+    const infer::TopKResult got = std::move(got_r).value();
     std::vector<int64_t> a = want.ids;
     std::vector<int64_t> b = got.ids;
     std::sort(a.begin(), a.end());
@@ -222,8 +241,10 @@ QuantResult RunQuantized(infer::ScoreServer* fp32_server,
     // restricted fp32 query — the score error the user actually sees.
     infer::TopKOptions opts;
     opts.restrict_to = &b;
-    const infer::TopKResult ref =
+    Result<infer::TopKResult> ref_r =
         fp32_server->TopK(heads[i], rels[i], kTopK, opts);
+    CAME_CHECK(ref_r.ok()) << ref_r.status().ToString();
+    const infer::TopKResult ref = std::move(ref_r).value();
     for (size_t r = 0; r < got.ids.size(); ++r) {
       for (size_t s = 0; s < ref.ids.size(); ++s) {
         if (ref.ids[s] != got.ids[r]) continue;
@@ -244,6 +265,164 @@ QuantResult RunQuantized(infer::ScoreServer* fp32_server,
       fp32_qps_at_max > 0 ? t.qps / fp32_qps_at_max : 0;
   tensor::qgemm::SetKernel(pin_kernel);
   return res;
+}
+
+// ---------------------------------------------------------------------------
+// Exact panel-skip pruning section.
+// ---------------------------------------------------------------------------
+
+// Deterministic splitmix64-style hash to a float in [-1, 1).
+float HashUnit(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<float>(
+      static_cast<double>(x >> 11) / 4503599627370496.0 - 1.0);
+}
+
+// Norm-skewed serving table: `hot` full-scale rows up front, then a long
+// tail of tiny-norm rows — the shape pruning exists for. Top-K answers
+// live in the hot band, so once the heaps fill, every tail panel's bound
+// loses to the K-th best and its GEMM is skipped.
+infer::FusedEmbeddingTable MakeSkewedTable(int64_t n, int64_t d,
+                                           int64_t hot) {
+  tensor::Tensor cand =
+      tensor::Tensor::Uninitialized({n, d});
+  tensor::Tensor bias = tensor::Tensor::Uninitialized({n});
+  for (int64_t i = 0; i < n; ++i) {
+    const float scale = i < hot ? 1.0f : 0.01f;
+    for (int64_t j = 0; j < d; ++j) {
+      cand.data()[i * d + j] =
+          scale * HashUnit(static_cast<uint64_t>(i) * 10007u +
+                           static_cast<uint64_t>(j));
+    }
+    bias.data()[i] = 0.001f * HashUnit(0xb1a5u + static_cast<uint64_t>(i));
+  }
+  return infer::FusedEmbeddingTable("skewed", std::move(cand),
+                                    std::move(bias), tensor::Tensor());
+}
+
+// Tie-and-NaN torture table for the parity grid: a hot band of distinct
+// rows, then a tail that cycles 29 row patterns (identical rows across
+// panels force score ties resolved by entity id), every value quantized
+// to a coarse grid so quantized dtypes tie too. All values finite so the
+// int8/bf16 builders accept it; NaN coverage comes from a NaN *query*.
+infer::FusedEmbeddingTable MakeTieTable(int64_t n, int64_t d, int64_t hot) {
+  auto grid = [](float v) { return std::round(v * 8.0f) / 8.0f; };
+  tensor::Tensor cand = tensor::Tensor::Uninitialized({n, d});
+  tensor::Tensor bias = tensor::Tensor::Uninitialized({n});
+  for (int64_t i = 0; i < n; ++i) {
+    const bool in_hot = i < hot;
+    const float scale = in_hot ? 1.0f : 0.05f;
+    const uint64_t pattern =
+        in_hot ? static_cast<uint64_t>(i)
+               : static_cast<uint64_t>(hot + (i - hot) % 29);
+    for (int64_t j = 0; j < d; ++j) {
+      cand.data()[i * d + j] =
+          scale * grid(HashUnit(pattern * 131071u +
+                                static_cast<uint64_t>(j)));
+    }
+    bias.data()[i] = 0.125f * grid(HashUnit(0xb1a5u + pattern));
+  }
+  return infer::FusedEmbeddingTable("ties", std::move(cand), std::move(bias),
+                                    tensor::Tensor());
+}
+
+// Head id the parity encoder maps to an all-NaN query row (a diverged
+// encoder in production) — exercises the NaN ordering under pruning.
+constexpr int64_t kNaNQueryHead = 3;
+
+infer::QueryEncoder SyntheticEncoder(int64_t d, bool nan_head) {
+  return [d, nan_head](const std::vector<int64_t>& heads,
+                       const std::vector<int64_t>& rels) {
+    tensor::Tensor q = tensor::Tensor::Uninitialized(
+        {static_cast<int64_t>(heads.size()), d});
+    for (size_t i = 0; i < heads.size(); ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        q.data()[static_cast<int64_t>(i) * d + j] =
+            nan_head && heads[i] == kNaNQueryHead
+                ? std::numeric_limits<float>::quiet_NaN()
+                : HashUnit(static_cast<uint64_t>(heads[i]) * 1000003u +
+                           static_cast<uint64_t>(rels[i]) * 257u +
+                           static_cast<uint64_t>(j));
+      }
+    }
+    return q;
+  };
+}
+
+bool SameTopK(const infer::TopKResult& a, const infer::TopKResult& b) {
+  return a.ids == b.ids && a.scores.size() == b.scores.size() &&
+         std::memcmp(a.scores.data(), b.scores.data(),
+                     a.scores.size() * sizeof(float)) == 0;
+}
+
+struct ParityCounts {
+  int64_t cases = 0;
+  int64_t mismatches = 0;
+};
+
+// Pruned-vs-unpruned bitwise parity over one dtype: plain/deep-K/NaN
+// query/filtered/excluded top-K plus RankOf, between two servers over the
+// same table that differ only in config.prune.
+void RunPruneParity(const infer::FusedEmbeddingTable* table,
+                    infer::ScoreDtype dtype, ParityCounts* counts,
+                    int64_t* panels_skipped) {
+  const int64_t n = table->num_entities();
+  infer::QueryEncoder enc = SyntheticEncoder(table->dim(), true);
+  infer::ScoreServerConfig on_cfg;
+  on_cfg.dtype = dtype;
+  on_cfg.prune = true;
+  on_cfg.panel_width = 256;
+  infer::ScoreServerConfig off_cfg = on_cfg;
+  off_cfg.prune = false;
+  infer::ScoreServer on_server(enc, table, on_cfg);
+  infer::ScoreServer off_server(enc, table, off_cfg);
+
+  kg::FilterIndex filter(n, 2);
+  std::vector<kg::Triple> triples;
+  for (int64_t h = 0; h < 16; ++h) {
+    for (int64_t t = 0; t < n; t += 97) triples.push_back({h, 0, t});
+  }
+  filter.AddTriples(triples);
+  std::vector<int64_t> exclude;
+  for (int64_t t = 5; t < n; t += 61) exclude.push_back(t);
+
+  auto check_topk = [&](int64_t head, int64_t k,
+                        const infer::TopKOptions& opts) {
+    const Result<infer::TopKResult> got = on_server.TopK(head, 0, k, opts);
+    const Result<infer::TopKResult> want = off_server.TopK(head, 0, k, opts);
+    CAME_CHECK(got.ok() && want.ok());
+    ++counts->cases;
+    if (!SameTopK(got.value(), want.value())) ++counts->mismatches;
+  };
+  auto check_rank = [&](int64_t head, int64_t target,
+                        const infer::TopKOptions& opts) {
+    const Result<double> got = on_server.RankOf(head, 0, target, opts);
+    const Result<double> want = off_server.RankOf(head, 0, target, opts);
+    CAME_CHECK(got.ok() && want.ok());
+    ++counts->cases;
+    if (std::memcmp(&got.value(), &want.value(), sizeof(double)) != 0)
+      ++counts->mismatches;
+  };
+
+  for (int64_t head = 0; head < 24; ++head) {
+    check_topk(head, kTopK, {});
+    // Deep K reaches past the hot band into the tied tail, so the K-th
+    // boundary lands mid-tie.
+    check_topk(head, 100, {});
+    infer::TopKOptions fopts;
+    fopts.filter = &filter;
+    fopts.keep = 97;
+    check_topk(head, kTopK, fopts);
+    infer::TopKOptions eopts;
+    eopts.exclude = &exclude;
+    check_topk(head, kTopK, eopts);
+    check_rank(head, head % n, {});
+    check_rank(head, n - 1 - head, fopts);
+  }
+  *panels_skipped += on_server.GetStats().panels_skipped;
 }
 
 int Main(int argc, char** argv) {
@@ -298,7 +477,9 @@ int Main(int argc, char** argv) {
   }
 
   // Warm-up: prime the tensor pool and GEMM packing scratch.
-  (void)server.TopKBatch({heads[0], heads[1]}, {rels[0], rels[1]}, kTopK);
+  const Result<std::vector<infer::TopKResult>> warm =
+      server.TopKBatch({heads[0], heads[1]}, {rels[0], rels[1]}, kTopK);
+  CAME_CHECK(warm.ok()) << warm.status().ToString();
 
   std::vector<ModeResult> results;
   for (int threads = 1; threads <= kMaxThreads; threads *= 2) {
@@ -343,6 +524,82 @@ int Main(int argc, char** argv) {
         q.parity_kernel.c_str());
     quant.push_back(q);
   }
+
+  // --- Exact panel-skip pruning on a norm-skewed synthetic table. The
+  // prune-off arm also serialises sweeps (the pre-pruning server held one
+  // mutex across every sweep), so the speedup is the combined effect of
+  // pruning plus the concurrent-reader path.
+  const int64_t pn = 24000, pd = 64, phot = 256;
+  const infer::FusedEmbeddingTable skewed = MakeSkewedTable(pn, pd, phot);
+  infer::QueryEncoder penc = SyntheticEncoder(pd, false);
+  infer::ScoreServerConfig prune_off_cfg;
+  prune_off_cfg.prune = false;
+  prune_off_cfg.serialize_sweep = true;
+  infer::ScoreServerConfig prune_on_cfg;
+  prune_on_cfg.prune = true;
+  infer::ScoreServer prune_off_server(penc, &skewed, prune_off_cfg);
+  infer::ScoreServer prune_on_server(penc, &skewed, prune_on_cfg);
+
+  std::vector<int64_t> pheads;
+  std::vector<int64_t> prels;
+  for (size_t i = 0; i < kQueries; ++i) {
+    pheads.push_back(static_cast<int64_t>(i * 37) % pn);
+    prels.push_back(0);
+  }
+  {
+    const Result<infer::TopKResult> pwarm =
+        prune_on_server.TopK(pheads[0], 0, kTopK);
+    CAME_CHECK(pwarm.ok()) << pwarm.status().ToString();
+  }
+
+  std::vector<ModeResult> prune_results;
+  double prune_off_qps4 = 0;
+  double prune_on_qps4 = 0;
+  for (const int threads : {1, 4, 8}) {
+    ModeResult off = RunUnbatched(&prune_off_server, pheads, prels, threads);
+    off.mode = "prune_off";
+    ModeResult on = RunUnbatched(&prune_on_server, pheads, prels, threads);
+    on.mode = "prune_on";
+    for (const ModeResult* r : {&off, &on}) {
+      std::printf("%-9s t=%d  p50 %8.0fus  p99 %8.0fus  %8.1f qps\n",
+                  r->mode.c_str(), r->threads, r->p50_us, r->p99_us, r->qps);
+    }
+    if (threads == 4) {
+      prune_off_qps4 = off.qps;
+      prune_on_qps4 = on.qps;
+    }
+    prune_results.push_back(off);
+    prune_results.push_back(on);
+  }
+  const infer::ScoreServer::Stats prune_stats = prune_on_server.GetStats();
+  const double panels_total = static_cast<double>(
+      prune_stats.panels_scored + prune_stats.panels_skipped);
+  const double skip_ratio =
+      panels_total > 0
+          ? static_cast<double>(prune_stats.panels_skipped) / panels_total
+          : 0;
+  const double prune_speedup =
+      prune_off_qps4 > 0 ? prune_on_qps4 / prune_off_qps4 : 0;
+  std::printf("pruning: skipped %.1f%% of panels; prune_on/prune_off qps "
+              "at 4 clients: %.2fx\n",
+              100.0 * skip_ratio, prune_speedup);
+
+  // Bitwise parity grid, pruned vs unpruned, on the tie/NaN fixture. Runs
+  // on the pinned kernel so the CI-gated numbers are host-independent.
+  tensor::qgemm::SetKernel(pin_kernel);
+  const infer::FusedEmbeddingTable ties = MakeTieTable(1500, 16, 64);
+  ParityCounts parity;
+  int64_t parity_skipped = 0;
+  for (const infer::ScoreDtype dtype :
+       {infer::ScoreDtype::kFp32, infer::ScoreDtype::kInt8,
+        infer::ScoreDtype::kBf16}) {
+    RunPruneParity(&ties, dtype, &parity, &parity_skipped);
+  }
+  std::printf("prune parity: %lld cases, %lld mismatches, %lld panels "
+              "skipped across the grid\n",
+              static_cast<long long>(parity.cases),
+              static_cast<long long>(parity.mismatches),
+              static_cast<long long>(parity_skipped));
 
   JsonWriter w;
   w.BeginObject();
@@ -419,6 +676,57 @@ int Main(int argc, char** argv) {
     w.Double(q.throughput_vs_fp32);
     w.EndObject();
   }
+  w.EndObject();
+  w.Key("pruning");
+  w.BeginObject();
+  w.Key("num_entities");
+  w.Int(pn);
+  w.Key("dim");
+  w.Int(pd);
+  w.Key("hot_rows");
+  w.Int(phot);
+  w.Key("results");
+  w.BeginArray();
+  for (const ModeResult& r : prune_results) {
+    w.BeginObject();
+    w.Key("mode");
+    w.String(r.mode);
+    w.Key("threads");
+    w.Int(r.threads);
+    w.Key("p50_us");
+    w.Double(r.p50_us);
+    w.Key("p99_us");
+    w.Double(r.p99_us);
+    w.Key("qps");
+    w.Double(r.qps);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("panels_scored");
+  w.Int(prune_stats.panels_scored);
+  w.Key("panels_skipped");
+  w.Int(prune_stats.panels_skipped);
+  w.Key("panels_skipped_ratio");
+  w.Double(skip_ratio);
+  w.Key("bound_rejects");
+  w.Int(prune_stats.bound_rejects);
+  w.Key("combined_speedup_at_4_clients");
+  w.Double(prune_speedup);
+  w.Key("prune_parity");
+  w.BeginObject();
+  w.Key("parity_kernel");
+  w.String(pin_kernel_name);
+  w.Key("cases");
+  w.Int(parity.cases);
+  w.Key("mismatches");
+  w.Int(parity.mismatches);
+  w.Key("panels_skipped");
+  w.Int(parity_skipped);
+  w.Key("dtypes");
+  w.BeginArray();
+  for (const char* name : {"fp32", "int8", "bf16"}) w.String(name);
+  w.EndArray();
+  w.EndObject();
   w.EndObject();
   w.EndObject();
   if (w.WriteFile(json_out)) {

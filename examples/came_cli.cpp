@@ -278,9 +278,13 @@ int Predict(const std::map<std::string, std::string>& flags) {
     infer::ScoreServer server(ip, &table);
     infer::TopKOptions opts;
     opts.exclude = &exclude;
-    infer::TopKResult result = server.TopK(head, rel, topk, opts);
-    ids = std::move(result.ids);
-    top_scores = std::move(result.scores);
+    Result<infer::TopKResult> result = server.TopK(head, rel, topk, opts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    ids = std::move(result.value().ids);
+    top_scores = std::move(result.value().scores);
   } else {
     // Distance models have no candidate table to serve from; fall back to
     // a full scored scan in the same deterministic order.

@@ -99,7 +99,12 @@ int main(int argc, char** argv) {
   infer::TopKOptions opts;
   opts.restrict_to = &compounds;
   opts.exclude = &exclude;
-  const infer::TopKResult top = server.TopK(drug, ddi, 10, opts);
+  Result<infer::TopKResult> topr = server.TopK(drug, ddi, 10, opts);
+  if (!topr.ok()) {
+    std::fprintf(stderr, "%s\n", topr.status().ToString().c_str());
+    return 1;
+  }
+  const infer::TopKResult top = std::move(topr).value();
 
   std::printf("\nscreening report for %s (%s family):\n",
               ds.vocab.EntityName(drug).c_str(),

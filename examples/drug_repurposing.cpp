@@ -80,7 +80,12 @@ int main(int argc, char** argv) {
   int shown = 0;
   for (const kg::Triple& q : queries) {
     if (shown++ >= 3) break;
-    const infer::TopKResult top = server.TopK(q.head, q.rel, 5, opts);
+    Result<infer::TopKResult> topr = server.TopK(q.head, q.rel, 5, opts);
+    if (!topr.ok()) {
+      std::fprintf(stderr, "%s\n", topr.status().ToString().c_str());
+      return 1;
+    }
+    const infer::TopKResult top = std::move(topr).value();
     const auto family =
         static_cast<datagen::DrugFamily>(bkg.cluster[q.head]);
     std::printf("\ncandidate drug: %s (%s family)\n",

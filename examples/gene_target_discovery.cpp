@@ -96,7 +96,12 @@ int main(int argc, char** argv) {
   const auto genes = ds.vocab.EntitiesOfType(kg::EntityType::kGene);
   infer::TopKOptions opts;
   opts.restrict_to = &genes;
-  const infer::TopKResult top = server.TopK(q.head, q.rel, 5, opts);
+  Result<infer::TopKResult> topr = server.TopK(q.head, q.rel, 5, opts);
+  if (!topr.ok()) {
+    std::fprintf(stderr, "%s\n", topr.status().ToString().c_str());
+    return 1;
+  }
+  const infer::TopKResult top = std::move(topr).value();
   std::printf("\ncandidate targets for %s:\n",
               ds.vocab.EntityName(q.head).c_str());
   for (size_t i = 0; i < top.ids.size(); ++i) {

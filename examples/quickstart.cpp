@@ -115,7 +115,12 @@ int main(int argc, char** argv) {
   const infer::FusedEmbeddingTable table = infer::FusedEmbeddingTable::Build(ip);
   table.InstallFoldedRows(ip);
   infer::ScoreServer server(ip, &table);
-  const infer::TopKResult top = server.TopK(q.head, q.rel, 5);
+  Result<infer::TopKResult> topr = server.TopK(q.head, q.rel, 5);
+  if (!topr.ok()) {
+    std::fprintf(stderr, "%s\n", topr.status().ToString().c_str());
+    return 1;
+  }
+  const infer::TopKResult top = std::move(topr).value();
   for (size_t i = 0; i < top.ids.size(); ++i) {
     std::printf("  #%zu %-20s score %.2f%s\n", i + 1,
                 ds.vocab.EntityName(top.ids[i]).c_str(), top.scores[i],

@@ -1,6 +1,7 @@
 #include "infer/batching_front_end.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -64,7 +65,7 @@ void BatchingFrontEnd::WorkerLoop() {
       heads.push_back(p.head);
       rels.push_back(p.rel);
     }
-    std::vector<TopKResult> results =
+    Result<std::vector<TopKResult>> results =
         server_->TopKBatch(heads, rels, k_, opts_);
     // Count the batch before fulfilling its promises: the moment a
     // client's future resolves, GetStats already covers its query.
@@ -75,8 +76,17 @@ void BatchingFrontEnd::WorkerLoop() {
       stats_.max_coalesced = std::max(stats_.max_coalesced,
                                       static_cast<int64_t>(batch.size()));
     }
+    if (!results.ok()) {
+      // A rejected request (bad ids in this batch) fails every coalesced
+      // client with the server's message; the worker keeps serving.
+      for (Pending& p : batch) {
+        p.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error(results.status().ToString())));
+      }
+      continue;
+    }
     for (size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(std::move(results[i]));
+      batch[i].promise.set_value(std::move(results.value()[i]));
     }
   }
 }

@@ -1,5 +1,7 @@
 #include "infer/candidate_panels.h"
 
+#include <limits>
+
 #include "common/logging.h"
 
 namespace came::infer {
@@ -21,6 +23,18 @@ const uint16_t* CandidatePanelSource::PanelBf16(int64_t, int64_t) {
                     << " has no bf16 panels";
   return nullptr;
 }
+
+float CandidatePanelSource::PanelMaxNorm(int64_t, int64_t) const {
+  return std::numeric_limits<float>::infinity();
+}
+
+float CandidatePanelSource::PanelMaxBias(int64_t, int64_t) const {
+  return std::numeric_limits<float>::infinity();
+}
+
+int64_t CandidatePanelSource::AcquirePanelPin(int64_t, int64_t) { return -1; }
+
+void CandidatePanelSource::ReleasePanelPin(int64_t) {}
 
 FusedTablePanelSource::FusedTablePanelSource(const FusedEmbeddingTable* table)
     : table_(table) {
@@ -46,6 +60,14 @@ const float* FusedTablePanelSource::BiasPanel(int64_t begin, int64_t end) {
   CAME_CHECK_LT(begin, end);
   CAME_CHECK_LE(end, table_->num_entities());
   return table_->bias().data() + begin;
+}
+
+float FusedTablePanelSource::PanelMaxNorm(int64_t begin, int64_t end) const {
+  return table_->bounds().MaxNorm(begin, end);
+}
+
+float FusedTablePanelSource::PanelMaxBias(int64_t begin, int64_t end) const {
+  return table_->bounds().MaxBias(begin, end);
 }
 
 ShardStorePanelSource::ShardStorePanelSource(tensor::ShardStore* store)
@@ -89,6 +111,25 @@ const float* ShardStorePanelSource::PanelScales(int64_t begin, int64_t end) {
 
 const uint16_t* ShardStorePanelSource::PanelBf16(int64_t begin, int64_t end) {
   return store_->Bf16PanelRows(begin, end);
+}
+
+float ShardStorePanelSource::PanelMaxNorm(int64_t begin, int64_t end) const {
+  return store_->bounds().MaxNorm(begin, end);
+}
+
+float ShardStorePanelSource::PanelMaxBias(int64_t begin, int64_t end) const {
+  // Shard-backed serving is inner-product only (no per-entity bias), and
+  // the store's bound table is built bias-free, so this is exactly 0 —
+  // or +inf from an empty table, which just disables pruning.
+  return store_->bounds().MaxBias(begin, end);
+}
+
+int64_t ShardStorePanelSource::AcquirePanelPin(int64_t begin, int64_t end) {
+  return store_->PinPanel(begin, end);
+}
+
+void ShardStorePanelSource::ReleasePanelPin(int64_t token) {
+  store_->UnpinPanel(token);
 }
 
 }  // namespace came::infer

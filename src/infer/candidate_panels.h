@@ -19,6 +19,15 @@ namespace came::infer {
 /// the next Panel/BiasPanel call on the same source (a shard-backed
 /// source may evict the mapping). Callers consume each pointer (GEMM,
 /// heap update) before asking for the next.
+///
+/// Concurrency: accessors may be called from multiple threads at once
+/// (every implementation here is either immutable in-RAM state or backed
+/// by the internally synchronised ShardStore) — but under concurrency
+/// the single-threaded pointer lifetime above is not enough, because
+/// *another* thread's access can evict a mapping between your calls.
+/// Holding a pin lease (AcquirePanelPin) on the range restores it:
+/// pointers obtained for a pinned range stay valid until the pin is
+/// released.
 class CandidatePanelSource {
  public:
   virtual ~CandidatePanelSource() = default;
@@ -60,6 +69,41 @@ class CandidatePanelSource {
   /// bf16 candidate rows [begin, end), row-major [end-begin, dim].
   /// Requires dtype() == kBf16.
   virtual const uint16_t* PanelBf16(int64_t begin, int64_t end);
+
+  /// Upper bound (>=) on the L2 norm of every candidate row in
+  /// [begin, end) — for quantized sources, of the dequantized encoded
+  /// rows the sweep actually scores. The base implementation returns
+  /// +inf ("no metadata"), which makes the ScoreServer's panel pruning a
+  /// no-op rather than unsound. Thread-safe (immutable after
+  /// construction/sealing).
+  virtual float PanelMaxNorm(int64_t begin, int64_t end) const;
+  /// Upper bound (>=) on the per-entity bias of rows [begin, end); the
+  /// base implementation returns +inf. Sources without bias report 0.
+  virtual float PanelMaxBias(int64_t begin, int64_t end) const;
+
+  /// Takes a lease on whatever residency backs rows [begin, end), so the
+  /// range's panel pointers stay valid across concurrent accessor calls
+  /// from other threads until ReleasePanelPin. Returns an opaque token;
+  /// the base implementation returns -1 ("nothing to pin" — in-RAM
+  /// sources), which ReleasePanelPin ignores. Leases nest.
+  virtual int64_t AcquirePanelPin(int64_t begin, int64_t end);
+  virtual void ReleasePanelPin(int64_t token);
+};
+
+/// RAII pin lease over a CandidatePanelSource range.
+class PanelPin {
+ public:
+  PanelPin(CandidatePanelSource* source, int64_t begin, int64_t end)
+      : source_(source), token_(source->AcquirePanelPin(begin, end)) {}
+  ~PanelPin() {
+    if (token_ >= 0) source_->ReleasePanelPin(token_);
+  }
+  PanelPin(const PanelPin&) = delete;
+  PanelPin& operator=(const PanelPin&) = delete;
+
+ private:
+  CandidatePanelSource* source_;
+  int64_t token_;
 };
 
 /// The in-RAM special case: panels are pointer arithmetic into the fused
@@ -75,6 +119,8 @@ class FusedTablePanelSource : public CandidatePanelSource {
   int64_t PanelEnd(int64_t begin) const override;
   const float* Panel(int64_t begin, int64_t end) override;
   const float* BiasPanel(int64_t begin, int64_t end) override;
+  float PanelMaxNorm(int64_t begin, int64_t end) const override;
+  float PanelMaxBias(int64_t begin, int64_t end) const override;
 
  private:
   const FusedEmbeddingTable* table_;
@@ -89,9 +135,10 @@ class FusedTablePanelSource : public CandidatePanelSource {
 /// accessors route to the store's quantized slab views.
 class ShardStorePanelSource : public CandidatePanelSource {
  public:
-  /// `store` is not owned and must outlive the source. The ScoreServer
-  /// serialises access internally, matching ShardStore's
-  /// single-threaded access contract.
+  /// `store` is not owned and must outlive the source. ShardStore's
+  /// residency machinery is internally synchronised, so this source is
+  /// safe for concurrent readers; AcquirePanelPin maps to the store's
+  /// pin leases, which concurrent sweeps hold while consuming a panel.
   explicit ShardStorePanelSource(tensor::ShardStore* store);
 
   int64_t num_entities() const override { return store_->rows(); }
@@ -104,6 +151,10 @@ class ShardStorePanelSource : public CandidatePanelSource {
   const int8_t* PanelInt8(int64_t begin, int64_t end) override;
   const float* PanelScales(int64_t begin, int64_t end) override;
   const uint16_t* PanelBf16(int64_t begin, int64_t end) override;
+  float PanelMaxNorm(int64_t begin, int64_t end) const override;
+  float PanelMaxBias(int64_t begin, int64_t end) const override;
+  int64_t AcquirePanelPin(int64_t begin, int64_t end) override;
+  void ReleasePanelPin(int64_t token) override;
 
  private:
   tensor::ShardStore* store_;

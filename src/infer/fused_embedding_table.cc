@@ -14,14 +14,17 @@ namespace {
 // File layout (version 1, little-endian):
 //   magic   8 bytes "CAMEFET1"
 //   version u32
-//   count   u32                     -- number of sections (always 4)
+//   count   u32                     -- number of sections (4 or 5)
 //   sections, each:
-//     id    u32 fourcc              -- META, CAND, BIAS, FOLD in order
+//     id    u32 fourcc              -- META, CAND, BIAS, FOLD [, BNDS]
 //     len   u64                     -- payload byte length
 //     crc   u32                     -- CRC32 of the payload
 //     payload
 // Absent bias / folded rows are encoded as empty ({0}) tensors so the
-// section framing is fixed shape.
+// section framing is fixed shape. The trailing BNDS section (a
+// tensor::PanelBoundTable payload for the serving layer's panel pruning)
+// was added later; 4-section files still load — the bounds are then the
+// ones recomputed from the candidate rows at construction.
 constexpr char kMagic[8] = {'C', 'A', 'M', 'E', 'F', 'E', 'T', '1'};
 constexpr uint32_t kVersion = 1;
 
@@ -36,6 +39,7 @@ constexpr uint32_t kSectionMeta = FourCc('M', 'E', 'T', 'A');
 constexpr uint32_t kSectionCandidates = FourCc('C', 'A', 'N', 'D');
 constexpr uint32_t kSectionBias = FourCc('B', 'I', 'A', 'S');
 constexpr uint32_t kSectionFolded = FourCc('F', 'O', 'L', 'D');
+constexpr uint32_t kSectionBounds = FourCc('B', 'N', 'D', 'S');
 
 constexpr uint64_t kMaxSectionBytes = 1ULL << 33;  // 8 GiB
 constexpr uint64_t kMaxNameLen = 4096;
@@ -148,6 +152,14 @@ FusedEmbeddingTable::FusedEmbeddingTable(std::string model_name,
     CAME_CHECK_EQ(folded_rows_.ndim(), 2);
     CAME_CHECK_EQ(folded_rows_.dim(0), candidates_.dim(0));
   }
+  if (candidates_.numel() > 0) {
+    bounds_ = tensor::PanelBoundTable(candidates_.dim(0),
+                                      tensor::kDefaultBoundBlockRows);
+    tensor::AccountRowsFp32(&bounds_, candidates_.data(),
+                            has_bias() ? bias_.data() : nullptr,
+                            /*first_row=*/0, candidates_.dim(0),
+                            candidates_.dim(1));
+  }
 }
 
 FusedEmbeddingTable FusedEmbeddingTable::Build(
@@ -172,11 +184,16 @@ Status FusedEmbeddingTable::Save(const std::string& path) const {
   std::string file;
   file.append(kMagic, sizeof(kMagic));
   AppendPod(&file, kVersion);
-  AppendPod(&file, static_cast<uint32_t>(4));
+  // Empty tables have no bounds to persist; they keep the legacy
+  // 4-section framing.
+  AppendPod(&file, static_cast<uint32_t>(bounds_.empty() ? 4 : 5));
   AppendSection(&file, kSectionMeta, meta);
   AppendSection(&file, kSectionCandidates, EncodeTensorSection(candidates_));
   AppendSection(&file, kSectionBias, EncodeTensorSection(bias_));
   AppendSection(&file, kSectionFolded, EncodeTensorSection(folded_rows_));
+  if (!bounds_.empty()) {
+    AppendSection(&file, kSectionBounds, bounds_.Encode());
+  }
   return io::WriteFileAtomic(path, file.data(), file.size());
 }
 
@@ -205,8 +222,8 @@ Status FusedEmbeddingTable::Load(const std::string& path,
   }
   uint32_t section_count = 0;
   CAME_RETURN_IF_ERROR(r.ReadPod(&section_count));
-  if (section_count != 4) {
-    return Status::Corruption(path + ": expected 4 sections, found " +
+  if (section_count != 4 && section_count != 5) {
+    return Status::Corruption(path + ": expected 4 or 5 sections, found " +
                               std::to_string(section_count));
   }
 
@@ -216,10 +233,12 @@ Status FusedEmbeddingTable::Load(const std::string& path,
   tensor::Tensor candidates;
   tensor::Tensor bias;
   tensor::Tensor folded;
+  tensor::PanelBoundTable stored_bounds;
 
-  constexpr uint32_t kExpectedOrder[4] = {kSectionMeta, kSectionCandidates,
-                                          kSectionBias, kSectionFolded};
-  for (uint32_t idx = 0; idx < 4; ++idx) {
+  constexpr uint32_t kExpectedOrder[5] = {kSectionMeta, kSectionCandidates,
+                                          kSectionBias, kSectionFolded,
+                                          kSectionBounds};
+  for (uint32_t idx = 0; idx < section_count; ++idx) {
     uint32_t id = 0;
     uint64_t len = 0;
     uint32_t crc = 0;
@@ -265,6 +284,13 @@ Status FusedEmbeddingTable::Load(const std::string& path,
       case kSectionFolded:
         CAME_RETURN_IF_ERROR(DecodeTensorSection(&pr, &folded));
         break;
+      case kSectionBounds: {
+        Result<tensor::PanelBoundTable> b =
+            tensor::PanelBoundTable::Decode(payload.data(), payload.size());
+        if (!b.ok()) return b.status();
+        stored_bounds = std::move(b).value();
+        break;
+      }
       default:
         return Status::Corruption("unreachable section id");
     }
@@ -288,9 +314,18 @@ Status FusedEmbeddingTable::Load(const std::string& path,
       (folded.ndim() != 2 || folded.dim(0) != candidates.dim(0))) {
     return Status::Corruption(path + ": folded rows shape mismatch");
   }
+  if (!stored_bounds.empty() && stored_bounds.rows() != candidates.dim(0)) {
+    return Status::Corruption(path + ": bounds section covers " +
+                              std::to_string(stored_bounds.rows()) +
+                              " rows, candidates have " +
+                              std::to_string(candidates.dim(0)));
+  }
 
   *out = FusedEmbeddingTable(std::move(model_name), std::move(candidates),
                              std::move(bias), std::move(folded));
+  // The construction above recomputes bounds from the rows; prefer the
+  // persisted table when present so the file round-trips bit-for-bit.
+  if (!stored_bounds.empty()) out->bounds_ = std::move(stored_bounds);
   return Status::OK();
 }
 

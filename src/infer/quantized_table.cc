@@ -38,6 +38,7 @@ constexpr uint32_t kSectionMeta = FourCc('M', 'E', 'T', 'A');
 constexpr uint32_t kSectionQuantRows = FourCc('Q', 'R', 'O', 'W');
 constexpr uint32_t kSectionScales = FourCc('S', 'C', 'A', 'L');
 constexpr uint32_t kSectionBias = FourCc('B', 'I', 'A', 'S');
+constexpr uint32_t kSectionBounds = FourCc('B', 'N', 'D', 'S');
 
 constexpr uint64_t kMaxSectionBytes = 1ULL << 33;  // 8 GiB
 constexpr uint64_t kMaxNameLen = 4096;
@@ -121,7 +122,21 @@ Result<QuantizedTable> QuantizedTable::Build(const FusedEmbeddingTable& table,
         tensor::qgemm::EncodeRowsBf16(src, n, d, out.bf16_rows_.data()));
   }
   if (table.has_bias()) out.bias_ = table.bias().Clone();
+  out.ComputeBounds();
   return out;
+}
+
+void QuantizedTable::ComputeBounds() {
+  bounds_ = tensor::PanelBoundTable(num_entities_,
+                                    tensor::kDefaultBoundBlockRows);
+  const float* bias = has_bias() ? bias_.data() : nullptr;
+  if (dtype_ == ScoreDtype::kInt8) {
+    tensor::AccountRowsInt8(&bounds_, int8_rows_.data(), scales_.data(),
+                            bias, /*first_row=*/0, num_entities_, dim_);
+  } else {
+    tensor::AccountRowsBf16(&bounds_, bf16_rows_.data(), bias,
+                            /*first_row=*/0, num_entities_, dim_);
+  }
 }
 
 const int8_t* QuantizedTable::int8_rows() const {
@@ -181,11 +196,14 @@ Status QuantizedTable::Save(const std::string& path) const {
   std::string file;
   file.append(kMagic, sizeof(kMagic));
   AppendPod(&file, kQuantVersion);
-  AppendPod(&file, static_cast<uint32_t>(4));
+  AppendPod(&file, static_cast<uint32_t>(bounds_.empty() ? 4 : 5));
   AppendSection(&file, kSectionMeta, meta);
   AppendSection(&file, kSectionQuantRows, qrow);
   AppendSection(&file, kSectionScales, scal);
   AppendSection(&file, kSectionBias, bias);
+  if (!bounds_.empty()) {
+    AppendSection(&file, kSectionBounds, bounds_.Encode());
+  }
   return io::WriteFileAtomic(path, file.data(), file.size());
 }
 
@@ -214,8 +232,8 @@ Status QuantizedTable::Load(const std::string& path, QuantizedTable* out) {
   }
   uint32_t section_count = 0;
   CAME_RETURN_IF_ERROR(r.ReadPod(&section_count));
-  if (section_count != 4) {
-    return Status::Corruption(path + ": expected 4 sections, found " +
+  if (section_count != 4 && section_count != 5) {
+    return Status::Corruption(path + ": expected 4 or 5 sections, found " +
                               std::to_string(section_count));
   }
 
@@ -226,10 +244,12 @@ Status QuantizedTable::Load(const std::string& path, QuantizedTable* out) {
   std::string qrow;
   std::string scal;
   std::string bias_bytes;
+  tensor::PanelBoundTable stored_bounds;
 
-  constexpr uint32_t kExpectedOrder[4] = {kSectionMeta, kSectionQuantRows,
-                                          kSectionScales, kSectionBias};
-  for (uint32_t idx = 0; idx < 4; ++idx) {
+  constexpr uint32_t kExpectedOrder[5] = {kSectionMeta, kSectionQuantRows,
+                                          kSectionScales, kSectionBias,
+                                          kSectionBounds};
+  for (uint32_t idx = 0; idx < section_count; ++idx) {
     uint32_t id = 0;
     uint64_t len = 0;
     uint32_t crc = 0;
@@ -276,6 +296,13 @@ Status QuantizedTable::Load(const std::string& path, QuantizedTable* out) {
       case kSectionBias:
         bias_bytes = std::move(payload);
         break;
+      case kSectionBounds: {
+        Result<tensor::PanelBoundTable> b =
+            tensor::PanelBoundTable::Decode(payload.data(), payload.size());
+        if (!b.ok()) return b.status();
+        stored_bounds = std::move(b).value();
+        break;
+      }
       default:
         return Status::Corruption("unreachable section id");
     }
@@ -331,6 +358,16 @@ Status QuantizedTable::Load(const std::string& path, QuantizedTable* out) {
     t.bias_ = tensor::Tensor({n});
     std::memcpy(t.bias_.data(), bias_bytes.data(), bias_bytes.size());
   }
+  if (!stored_bounds.empty()) {
+    if (stored_bounds.rows() != n) {
+      return Status::Corruption(path + ": bounds section covers " +
+                                std::to_string(stored_bounds.rows()) +
+                                " rows, table has " + std::to_string(n));
+    }
+    t.bounds_ = std::move(stored_bounds);
+  } else {
+    t.ComputeBounds();
+  }
   *out = std::move(t);
   return Status::OK();
 }
@@ -382,6 +419,16 @@ const uint16_t* QuantizedTablePanelSource::PanelBf16(int64_t begin,
                                                      int64_t end) {
   CheckRange(begin, end);
   return table_->bf16_rows() + begin * table_->dim();
+}
+
+float QuantizedTablePanelSource::PanelMaxNorm(int64_t begin,
+                                              int64_t end) const {
+  return table_->bounds().MaxNorm(begin, end);
+}
+
+float QuantizedTablePanelSource::PanelMaxBias(int64_t begin,
+                                              int64_t end) const {
+  return table_->bounds().MaxBias(begin, end);
 }
 
 }  // namespace came::infer

@@ -9,6 +9,7 @@
 #include "infer/candidate_panels.h"
 #include "infer/fused_embedding_table.h"
 #include "infer/score_dtype.h"
+#include "tensor/panel_bounds.h"
 #include "tensor/tensor.h"
 
 namespace came::infer {
@@ -23,10 +24,12 @@ namespace came::infer {
 /// On disk this is version 2 of the CAMEFET container (same magic and
 /// section framing as version 1, so either loader gives a precise
 /// "wrong version, use the other loader" error instead of Corruption):
-///   magic "CAMEFET1", version u32 = 2, count u32 = 4, then sections
+///   magic "CAMEFET1", version u32 = 2, count u32 = 4 or 5, then sections
 ///   META (name, N, d, dtype byte) / QROW (raw int8 or bf16 rows) /
 ///   SCAL (fp32 row scales; empty for bf16) / BIAS (fp32 bias; maybe
-///   empty), each CRC32-framed and bounds-checked like v1.
+///   empty) / optional BNDS (panel-pruning bound table), each CRC32-framed
+///   and bounds-checked like v1. 4-section files predate BNDS and load
+///   with the bounds recomputed from the encoded rows.
 class QuantizedTable {
  public:
   /// Empty table (num_entities() == 0). Populate via Build or Load.
@@ -59,7 +62,16 @@ class QuantizedTable {
   /// bench compares against N * d * 4 fp32 bytes).
   int64_t entity_matrix_bytes() const;
 
+  /// Per-block score-bound metadata over the *encoded* rows (for int8,
+  /// the bound covers the dequantized codes, scale-aware) plus the fp32
+  /// bias. Always populated for a non-empty table; round-tripped through
+  /// the on-disk BNDS section, recomputed for files written before it.
+  const tensor::PanelBoundTable& bounds() const { return bounds_; }
+
  private:
+  /// Rebuilds bounds_ from the encoded rows + bias currently held.
+  void ComputeBounds();
+
   std::string model_name_;
   ScoreDtype dtype_ = ScoreDtype::kInt8;
   int64_t num_entities_ = 0;
@@ -68,6 +80,7 @@ class QuantizedTable {
   std::vector<float> scales_;        // [N] when dtype == kInt8
   std::vector<uint16_t> bf16_rows_;  // [N * d] when dtype == kBf16
   tensor::Tensor bias_;              // [N] or empty
+  tensor::PanelBoundTable bounds_;
 };
 
 /// CandidatePanelSource over a QuantizedTable: the in-RAM quantized
@@ -89,6 +102,8 @@ class QuantizedTablePanelSource : public CandidatePanelSource {
   const int8_t* PanelInt8(int64_t begin, int64_t end) override;
   const float* PanelScales(int64_t begin, int64_t end) override;
   const uint16_t* PanelBf16(int64_t begin, int64_t end) override;
+  float PanelMaxNorm(int64_t begin, int64_t end) const override;
+  float PanelMaxBias(int64_t begin, int64_t end) const override;
 
  private:
   void CheckRange(int64_t begin, int64_t end) const;

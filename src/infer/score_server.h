@@ -1,12 +1,14 @@
 #ifndef CAME_INFER_SCORE_SERVER_H_
 #define CAME_INFER_SCORE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 #include "infer/candidate_panels.h"
 #include "infer/fused_embedding_table.h"
@@ -22,14 +24,24 @@ class InnerProductKgcModel;
 namespace came::infer {
 
 /// Encodes a batch of (head, relation) queries into a [B, d] query matrix.
-/// Must be forward-only (no tape nodes) and eval-mode.
+/// Must be forward-only (no tape nodes) and eval-mode. With concurrent
+/// server calls the encoder is invoked from multiple threads at once, so
+/// it must be safe for concurrent invocation (the model-backed encoder
+/// qualifies: an eval-mode ServingQuery with folded rows installed is a
+/// read-only gather + GEMM).
 using QueryEncoder = std::function<tensor::Tensor(
     const std::vector<int64_t>& heads, const std::vector<int64_t>& rels)>;
+
+/// Default for ScoreServerConfig::prune, from CAME_SCORE_PRUNE
+/// ("on"/"1"/"true" or "off"/"0"/"false"; unset or invalid means on).
+bool ScorePruneFromEnv();
 
 struct ScoreServerConfig {
   /// Entity-panel width for the blocked score sweep. Scratch memory per
   /// batch is batch_size * panel_width floats — the full N-entity score
-  /// vector is never materialised.
+  /// vector is never materialised. Non-positive values are clamped to
+  /// 1024 with a warning (a misconfigured width should degrade, not
+  /// crash the server).
   int64_t panel_width = 1024;
   /// Candidate-matrix precision for fused-table servers. Defaults to
   /// CAME_SCORE_DTYPE (fp32 when unset), so exporting the variable flips
@@ -39,6 +51,25 @@ struct ScoreServerConfig {
   /// CandidatePanelSource constructor, where the source's own dtype()
   /// governs (e.g. a quantized ShardStore).
   ScoreDtype dtype = ScoreDtypeFromEnv();
+  /// Exact panel-skip pruning: panels whose cached score upper bound
+  /// (Cauchy–Schwarz: ||q|| * max_row_norm + max_bias) provably cannot
+  /// beat a query's current K-th best are skipped, and panels are visited
+  /// best-bound-first so the heaps fill with strong candidates early.
+  /// Results are bitwise identical to the unpruned sweep (the bound is
+  /// conservative and the serving order eval::ScoredBefore is a strict
+  /// total order, so the top-K set is sweep-order independent). Defaults
+  /// to CAME_SCORE_PRUNE (on when unset).
+  bool prune = ScorePruneFromEnv();
+  /// Serialise whole sweeps on an internal mutex, restoring the
+  /// pre-concurrent behaviour (one sweep in flight at a time). Off by
+  /// default: sweeps are read-only over the source and safe to run
+  /// concurrently. The bench uses this as its baseline arm.
+  bool serialize_sweep = false;
+  /// Relation-id bound for request validation; rel ids outside
+  /// [0, num_relations) are rejected with InvalidArgument. <= 0 disables
+  /// the check (sources carry no relation count; the model-backed
+  /// constructor fills it in from the model).
+  int64_t num_relations = -1;
 };
 
 /// Top-K answer for one (h, r, ?) query, best-first under the serving
@@ -81,14 +112,30 @@ struct TopKOptions {
 /// multiplies untransposed — same math, different accumulation path — so
 /// its scores may differ from serving scores in the last ulp.
 ///
-/// Thread-safe: calls are serialised on an internal mutex; concurrency
-/// comes from the GEMM / heap-update ParallelFor inside a batch (wider
-/// batches parallelise better — see BatchingFrontEnd).
+/// Pruning (config.prune): the source's per-block bound metadata
+/// (tensor::PanelBoundTable) gives each panel a conservative score upper
+/// bound per query. Panels are visited in descending bound order; once a
+/// query's heap holds K entries whose worst member the panel's bound
+/// cannot beat under eval::ScoredBefore, the panel is skipped for that
+/// query — and when every query in the batch skips it, the GEMM (and,
+/// shard-backed, the mmap fault) is skipped entirely. Because the bound
+/// over-approximates every candidate's score and ScoredBefore is a
+/// strict total order (making the top-K set unique and sweep-order
+/// independent), pruned results are bitwise identical to the unpruned
+/// sweep; tools/check_serving_parity.py gates on that.
+///
+/// Thread-safe for concurrent readers: sweeps take no global lock
+/// (config.serialize_sweep restores the old single-sweep behaviour).
+/// Shard-backed sweeps hold a pin lease on a panel's slab while
+/// consuming it, so a concurrent sweep's eviction cannot pull the
+/// mapping out from under the GEMM; per-query scratch comes from the
+/// thread-safe tensor::pool; stats are relaxed atomics.
 class ScoreServer {
  public:
   /// Serves `model` (used for query encoding only; entity-side state
   /// comes from `table`). Both must outlive the server; the model must
-  /// stay in eval mode.
+  /// stay in eval mode. Fills config.num_relations from the model when
+  /// unset.
   ScoreServer(baselines::InnerProductKgcModel* model,
               const FusedEmbeddingTable* table,
               const ScoreServerConfig& config = {});
@@ -102,23 +149,28 @@ class ScoreServer {
               const ScoreServerConfig& config = {});
 
   /// Top-K for a single query. K is clamped to the number of eligible
-  /// candidates (K > N returns them all, ranked).
-  TopKResult TopK(int64_t head, int64_t rel, int64_t k,
-                  const TopKOptions& opts = {}) CAME_EXCLUDES(mu_);
+  /// candidates (K > N returns them all, ranked). InvalidArgument on
+  /// k <= 0 or out-of-range head/rel ids (malformed requests are a
+  /// server-boundary error, not a process-fatal one).
+  Result<TopKResult> TopK(int64_t head, int64_t rel, int64_t k,
+                          const TopKOptions& opts = {});
 
   /// Top-K for an aligned batch of queries (one GEMM per panel for the
-  /// whole batch).
-  std::vector<TopKResult> TopKBatch(const std::vector<int64_t>& heads,
-                                    const std::vector<int64_t>& rels,
-                                    int64_t k, const TopKOptions& opts = {})
-      CAME_EXCLUDES(mu_);
+  /// whole batch). An empty batch returns an empty vector.
+  Result<std::vector<TopKResult>> TopKBatch(const std::vector<int64_t>& heads,
+                                            const std::vector<int64_t>& rels,
+                                            int64_t k,
+                                            const TopKOptions& opts = {});
 
   /// Filtered rank of `target` for (head, rel, ?), identical to the
   /// Evaluator's protocol (1 + #better + #equal/2, NaN target worst),
   /// computed over panels without materialising the score vector.
-  /// Filtering uses opts.filter; `target` is always kept.
-  double RankOf(int64_t head, int64_t rel, int64_t target,
-                const TopKOptions& opts = {}) CAME_EXCLUDES(mu_);
+  /// Filtering uses opts.filter; `target` is always kept. Pruning skips
+  /// panels whose bound is strictly below the target's score — they can
+  /// contribute neither "better" nor "equal" counts — with, again,
+  /// bitwise-identical ranks.
+  Result<double> RankOf(int64_t head, int64_t rel, int64_t target,
+                        const TopKOptions& opts = {});
 
   int64_t num_entities() const { return source_->num_entities(); }
   /// The precision the sweep actually scores in (the panel source's
@@ -135,15 +187,37 @@ class ScoreServer {
   struct Stats {
     int64_t queries_served = 0;
     int64_t batches_executed = 0;
+    /// Panels whose GEMM actually ran (counted once per batch, however
+    /// many queries consumed it).
     int64_t panels_scored = 0;
+    /// Panels skipped outright — every query in the batch pruned them,
+    /// so neither the GEMM nor the panel fetch (mmap fault) happened.
+    int64_t panels_skipped = 0;
+    /// Per-(query, panel) prune decisions, including queries that sat
+    /// out a panel other queries still scored.
+    int64_t bound_rejects = 0;
   };
-  Stats GetStats() const CAME_EXCLUDES(mu_);
+  Stats GetStats() const;
 
  private:
-  /// Encodes and validates the query matrix ([B, d]).
+  /// Relaxed-atomic mirror of Stats: sweeps from concurrent threads
+  /// bump counters without synchronisation; GetStats snapshots.
+  struct AtomicStats {
+    std::atomic<int64_t> queries_served{0};
+    std::atomic<int64_t> batches_executed{0};
+    std::atomic<int64_t> panels_scored{0};
+    std::atomic<int64_t> panels_skipped{0};
+    std::atomic<int64_t> bound_rejects{0};
+  };
+
+  /// Encodes and validates the query matrix ([B, d]). Shape violations
+  /// here are encoder-contract bugs and CHECK-fail.
   tensor::Tensor EncodeQueries(const std::vector<int64_t>& heads,
-                               const std::vector<int64_t>& rels)
-      CAME_REQUIRES(mu_);
+                               const std::vector<int64_t>& rels);
+  /// Request validation shared by TopKBatch/RankOf: id-range errors are
+  /// InvalidArgument, not a crash.
+  Status ValidateIds(const std::vector<int64_t>& heads,
+                     const std::vector<int64_t>& rels) const;
 
   QueryEncoder encoder_;
   const FusedEmbeddingTable* table_ = nullptr;  // null for shard-backed
@@ -152,11 +226,10 @@ class ScoreServer {
   std::unique_ptr<CandidatePanelSource> owned_source_;
   CandidatePanelSource* source_ = nullptr;
   ScoreServerConfig config_;
-  /// Serialises the whole scoring sweep: the panel source's residency
-  /// state (ShardStore LRU) and the stats are both behind it. EncodeQueries
-  /// runs under it by contract even though it only reads immutable state.
-  mutable came::Mutex mu_;
-  Stats stats_ CAME_GUARDED_BY(mu_);
+  /// Held for the whole sweep only when config.serialize_sweep — the
+  /// opt-in single-sweep mode. Guards no fields (sweeps are read-only).
+  mutable came::Mutex serial_mu_;
+  AtomicStats stats_;
 };
 
 }  // namespace came::infer

@@ -372,6 +372,51 @@ void GemmInt8TwoDigit(const int8_t* a_hi, const float* a_hi_scales,
   });
 }
 
+namespace {
+
+// Rounds a double norm up to the smallest float that is >= it. The
+// double -> float conversion rounds to nearest, so one nextafter step
+// covers the case where it rounded down past the true value.
+float RoundNormUp(double norm) {
+  if (!std::isfinite(norm)) return std::numeric_limits<float>::infinity();
+  const float f = static_cast<float>(norm);
+  return static_cast<double>(f) >= norm
+             ? f
+             : std::nextafterf(f, std::numeric_limits<float>::infinity());
+}
+
+}  // namespace
+
+float RowNormUpperBoundFp32(const float* row, int64_t dim) {
+  double acc = 0.0;
+  for (int64_t j = 0; j < dim; ++j) {
+    const double v = static_cast<double>(row[j]);
+    if (!std::isfinite(v)) return std::numeric_limits<float>::infinity();
+    acc += v * v;
+  }
+  return RoundNormUp(std::sqrt(acc));
+}
+
+float RowNormUpperBoundInt8(const int8_t* codes, int64_t dim, float scale) {
+  if (!std::isfinite(scale)) return std::numeric_limits<float>::infinity();
+  int64_t acc = 0;  // exact: dim * 127^2 stays far below 2^63
+  for (int64_t j = 0; j < dim; ++j) {
+    acc += static_cast<int64_t>(codes[j]) * static_cast<int64_t>(codes[j]);
+  }
+  return RoundNormUp(std::fabs(static_cast<double>(scale)) *
+                     std::sqrt(static_cast<double>(acc)));
+}
+
+float RowNormUpperBoundBf16(const uint16_t* row, int64_t dim) {
+  double acc = 0.0;
+  for (int64_t j = 0; j < dim; ++j) {
+    const double v = static_cast<double>(Bf16ToFp32(row[j]));
+    if (!std::isfinite(v)) return std::numeric_limits<float>::infinity();
+    acc += v * v;
+  }
+  return RoundNormUp(std::sqrt(acc));
+}
+
 Kernel ActiveKernel() {
   Kernel k = g_kernel.load(std::memory_order_relaxed);
   if (k == Kernel::kAuto) {

@@ -124,6 +124,25 @@ void ReferenceGemmInt8TwoDigit(const int8_t* a_hi, const float* a_hi_scales,
                                float* c, int64_t m, int64_t k, int64_t n);
 
 // ---------------------------------------------------------------------------
+// Row-norm upper bounds for the serving layer's Cauchy–Schwarz panel
+// pruning (infer::ScoreServer). Each helper returns a float f with
+// f >= ||row||_2 of the row *as the scoring path sees it* — the raw fp32
+// values, the dequantized int8 codes (scale-aware), or the decoded bf16
+// values. Accumulation runs in double and the result rounds up one ulp,
+// so the bound can never be below the true norm; a row containing NaN or
+// Inf (or a NaN/Inf scale) returns +inf, which disables pruning for its
+// block instead of producing an unsound bound.
+// ---------------------------------------------------------------------------
+
+float RowNormUpperBoundFp32(const float* row, int64_t dim);
+
+/// Norm-of-codes: |scale| * sqrt(sum q^2) over the dequantized row. The
+/// integer square sum is exact, so only the final scale multiply rounds.
+float RowNormUpperBoundInt8(const int8_t* codes, int64_t dim, float scale);
+
+float RowNormUpperBoundBf16(const uint16_t* row, int64_t dim);
+
+// ---------------------------------------------------------------------------
 // Microkernel dispatch, mirroring tensor::gemm::Kernel: which kernels
 // exist depends on the compile-time ISA, which one runs is decided at
 // startup from cpuid, overridable via CAME_QGEMM_KERNEL

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -34,10 +35,27 @@ namespace {
 //   crc     u32                  -- CRC32 of the payload
 // fp32 stores keep writing version 1 (bit-identical to the format before
 // quantized stores existed), so pre-existing stores and tools stay valid.
+// Panel-pruning bound metadata deliberately lives in a separate advisory
+// sidecar (below) rather than a new manifest version: the manifest is the
+// integrity root and its bytes are pinned by the corruption-matrix tests.
 constexpr char kMagic[8] = {'C', 'A', 'M', 'E', 'S', 'H', 'D', '1'};
 constexpr uint64_t kVersion = 1;
 constexpr uint64_t kQuantVersion = 2;
 constexpr uint64_t kMaxShards = 1ULL << 24;
+
+// Bounds sidecar layout (little-endian):
+//   magic   8 bytes "CAMESHB1"
+//   len     u64                  -- payload byte length
+//   payload:
+//     version u64                  -- 1
+//     tag     u32                  -- CRC32 over the manifest's slab CRCs
+//     bounds  PanelBoundTable::Encode bytes
+//   crc     u32                  -- CRC32 of the payload
+// The tag ties the bounds to the exact sealed contents they were computed
+// from; a mismatch (store re-sealed without the sidecar catching up) reads
+// as corruption and the bounds are rebuilt from the slabs.
+constexpr char kBoundsMagic[8] = {'C', 'A', 'M', 'E', 'S', 'H', 'B', '1'};
+constexpr uint64_t kBoundsVersion = 1;
 
 int64_t PadTo64(int64_t n) { return (n + 63) & ~int64_t{63}; }
 
@@ -63,6 +81,7 @@ class Reader {
     return Status::OK();
   }
 
+  const char* cursor() const { return data_ + pos_; }
   size_t remaining() const { return size_ - pos_; }
 
  private:
@@ -72,6 +91,8 @@ class Reader {
 };
 
 std::string ManifestPath(const std::string& dir) { return dir + "/manifest"; }
+
+std::string BoundsPath(const std::string& dir) { return dir + "/bounds"; }
 
 int64_t ShardBytesDt(int64_t begin, int64_t end, int64_t dim,
                      ShardDtype dtype) {
@@ -146,6 +167,11 @@ int64_t ShardStore::ShardByteSize(int64_t begin, int64_t end) const {
 ShardStore::~ShardStore() { ReleaseAll(); }
 
 void ShardStore::MoveFrom(ShardStore&& other) {
+  // Moves require external serialisation (no concurrent readers on either
+  // store), but the guarded fields still want their locks for the
+  // analysis — uncontended by contract, so the cost is nil.
+  came::MutexLock other_lock(&other.mu_);
+  came::MutexLock lock(&mu_);
   dir_ = std::move(other.dir_);
   rows_ = other.rows_;
   dim_ = other.dim_;
@@ -157,9 +183,11 @@ void ShardStore::MoveFrom(ShardStore&& other) {
   resident_count_ = other.resident_count_;
   shards_ = std::move(other.shards_);
   stats_ = other.stats_;
+  bounds_ = std::move(other.bounds_);
   other.shards_.clear();
   other.resident_count_ = 0;
   other.rows_ = other.dim_ = 0;
+  other.bounds_ = PanelBoundTable();
 }
 
 ShardStore::ShardStore(ShardStore&& other) noexcept {
@@ -175,6 +203,7 @@ ShardStore& ShardStore::operator=(ShardStore&& other) noexcept {
 }
 
 void ShardStore::ReleaseAll() {
+  came::MutexLock lock(&mu_);
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (shards_[i].base != nullptr) {
       ::munmap(shards_[i].base,
@@ -184,6 +213,8 @@ void ShardStore::ReleaseAll() {
     }
   }
   resident_count_ = 0;
+  stats_.resident_shards = 0;
+  stats_.resident_bytes = 0;
 }
 
 std::string ShardStore::SlabPath(int64_t shard) const {
@@ -211,9 +242,12 @@ Result<ShardStore> ShardStore::InRam(int64_t rows, int64_t dim) {
                            " bytes: " + std::strerror(errno));
   }
   sh.base = base;
-  s.resident_count_ = 1;
-  s.stats_.resident_shards = 1;
-  s.stats_.resident_bytes = static_cast<int64_t>(bytes);
+  {
+    came::MutexLock lock(&s.mu_);
+    s.resident_count_ = 1;
+    s.stats_.resident_shards = 1;
+    s.stats_.resident_bytes = static_cast<int64_t>(bytes);
+  }
   return s;
 }
 
@@ -361,6 +395,17 @@ Result<ShardStore> ShardStore::Open(const std::string& dir,
       }
     }
   }
+  // The bounds sidecar is advisory: stores sealed before it existed (or
+  // with a stale/corrupt/truncated sidecar) rebuild the bounds from the
+  // slabs in one streaming pass and rewrite it best-effort. Integrity is
+  // never weakened — an unusable sidecar costs a rebuild, not soundness.
+  const Status side = s.LoadBoundsSidecar();
+  if (!side.ok()) {
+    CAME_LOG(Info) << dir << ": rebuilding panel bounds ("
+                   << side.message() << ")";
+    CAME_RETURN_IF_ERROR(s.ComputeBounds());
+    s.WriteBoundsSidecar().LogIfError("shard store bounds sidecar rewrite");
+  }
   return s;
 }
 
@@ -407,8 +452,10 @@ Result<ShardStore> ShardStore::Quantize(ShardStore* src,
   s.shards_.resize(static_cast<size_t>(n_shards));
 
   // One slab at a time: read the fp32 rows from the source's mapping,
-  // re-encode into a payload buffer, write the slab, record its CRC.
-  // Peak memory is a single encoded slab regardless of table size.
+  // re-encode into a payload buffer, write the slab, record its CRC and
+  // fold its rows into the panel bounds (over the *encoded* values, so
+  // the bound is scale-aware rather than inherited from fp32).
+  PanelBoundTable bounds(s.rows_, kDefaultBoundBlockRows);
   std::string payload;
   for (int64_t i = 0; i < n_shards; ++i) {
     Shard& sh = s.shards_[static_cast<size_t>(i)];
@@ -430,6 +477,8 @@ Result<ShardStore> ShardStore::Quantize(ShardStore* src,
       std::memcpy(payload.data(), q.data(), q.size());
       std::memcpy(payload.data() + PadTo64(srows * s.dim_), scales.data(),
                   scales.size() * sizeof(float));
+      AccountRowsInt8(&bounds, q.data(), scales.data(), /*bias=*/nullptr,
+                      sh.begin, srows, s.dim_);
     } else {
       std::vector<uint16_t> enc(static_cast<size_t>(srows * s.dim_));
       Status st = qgemm::EncodeRowsBf16(rows, srows, s.dim_, enc.data());
@@ -439,14 +488,18 @@ Result<ShardStore> ShardStore::Quantize(ShardStore* src,
       }
       std::memcpy(payload.data(), enc.data(),
                   enc.size() * sizeof(uint16_t));
+      AccountRowsBf16(&bounds, enc.data(), /*bias=*/nullptr, sh.begin, srows,
+                      s.dim_);
     }
     CAME_RETURN_IF_ERROR(io::WriteFileAtomic(
         s.SlabPath(i), payload.data(), payload.size()));
     sh.crc = io::Crc32(payload.data(), payload.size());
   }
+  s.bounds_ = std::move(bounds);
   // Slabs and CRCs are durable; publish the sealed manifest directly —
   // a quantized store is never served unsealed.
   CAME_RETURN_IF_ERROR(s.WriteManifest(/*sealed=*/true));
+  s.WriteBoundsSidecar().LogIfError("shard store bounds sidecar write");
   return s;
 }
 
@@ -476,6 +529,110 @@ Status ShardStore::WriteManifest(bool sealed) {
   return Status::OK();
 }
 
+uint32_t ShardStore::BoundsTag() const {
+  std::string crcs;
+  for (const Shard& sh : shards_) AppendPod(&crcs, sh.crc);
+  return io::Crc32(crcs.data(), crcs.size());
+}
+
+Status ShardStore::WriteBoundsSidecar() const {
+  if (in_ram()) return Status::OK();
+  if (bounds_.empty()) {
+    return Status::FailedPrecondition("no panel bounds computed yet");
+  }
+  std::string payload;
+  AppendPod(&payload, kBoundsVersion);
+  AppendPod(&payload, BoundsTag());
+  payload += bounds_.Encode();
+
+  std::string file;
+  file.append(kBoundsMagic, sizeof(kBoundsMagic));
+  AppendPod(&file, static_cast<uint64_t>(payload.size()));
+  file += payload;
+  AppendPod(&file, io::Crc32(payload.data(), payload.size()));
+  return io::WriteFileAtomic(BoundsPath(dir_), file.data(), file.size());
+}
+
+Status ShardStore::LoadBoundsSidecar() {
+  std::string raw;
+  CAME_RETURN_IF_ERROR(io::ReadFile(BoundsPath(dir_), &raw));
+  if (raw.size() < sizeof(kBoundsMagic) + sizeof(uint64_t) +
+                       sizeof(uint32_t)) {
+    return Status::Corruption(dir_ + ": bounds sidecar too small");
+  }
+  if (std::memcmp(raw.data(), kBoundsMagic, sizeof(kBoundsMagic)) != 0) {
+    return Status::Corruption(dir_ + ": bad bounds sidecar magic");
+  }
+  uint64_t payload_len = 0;
+  std::memcpy(&payload_len, raw.data() + sizeof(kBoundsMagic),
+              sizeof(payload_len));
+  const size_t framed = sizeof(kBoundsMagic) + sizeof(uint64_t) +
+                        payload_len + sizeof(uint32_t);
+  if (payload_len > raw.size() || framed != raw.size()) {
+    return Status::Corruption(dir_ + ": bounds sidecar length mismatch");
+  }
+  const char* payload = raw.data() + sizeof(kBoundsMagic) + sizeof(uint64_t);
+  uint32_t want_crc = 0;
+  std::memcpy(&want_crc, payload + payload_len, sizeof(want_crc));
+  if (io::Crc32(payload, payload_len) != want_crc) {
+    return Status::Corruption(dir_ + ": bounds sidecar checksum mismatch");
+  }
+
+  Reader r(payload, payload_len);
+  uint64_t version = 0;
+  uint32_t tag = 0;
+  CAME_RETURN_IF_ERROR(r.ReadPod(&version));
+  if (version != kBoundsVersion) {
+    return Status::Corruption(dir_ + ": unsupported bounds sidecar version " +
+                              std::to_string(version));
+  }
+  CAME_RETURN_IF_ERROR(r.ReadPod(&tag));
+  if (tag != BoundsTag()) {
+    return Status::Corruption(
+        dir_ + ": bounds sidecar is stale (slab CRC tag mismatch)");
+  }
+  Result<PanelBoundTable> table =
+      PanelBoundTable::Decode(r.cursor(), r.remaining());
+  if (!table.ok()) return table.status();
+  if (table.value().rows() != rows_) {
+    return Status::Corruption(dir_ + ": bounds sidecar covers " +
+                              std::to_string(table.value().rows()) +
+                              " rows, store has " + std::to_string(rows_));
+  }
+  bounds_ = std::move(table).value();
+  return Status::OK();
+}
+
+Status ShardStore::ComputeBounds() {
+  PanelBoundTable bounds(rows_, kDefaultBoundBlockRows);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const int64_t begin = shards_[i].begin;
+    const int64_t end = shards_[i].end;
+    const int64_t n = end - begin;
+    switch (dtype_) {
+      case ShardDtype::kF32:
+        AccountRowsFp32(&bounds, PanelRows(begin, end), /*bias=*/nullptr,
+                        begin, n, dim_);
+        break;
+      case ShardDtype::kInt8: {
+        // Both pointers land in the same slab mapping, so the second
+        // accessor is a residency hit and cannot evict the first.
+        const int8_t* codes = QuantPanelRows(begin, end);
+        const float* scales = PanelScales(begin, end);
+        AccountRowsInt8(&bounds, codes, scales, /*bias=*/nullptr, begin, n,
+                        dim_);
+        break;
+      }
+      case ShardDtype::kBf16:
+        AccountRowsBf16(&bounds, Bf16PanelRows(begin, end), /*bias=*/nullptr,
+                        begin, n, dim_);
+        break;
+    }
+  }
+  bounds_ = std::move(bounds);
+  return Status::OK();
+}
+
 Status ShardStore::MapShard(int64_t shard) {
   Shard& sh = shards_[static_cast<size_t>(shard)];
   CAME_CHECK(sh.base == nullptr);
@@ -484,12 +641,19 @@ Status ShardStore::MapShard(int64_t shard) {
     int64_t victim = -1;
     uint64_t oldest = UINT64_MAX;
     for (size_t i = 0; i < shards_.size(); ++i) {
-      if (shards_[i].base != nullptr && shards_[i].last_use < oldest) {
+      if (shards_[i].base != nullptr && shards_[i].pins == 0 &&
+          shards_[i].last_use < oldest) {
         oldest = shards_[i].last_use;
         victim = static_cast<int64_t>(i);
       }
     }
-    CAME_CHECK_GE(victim, 0);
+    if (victim < 0) {
+      // Every resident slab holds a pin lease; map past the budget rather
+      // than stall the reader. Residency self-corrects: once pins drop,
+      // the next map's eviction scan keeps reclaiming until under budget.
+      ++stats_.pin_blocked_evictions;
+      break;
+    }
     UnmapShard(victim);
     ++stats_.evictions;
   }
@@ -527,6 +691,11 @@ void ShardStore::UnmapShard(int64_t shard) {
 }
 
 Result<char*> ShardStore::Acquire(int64_t shard) {
+  came::MutexLock lock(&mu_);
+  return AcquireLocked(shard);
+}
+
+Result<char*> ShardStore::AcquireLocked(int64_t shard) {
   Shard& sh = shards_[static_cast<size_t>(shard)];
   if (sh.base == nullptr) {
     CAME_RETURN_IF_ERROR(MapShard(shard));
@@ -549,6 +718,36 @@ char* ShardStore::AcquirePanel(int64_t begin, int64_t end,
   CAME_CHECK(base.ok()) << base.status().ToString();
   *shard_out = shard;
   return base.value();
+}
+
+int64_t ShardStore::PinPanel(int64_t begin, int64_t end) {
+  CAME_CHECK_LT(begin, end);
+  CAME_CHECK_GE(begin, 0);
+  CAME_CHECK_LE(end, rows_);
+  const int64_t shard = ShardIndex(begin);
+  CAME_CHECK_LE(end, shards_[static_cast<size_t>(shard)].end)
+      << "panel crosses a shard boundary";
+  came::MutexLock lock(&mu_);
+  Result<char*> base = AcquireLocked(shard);
+  CAME_CHECK(base.ok()) << base.status().ToString();
+  ++shards_[static_cast<size_t>(shard)].pins;
+  return shard;
+}
+
+void ShardStore::UnpinPanel(int64_t shard) {
+  CAME_CHECK_GE(shard, 0);
+  CAME_CHECK_LT(shard, num_shards());
+  came::MutexLock lock(&mu_);
+  Shard& sh = shards_[static_cast<size_t>(shard)];
+  CAME_CHECK_GT(sh.pins, 0) << "unbalanced UnpinPanel";
+  --sh.pins;
+}
+
+bool ShardStore::ShardResident(int64_t shard) const {
+  CAME_CHECK_GE(shard, 0);
+  CAME_CHECK_LT(shard, num_shards());
+  came::MutexLock lock(&mu_);
+  return shards_[static_cast<size_t>(shard)].base != nullptr;
 }
 
 const float* ShardStore::Row(int64_t r) {
@@ -574,6 +773,9 @@ float* ShardStore::MutableRow(int64_t r) {
   CAME_CHECK(base.ok()) << base.status().ToString();
   Shard& sh = shards_[static_cast<size_t>(shard)];
   sh.dirty = true;
+  // Any bound computed before this write may now be an under-estimate;
+  // drop back to the never-prune state until the next Seal recomputes.
+  bounds_ = PanelBoundTable();
   if (sealed_ && !in_ram()) {
     // First mutation of a sealed store: publish an unsealed manifest so a
     // crash mid-update reads as "unsealed" rather than passing stale CRCs.
@@ -627,7 +829,7 @@ int64_t ShardStore::ShardEnd(int64_t row) const {
 }
 
 Status ShardStore::Seal() {
-  if (in_ram()) return Status::OK();
+  if (in_ram()) return ComputeBounds();
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& sh = shards_[i];
     const int64_t bytes = ShardByteSize(sh.begin, sh.end);
@@ -657,7 +859,12 @@ Status ShardStore::Seal() {
     }
     sh.dirty = false;
   }
-  return WriteManifest(/*sealed=*/true);
+  // Bounds stream through the panel accessors, which take mu_ themselves —
+  // compute them before (and outside) the manifest publish.
+  CAME_RETURN_IF_ERROR(ComputeBounds());
+  CAME_RETURN_IF_ERROR(WriteManifest(/*sealed=*/true));
+  WriteBoundsSidecar().LogIfError("shard store bounds sidecar write");
+  return Status::OK();
 }
 
 uint32_t ShardStore::ContentCrc32() {
@@ -674,6 +881,9 @@ uint32_t ShardStore::ContentCrc32() {
   return crc;
 }
 
-ShardStore::Stats ShardStore::GetStats() const { return stats_; }
+ShardStore::Stats ShardStore::GetStats() const {
+  came::MutexLock lock(&mu_);
+  return stats_;
+}
 
 }  // namespace came::tensor

@@ -5,7 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "tensor/panel_bounds.h"
 
 namespace came::tensor {
 
@@ -23,7 +26,9 @@ struct ShardStoreOptions {
   /// in-RAM special case expressed in the same layout.
   int64_t rows_per_shard = 0;
   /// Maximum simultaneously mapped slabs (the LRU-resident working set).
-  /// 0 means unlimited (everything stays mapped once touched).
+  /// 0 means unlimited (everything stays mapped once touched). Pinned
+  /// slabs (PinPanel) never count as eviction victims, so concurrent
+  /// readers can push residency transiently past the budget.
   int64_t max_resident_shards = 0;
   /// Verify every slab's payload CRC against the manifest when opening a
   /// sealed store. Costs one streaming pass over the data.
@@ -49,12 +54,20 @@ struct ShardStoreOptions {
 ///     rows, zero-padded to a 64-byte boundary, followed by one fp32
 ///     dequantization scale per row (the padding keeps the scale block
 ///     float-aligned inside the mapping).
+///   * `bounds` — advisory CRC-framed sidecar (magic "CAMESHB1") holding
+///     the per-block PanelBoundTable the serving layer's panel pruning
+///     uses, tagged with a CRC over the manifest's slab CRCs. The
+///     manifest format itself never changes for this: a missing, stale
+///     or corrupt sidecar is rebuilt from the slabs on Open (one
+///     streaming pass) and rewritten, so pre-existing stores keep
+///     loading bit-for-bit and a bad sidecar can never produce an
+///     unsound bound.
 ///
 /// Lifecycle: `Create` makes zero-filled slabs and an *unsealed*
 /// manifest; mutate rows freely; `Seal()` msyncs every dirty slab,
-/// recomputes payload CRCs and atomically publishes the sealed
-/// manifest. `Open` accepts sealed stores only and (by default)
-/// verifies every slab CRC, so a bit-flipped, truncated, or
+/// recomputes payload CRCs and the panel bounds, and atomically
+/// publishes the sealed manifest. `Open` accepts sealed stores only and
+/// (by default) verifies every slab CRC, so a bit-flipped, truncated, or
 /// trailing-garbage slab or manifest surfaces as `Corruption` instead
 /// of being served.
 ///
@@ -63,11 +76,16 @@ struct ShardStoreOptions {
 /// access path, which is what makes sharded-vs-in-RAM bitwise parity a
 /// property of the layout rather than of duplicated compute code.
 ///
-/// Not thread-safe: callers serialise access externally (the trainer
-/// gathers/scatters sequentially; evaluators sweep panels from one
-/// thread and only parallelise over the scores already produced).
-/// Pointers returned by Row/MutableRow/PanelRows stay valid until the
-/// next member call that can evict (any row/panel access, Flush, Seal).
+/// Thread safety: the residency machinery (map/unmap, LRU clock, pins,
+/// stats) is guarded by an internal mutex, so the read-side accessors —
+/// Row, PanelRows and the quantized panel accessors, PinPanel/UnpinPanel,
+/// ShardEnd, bounds(), GetStats — may be called from concurrent threads.
+/// A returned panel pointer is only guaranteed to outlive subsequent
+/// accessor calls from *other* threads while the caller holds a pin on
+/// its shard (PinPanel); a single-threaded caller keeps the historical
+/// contract (valid until its own next call that can evict). Mutation —
+/// MutableRow, Seal, Quantize, ContentCrc32, move construction — still
+/// requires external serialisation with no concurrent readers.
 class ShardStore {
  public:
   ShardStore() = default;
@@ -112,55 +130,81 @@ class ShardStore {
   const std::string& dir() const { return dir_; }
 
   /// Read access to row `r` (fp32 stores only). May fault the owning
-  /// slab in (and evict the least-recently-used one).
-  const float* Row(int64_t r);
+  /// slab in (and evict the least-recently-used unpinned one).
+  const float* Row(int64_t r) CAME_EXCLUDES(mu_);
   /// Write access (fp32 stores only); marks the owning slab dirty (its
-  /// CRC is stale until the next Seal).
-  float* MutableRow(int64_t r);
+  /// CRC is stale until the next Seal) and drops the panel bounds (they
+  /// no longer bound the mutated contents).
+  float* MutableRow(int64_t r) CAME_EXCLUDES(mu_);
 
   /// Contiguous rows [begin, end), which must not cross a slab boundary
   /// (use ShardEnd to clamp panels). Zero-copy into the mapping. fp32
   /// stores only — quantized stores serve the accessors below.
-  const float* PanelRows(int64_t begin, int64_t end);
+  const float* PanelRows(int64_t begin, int64_t end) CAME_EXCLUDES(mu_);
 
   /// int8 rows [begin, end) of a kInt8 store (same boundary and lifetime
   /// contract as PanelRows).
-  const int8_t* QuantPanelRows(int64_t begin, int64_t end);
+  const int8_t* QuantPanelRows(int64_t begin, int64_t end)
+      CAME_EXCLUDES(mu_);
   /// Per-row fp32 dequantization scales for rows [begin, end) of a kInt8
   /// store, indexed panel-locally. Lives in the same mapping as
   /// QuantPanelRows for the same range, so both pointers are usable
   /// together.
-  const float* PanelScales(int64_t begin, int64_t end);
+  const float* PanelScales(int64_t begin, int64_t end) CAME_EXCLUDES(mu_);
   /// bf16 rows [begin, end) of a kBf16 store.
-  const uint16_t* Bf16PanelRows(int64_t begin, int64_t end);
+  const uint16_t* Bf16PanelRows(int64_t begin, int64_t end)
+      CAME_EXCLUDES(mu_);
+
+  /// Maps the slab owning rows [begin, end) (which must not cross a slab
+  /// boundary) and pins it against eviction; returns the shard index to
+  /// hand back to UnpinPanel. While pinned, pointers into the slab stay
+  /// valid across accessor calls from other threads. Pins nest.
+  int64_t PinPanel(int64_t begin, int64_t end) CAME_EXCLUDES(mu_);
+  void UnpinPanel(int64_t shard) CAME_EXCLUDES(mu_);
+
+  /// Whether `shard`'s slab is currently mapped (tests/observability).
+  bool ShardResident(int64_t shard) const CAME_EXCLUDES(mu_);
+
+  /// Per-block score-bound metadata over the store's rows (no bias —
+  /// shard-backed serving is inner-product only). Empty — meaning "never
+  /// prune" — until Seal()/Quantize computes it or Open loads/rebuilds
+  /// it; MutableRow drops it. Do not call concurrently with mutation.
+  const PanelBoundTable& bounds() const { return bounds_; }
 
   /// Exclusive end of the slab containing `row` (clamped to rows()).
   int64_t ShardEnd(int64_t row) const;
 
-  /// msync every dirty slab, recompute payload CRCs, atomically publish
-  /// a sealed manifest. In-RAM stores: no-op, OK. Idempotent.
-  Status Seal();
+  /// msync every dirty slab, recompute payload CRCs and panel bounds,
+  /// atomically publish a sealed manifest and rewrite the bounds
+  /// sidecar. In-RAM stores: computes bounds only. Idempotent.
+  Status Seal() CAME_EXCLUDES(mu_);
 
   /// Row-order CRC32 over the full table contents (parity tests and the
   /// checkpoint-bytes comparison). Streams shard by shard.
-  uint32_t ContentCrc32();
+  uint32_t ContentCrc32() CAME_EXCLUDES(mu_);
 
   struct Stats {
     int64_t map_hits = 0;
     int64_t map_misses = 0;
     int64_t evictions = 0;
+    /// Victim scans that found every resident slab pinned and had to map
+    /// past the residency budget instead of evicting.
+    int64_t pin_blocked_evictions = 0;
     int64_t resident_shards = 0;
     int64_t resident_bytes = 0;
   };
-  Stats GetStats() const;
+  Stats GetStats() const CAME_EXCLUDES(mu_);
 
  private:
   struct Shard {
+    // Residency fields (base, last_use, pins) are guarded by mu_; the
+    // analysis cannot express per-element guards through the vector.
     void* base = nullptr;   // mapped payload (nullptr when not resident)
-    int64_t begin = 0;      // first row
-    int64_t end = 0;        // one past the last row
+    int64_t begin = 0;      // first row (immutable after construction)
+    int64_t end = 0;        // one past the last row (immutable)
     uint64_t last_use = 0;  // LRU clock stamp
-    bool dirty = false;
+    int64_t pins = 0;       // PinPanel leases blocking eviction
+    bool dirty = false;     // mutation-path only (externally serialised)
     uint32_t crc = 0;       // manifest payload CRC (sealed stores)
   };
 
@@ -170,14 +214,22 @@ class ShardStore {
   /// (int8 slabs include the padded scale block).
   int64_t ShardByteSize(int64_t begin, int64_t end) const;
   /// Ensures the shard is mapped; returns its payload base.
-  Result<char*> Acquire(int64_t shard);
+  Result<char*> Acquire(int64_t shard) CAME_EXCLUDES(mu_);
+  Result<char*> AcquireLocked(int64_t shard) CAME_REQUIRES(mu_);
   /// Acquire + CHECK-on-IO-failure, with the panel bounds checks shared
   /// by every panel accessor. Returns the mapped slab base and (via
   /// `shard_out`) the owning shard index.
-  char* AcquirePanel(int64_t begin, int64_t end, int64_t* shard_out);
-  Status MapShard(int64_t shard);
-  void UnmapShard(int64_t shard);
+  char* AcquirePanel(int64_t begin, int64_t end, int64_t* shard_out)
+      CAME_EXCLUDES(mu_);
+  Status MapShard(int64_t shard) CAME_REQUIRES(mu_);
+  void UnmapShard(int64_t shard) CAME_REQUIRES(mu_);
   Status WriteManifest(bool sealed);
+  /// Streams every slab and rebuilds bounds_ from the payload bytes.
+  Status ComputeBounds() CAME_EXCLUDES(mu_);
+  /// CRC over the manifest's slab-CRC array: the sidecar staleness tag.
+  uint32_t BoundsTag() const;
+  Status WriteBoundsSidecar() const;
+  Status LoadBoundsSidecar();
   void MoveFrom(ShardStore&& other);
   void ReleaseAll();
 
@@ -188,10 +240,14 @@ class ShardStore {
   int64_t rows_per_shard_ = 0;
   int64_t max_resident_ = 0;
   bool sealed_ = false;
-  uint64_t clock_ = 0;
-  int64_t resident_count_ = 0;
+  /// Guards the residency machinery: the LRU clock, resident count,
+  /// stats, and every Shard's base/last_use/pins.
+  mutable came::Mutex mu_;
+  uint64_t clock_ CAME_GUARDED_BY(mu_) = 0;
+  int64_t resident_count_ CAME_GUARDED_BY(mu_) = 0;
   std::vector<Shard> shards_;
-  Stats stats_;
+  Stats stats_ CAME_GUARDED_BY(mu_);
+  PanelBoundTable bounds_;
 };
 
 }  // namespace came::tensor

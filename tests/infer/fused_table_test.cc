@@ -85,6 +85,49 @@ TEST(FusedTableFormatTest, AbsentBiasAndFoldRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(FusedTableFormatTest, BoundsRoundTripThroughBndsSection) {
+  const std::string path = TmpPath("bounds");
+  const FusedEmbeddingTable table = SyntheticTable();
+  ASSERT_FALSE(table.bounds().empty());
+  ASSERT_TRUE(table.Save(path).ok());
+  FusedEmbeddingTable loaded;
+  ASSERT_TRUE(FusedEmbeddingTable::Load(path, &loaded).ok());
+  EXPECT_EQ(loaded.bounds(), table.bounds());
+  std::remove(path.c_str());
+}
+
+TEST(FusedTableFormatTest, LegacyFourSectionFileLoadsWithRebuiltBounds) {
+  // Files written before the BNDS section carry 4 sections; they must
+  // still load, with bounds recomputed from the candidate rows.
+  const std::string path = TmpPath("legacy");
+  const FusedEmbeddingTable table = SyntheticTable();
+  ASSERT_TRUE(table.Save(path).ok());
+  std::string bytes = Slurp(path);
+  // Walk the first four sections (magic 8 + version 4 + count 4 = 16
+  // header bytes; each section is id u32 + len u64 + crc u32 + payload)
+  // and drop everything after them.
+  size_t off = 16;
+  for (int sec = 0; sec < 4; ++sec) {
+    uint64_t len = 0;
+    ASSERT_LE(off + 16, bytes.size());
+    std::memcpy(&len, bytes.data() + off + 4, sizeof(len));
+    off += 16 + static_cast<size_t>(len);
+  }
+  ASSERT_LT(off, bytes.size()) << "expected a trailing BNDS section";
+  std::string legacy = bytes.substr(0, off);
+  const uint32_t four = 4;
+  std::memcpy(legacy.data() + 12, &four, sizeof(four));
+  Dump(path, legacy);
+
+  FusedEmbeddingTable loaded;
+  ASSERT_TRUE(FusedEmbeddingTable::Load(path, &loaded).ok());
+  ExpectBitwiseEqual(loaded.candidates(), table.candidates());
+  // Rebuilt-on-construction bounds equal the persisted ones (both come
+  // from the same rows through the same accounting).
+  EXPECT_EQ(loaded.bounds(), table.bounds());
+  std::remove(path.c_str());
+}
+
 TEST(FusedTableFormatTest, EveryBitFlipIsRejected) {
   const std::string path = TmpPath("bitflip");
   ASSERT_TRUE(SyntheticTable().Save(path).ok());

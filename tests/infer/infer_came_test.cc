@@ -174,7 +174,9 @@ TEST_F(InferCamETest, ServerTopKMatchesFullScoreSort) {
     });
 
     const int64_t k = 10;
-    const TopKResult got = server.TopK(head, rel, k);
+    Result<TopKResult> got_r = server.TopK(head, rel, k);
+    ASSERT_TRUE(got_r.ok()) << got_r.status().ToString();
+    const TopKResult got = std::move(got_r).value();
     ASSERT_EQ(static_cast<int64_t>(got.ids.size()), std::min(k, n));
     for (int64_t i = 0; i < static_cast<int64_t>(got.ids.size()); ++i) {
       const int64_t id = got.ids[static_cast<size_t>(i)];
@@ -221,7 +223,7 @@ TEST_F(InferCamETest, RankOfMatchesSharedProtocolOverServingScores) {
     const double want =
         eval::FilteredRank(scores.data(), table.num_entities(), t.tail,
                            evaluator.filter().Tails(t.head, t.rel));
-    EXPECT_EQ(server.RankOf(t.head, t.rel, t.tail, opts), want)
+    EXPECT_EQ(server.RankOf(t.head, t.rel, t.tail, opts).value(), want)
         << "(" << t.head << ", " << t.rel << ", ?) target " << t.tail;
   }
   ASSERT_GT(checked, 0);

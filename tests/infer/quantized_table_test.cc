@@ -193,6 +193,41 @@ TEST_F(QuantizedTableTest, SaveLoadRoundTripBf16NoBias) {
             0);
 }
 
+TEST_F(QuantizedTableTest, BoundsRoundTripAndLegacyFilesRebuildThem) {
+  for (const ScoreDtype dtype : {ScoreDtype::kInt8, ScoreDtype::kBf16}) {
+    const FusedEmbeddingTable table = MakeTable(/*with_bias=*/true);
+    const QuantizedTable q = QuantizedTable::Build(table, dtype).value();
+    ASSERT_FALSE(q.bounds().empty()) << ScoreDtypeName(dtype);
+    const std::string path = Path(std::string("bounds_") +
+                                  ScoreDtypeName(dtype) + ".fet");
+    ASSERT_TRUE(q.Save(path).ok());
+    QuantizedTable loaded;
+    ASSERT_TRUE(QuantizedTable::Load(path, &loaded).ok());
+    EXPECT_EQ(loaded.bounds(), q.bounds());
+
+    // Strip the trailing BNDS section and patch the section count back
+    // to 4: a pre-bounds file. It must still load, with equal bounds
+    // recomputed from the quantized rows.
+    std::string bytes = ReadAll(path);
+    size_t off = 16;  // magic 8 + version u32 + count u32
+    for (int sec = 0; sec < 4; ++sec) {
+      uint64_t len = 0;
+      ASSERT_LE(off + 16, bytes.size());
+      std::memcpy(&len, bytes.data() + off + 4, sizeof(len));
+      off += 16 + static_cast<size_t>(len);
+    }
+    ASSERT_LT(off, bytes.size()) << "expected a trailing BNDS section";
+    std::string legacy = bytes.substr(0, off);
+    const uint32_t four = 4;
+    std::memcpy(legacy.data() + 12, &four, sizeof(four));
+    WriteAll(path, legacy);
+
+    QuantizedTable relegacy;
+    ASSERT_TRUE(QuantizedTable::Load(path, &relegacy).ok());
+    EXPECT_EQ(relegacy.bounds(), q.bounds()) << ScoreDtypeName(dtype);
+  }
+}
+
 TEST_F(QuantizedTableTest, VersionCrossLoadsGivePreciseErrors) {
   const FusedEmbeddingTable table = MakeTable(/*with_bias=*/true);
   const std::string v1_path = Path("v1.fet");

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/parallel_for.h"
 #include "eval/ranking.h"
 #include "infer/candidate_panels.h"
@@ -70,6 +71,32 @@ class ThreadCountGuard {
  private:
   int saved_;
 };
+
+
+// Unwrap a Result or die with the status — keeps test bodies terse.
+TopKResult TopKOrDie(ScoreServer* s, int64_t head, int64_t rel, int64_t k,
+                     const TopKOptions& opts = {}) {
+  Result<TopKResult> r = s->TopK(head, rel, k, opts);
+  CAME_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+std::vector<TopKResult> TopKBatchOrDie(ScoreServer* s,
+                                       const std::vector<int64_t>& heads,
+                                       const std::vector<int64_t>& rels,
+                                       int64_t k,
+                                       const TopKOptions& opts = {}) {
+  Result<std::vector<TopKResult>> r = s->TopKBatch(heads, rels, k, opts);
+  CAME_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+double RankOfOrDie(ScoreServer* s, int64_t head, int64_t rel, int64_t target,
+                   const TopKOptions& opts = {}) {
+  Result<double> r = s->RankOf(head, rel, target, opts);
+  CAME_CHECK(r.ok()) << r.status().ToString();
+  return r.value();
+}
 
 tensor::Tensor MakeCandidates() {
   tensor::Tensor cand({kN, kDim});
@@ -224,7 +251,7 @@ TEST_F(QuantScoreServerTest, Int8MatchesQuantizedOracleAcrossKAndThreads) {
       for (int64_t head : {int64_t{0}, int64_t{17}, int64_t{123}}) {
         for (int64_t rel = 0; rel < kNumRels; ++rel) {
           const std::vector<float> scores = FullInt8Scores(head, rel);
-          ExpectSameResult(int8_server_->TopK(head, rel, k),
+          ExpectSameResult(TopKOrDie(int8_server_.get(), head, rel, k),
                            OracleTopK(scores, k, {}, head, rel));
         }
       }
@@ -239,7 +266,7 @@ TEST_F(QuantScoreServerTest, Bf16MatchesQuantizedOracle) {
     for (int64_t k : {int64_t{5}, kN}) {
       for (int64_t head : {int64_t{2}, int64_t{99}}) {
         const std::vector<float> scores = FullBf16Scores(head, 1);
-        ExpectSameResult(bf16_server_->TopK(head, 1, k),
+        ExpectSameResult(TopKOrDie(bf16_server_.get(), head, 1, k),
                          OracleTopK(scores, k, {}, head, 1));
       }
     }
@@ -247,7 +274,7 @@ TEST_F(QuantScoreServerTest, Bf16MatchesQuantizedOracle) {
 }
 
 TEST_F(QuantScoreServerTest, QuantizedTiesBreakByAscendingId) {
-  const TopKResult all = int8_server_->TopK(7, 2, kN);
+  const TopKResult all = TopKOrDie(int8_server_.get(), 7, 2, kN);
   for (const std::vector<int64_t>& group :
        {std::vector<int64_t>{20, 21, 22}, std::vector<int64_t>{100, 101}}) {
     std::vector<size_t> pos;
@@ -283,7 +310,7 @@ TEST_F(QuantScoreServerTest, NanQueryRanksEverythingWorstButDeterministic) {
   cfg.panel_width = 64;
   cfg.dtype = ScoreDtype::kInt8;
   ScoreServer server(nan_encoder, &table_, cfg);
-  const TopKResult got = server.TopK(0, 0, 5);
+  const TopKResult got = TopKOrDie(&server, 0, 0, 5);
   ASSERT_EQ(got.ids, (std::vector<int64_t>{0, 1, 2, 3, 4}));
   for (float s : got.scores) EXPECT_TRUE(std::isnan(s));
 }
@@ -301,7 +328,7 @@ TEST_F(QuantScoreServerTest, FilterExcludeRestrictKeepCompose) {
   opts.restrict_to = &shortlist;
 
   const std::vector<float> scores = FullInt8Scores(9, 1);
-  const TopKResult got = int8_server_->TopK(9, 1, kN, opts);
+  const TopKResult got = TopKOrDie(int8_server_.get(), 9, 1, kN, opts);
   ExpectSameResult(got, OracleTopK(scores, kN, opts, 9, 1));
   EXPECT_EQ(std::count(got.ids.begin(), got.ids.end(), 30), 1);  // kept
   EXPECT_EQ(std::count(got.ids.begin(), got.ids.end(), 33), 0);  // excluded
@@ -311,7 +338,7 @@ TEST_F(QuantScoreServerTest, KLargerThanEligibleReturnsAllEligible) {
   std::vector<int64_t> shortlist = {2, 40, 77};
   TopKOptions opts;
   opts.restrict_to = &shortlist;
-  const TopKResult got = int8_server_->TopK(1, 0, 50, opts);
+  const TopKResult got = TopKOrDie(int8_server_.get(), 1, 0, 50, opts);
   EXPECT_EQ(got.ids.size(), shortlist.size());
   ExpectSameResult(got,
                    OracleTopK(FullInt8Scores(1, 0), 50, opts, 1, 0));
@@ -322,13 +349,13 @@ TEST_F(QuantScoreServerTest, PanelWidthDoesNotChangeQuantizedResults) {
     const ScoreServer& base =
         dtype == ScoreDtype::kInt8 ? *int8_server_ : *bf16_server_;
     const TopKResult want =
-        const_cast<ScoreServer&>(base).TopK(17, 2, 25);
+        TopKOrDie(const_cast<ScoreServer*>(&base), 17, 2, 25);
     for (int64_t panel : {int64_t{1}, int64_t{37}, int64_t{4096}}) {
       ScoreServerConfig cfg;
       cfg.panel_width = panel;
       cfg.dtype = dtype;
       ScoreServer other(EncodeQueriesFixture, &table_, cfg);
-      ExpectSameResult(other.TopK(17, 2, 25), want);
+      ExpectSameResult(TopKOrDie(&other, 17, 2, 25), want);
     }
   }
 }
@@ -345,10 +372,10 @@ TEST_F(QuantScoreServerTest, TopKBatchMatchesPerQueryCalls) {
     SetNumThreads(threads);
     for (ScoreServer* server : {int8_server_.get(), bf16_server_.get()}) {
       const std::vector<TopKResult> batched =
-          server->TopKBatch(heads, rels, 7);
+          TopKBatchOrDie(server, heads, rels, 7);
       ASSERT_EQ(batched.size(), heads.size());
       for (size_t i = 0; i < heads.size(); ++i) {
-        ExpectSameResult(batched[i], server->TopK(heads[i], rels[i], 7));
+        ExpectSameResult(batched[i], TopKOrDie(server, heads[i], rels[i], 7));
       }
     }
   }
@@ -364,7 +391,7 @@ TEST_F(QuantScoreServerTest, RankOfMatchesQuantizedFilteredRank) {
     const std::vector<float> scores = FullInt8Scores(11, 0);
     const double want = eval::FilteredRank(scores.data(), kN, target,
                                            filter.Tails(11, 0));
-    EXPECT_EQ(int8_server_->RankOf(11, 0, target, opts), want)
+    EXPECT_EQ(RankOfOrDie(int8_server_.get(), 11, 0, target, opts), want)
         << "target " << target;
   }
 }
@@ -375,7 +402,7 @@ TEST_F(QuantScoreServerTest, Int8StaysCloseToFp32Scores) {
   // land within the summed half-step error of its fp32 counterpart.
   ScoreServer fp32(EncodeQueriesFixture, &table_);
   const std::vector<float> q = FullInt8Scores(13, 2);
-  const TopKResult ref = fp32.TopK(13, 2, kN);
+  const TopKResult ref = TopKOrDie(&fp32, 13, 2, kN);
   for (size_t r = 0; r < ref.ids.size(); ++r) {
     const float fp = ref.scores[r];
     const float qs = q[static_cast<size_t>(ref.ids[r])];
@@ -440,8 +467,8 @@ class QuantShardBackedServerTest : public ::testing::Test {
 
     for (int64_t k : {int64_t{1}, int64_t{7}, kN + 10}) {
       for (int64_t head = 0; head < 6; ++head) {
-        const TopKResult want = ram_server.TopK(head, head % kNumRels, k);
-        const TopKResult got = shard_server.TopK(head, head % kNumRels, k);
+        const TopKResult want = TopKOrDie(&ram_server, head, head % kNumRels, k);
+        const TopKResult got = TopKOrDie(&shard_server, head, head % kNumRels, k);
         ASSERT_EQ(got.ids, want.ids) << "k=" << k << " head=" << head;
         ASSERT_EQ(got.scores.size(), want.scores.size());
         EXPECT_EQ(std::memcmp(got.scores.data(), want.scores.data(),

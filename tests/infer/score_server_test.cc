@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/parallel_for.h"
 #include "eval/ranking.h"
 #include "infer/batching_front_end.h"
@@ -45,6 +46,32 @@ float HashVal(uint64_t a, uint64_t b) {
   x *= 0xff51afd7ed558ccdULL;
   x ^= x >> 33;
   return static_cast<float>(x % 13) * 0.25f - 1.5f;
+}
+
+// Unwrap helpers: these tests always issue well-formed requests, so a
+// non-OK Status is itself a failure.
+TopKResult TopKOrDie(ScoreServer* s, int64_t head, int64_t rel, int64_t k,
+                     const TopKOptions& opts = {}) {
+  Result<TopKResult> r = s->TopK(head, rel, k, opts);
+  CAME_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+std::vector<TopKResult> TopKBatchOrDie(ScoreServer* s,
+                                       const std::vector<int64_t>& heads,
+                                       const std::vector<int64_t>& rels,
+                                       int64_t k,
+                                       const TopKOptions& opts = {}) {
+  Result<std::vector<TopKResult>> r = s->TopKBatch(heads, rels, k, opts);
+  CAME_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+double RankOfOrDie(ScoreServer* s, int64_t head, int64_t rel, int64_t target,
+                   const TopKOptions& opts = {}) {
+  Result<double> r = s->RankOf(head, rel, target, opts);
+  CAME_CHECK(r.ok()) << r.status().ToString();
+  return r.value();
 }
 
 tensor::Tensor EncodeQueriesFixture(const std::vector<int64_t>& heads,
@@ -181,7 +208,7 @@ TEST_F(ScoreServerTest, MatchesOracleAcrossKAndThreads) {
     for (int64_t k : {int64_t{1}, int64_t{5}, kN, 2 * kN}) {
       for (int64_t head : {int64_t{0}, int64_t{17}, int64_t{123}}) {
         for (int64_t rel = 0; rel < kNumRels; ++rel) {
-          ExpectSameResult(server_->TopK(head, rel, k),
+          ExpectSameResult(TopKOrDie(server_.get(), head, rel, k),
                            OracleTopK(head, rel, k));
         }
       }
@@ -190,7 +217,7 @@ TEST_F(ScoreServerTest, MatchesOracleAcrossKAndThreads) {
 }
 
 TEST_F(ScoreServerTest, TiedScoresBreakByAscendingId) {
-  const TopKResult all = server_->TopK(7, 2, kN);
+  const TopKResult all = TopKOrDie(server_.get(), 7, 2, kN);
   ExpectSameResult(all, OracleTopK(7, 2, kN));
   // The duplicated rows tie bitwise, so each group must appear as a
   // contiguous ascending-id run.
@@ -211,7 +238,7 @@ TEST_F(ScoreServerTest, TiedScoresBreakByAscendingId) {
 }
 
 TEST_F(ScoreServerTest, NanCandidatesRankWorst) {
-  const TopKResult all = server_->TopK(3, 1, kN);
+  const TopKResult all = TopKOrDie(server_.get(), 3, 1, kN);
   ASSERT_EQ(static_cast<int64_t>(all.ids.size()), kN);
   // Rows 5 and 150 score NaN; they must occupy the last two slots, in
   // ascending id order, and every other score must be finite.
@@ -231,7 +258,7 @@ TEST_F(ScoreServerTest, FilteredProtocolSkipsKnownTailsExceptKeep) {
   opts.filter = &filter;
   opts.keep = 31;
 
-  const TopKResult got = server_->TopK(9, 1, kN, opts);
+  const TopKResult got = TopKOrDie(server_.get(), 9, 1, kN, opts);
   ExpectSameResult(got, OracleTopK(9, 1, kN, opts));
   for (int64_t skipped : {int64_t{30}, int64_t{32}, int64_t{20}}) {
     EXPECT_EQ(std::count(got.ids.begin(), got.ids.end(), skipped), 0);
@@ -249,7 +276,7 @@ TEST_F(ScoreServerTest, RestrictAndExcludeCompose) {
   opts.exclude = &exclude;
   for (int threads : {1, 4}) {
     SetNumThreads(threads);
-    const TopKResult got = server_->TopK(42, 3, 10, opts);
+    const TopKResult got = TopKOrDie(server_.get(), 42, 3, 10, opts);
     ExpectSameResult(got, OracleTopK(42, 3, 10, opts));
     for (int64_t id : got.ids) {
       EXPECT_TRUE(std::binary_search(shortlist.begin(), shortlist.end(), id));
@@ -262,7 +289,7 @@ TEST_F(ScoreServerTest, KLargerThanEligibleReturnsAllEligible) {
   std::vector<int64_t> shortlist = {2, 40, 77};
   TopKOptions opts;
   opts.restrict_to = &shortlist;
-  const TopKResult got = server_->TopK(1, 0, 50, opts);
+  const TopKResult got = TopKOrDie(server_.get(), 1, 0, 50, opts);
   EXPECT_EQ(got.ids.size(), shortlist.size());
   ExpectSameResult(got, OracleTopK(1, 0, 50, opts));
 }
@@ -272,7 +299,8 @@ TEST_F(ScoreServerTest, PanelWidthDoesNotChangeResults) {
     ScoreServerConfig cfg;
     cfg.panel_width = panel;
     ScoreServer other(EncodeQueriesFixture, &table_, cfg);
-    ExpectSameResult(other.TopK(17, 2, 25), server_->TopK(17, 2, 25));
+    ExpectSameResult(TopKOrDie(&other, 17, 2, 25),
+                     TopKOrDie(server_.get(), 17, 2, 25));
   }
 }
 
@@ -287,10 +315,11 @@ TEST_F(ScoreServerTest, TopKBatchMatchesPerQueryCalls) {
   for (int threads : {1, 4}) {
     SetNumThreads(threads);
     const std::vector<TopKResult> batched =
-        server_->TopKBatch(heads, rels, 7);
+        TopKBatchOrDie(server_.get(), heads, rels, 7);
     ASSERT_EQ(batched.size(), heads.size());
     for (size_t i = 0; i < heads.size(); ++i) {
-      ExpectSameResult(batched[i], server_->TopK(heads[i], rels[i], 7));
+      ExpectSameResult(batched[i],
+                       TopKOrDie(server_.get(), heads[i], rels[i], 7));
     }
   }
 }
@@ -308,19 +337,229 @@ TEST_F(ScoreServerTest, RankOfMatchesSharedFilteredRank) {
     const std::vector<float> scores = FullScores(11, 0);
     const double want = eval::FilteredRank(scores.data(), kN, target,
                                            filter.Tails(11, 0));
-    EXPECT_EQ(server_->RankOf(11, 0, target, opts), want)
+    EXPECT_EQ(RankOfOrDie(server_.get(), 11, 0, target, opts), want)
         << "target " << target;
   }
 }
 
 TEST_F(ScoreServerTest, StatsCountQueriesAndPanels) {
   const ScoreServer::Stats before = server_->GetStats();
-  (void)server_->TopK(1, 1, 3);
-  (void)server_->TopKBatch({2, 3}, {0, 1}, 3);
+  (void)TopKOrDie(server_.get(), 1, 1, 3);
+  (void)TopKBatchOrDie(server_.get(), {2, 3}, {0, 1}, 3);
   const ScoreServer::Stats after = server_->GetStats();
   EXPECT_EQ(after.queries_served - before.queries_served, 3);
   EXPECT_EQ(after.batches_executed - before.batches_executed, 2);
   EXPECT_GT(after.panels_scored, before.panels_scored);
+}
+
+// ---------------------------------------------------------------------------
+// Exact panel-skip pruning.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScoreServerTest, PrunedSweepBitwiseMatchesUnprunedAndOracle) {
+  ThreadCountGuard restore;
+  ScoreServerConfig on_cfg;
+  on_cfg.panel_width = 64;
+  on_cfg.prune = true;
+  ScoreServerConfig off_cfg = on_cfg;
+  off_cfg.prune = false;
+  ScoreServer on(EncodeQueriesFixture, &table_, on_cfg);
+  ScoreServer off(EncodeQueriesFixture, &table_, off_cfg);
+  kg::FilterIndex filter(kN, kNumRels);
+  filter.AddTriples({{9, 1, 30}, {9, 1, 31}, {11, 0, 60}, {11, 0, 5}});
+  TopKOptions fopts;
+  fopts.filter = &filter;
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    for (int64_t k : {int64_t{1}, int64_t{5}, int64_t{25}, kN}) {
+      for (int64_t head : {int64_t{0}, int64_t{9}, int64_t{123}}) {
+        for (int64_t rel = 0; rel < kNumRels; ++rel) {
+          const TopKResult got = TopKOrDie(&on, head, rel, k, fopts);
+          ExpectSameResult(got, TopKOrDie(&off, head, rel, k, fopts));
+          ExpectSameResult(got, OracleTopK(head, rel, k, fopts));
+        }
+      }
+    }
+    // Ranks too — targets cover plain, bitwise-tied (21) and NaN (5).
+    for (int64_t target : {int64_t{0}, int64_t{21}, int64_t{5}, int64_t{60},
+                           kN - 1}) {
+      EXPECT_EQ(RankOfOrDie(&on, 11, 0, target, fopts),
+                RankOfOrDie(&off, 11, 0, target, fopts))
+          << "target " << target;
+    }
+  }
+  EXPECT_EQ(off.GetStats().panels_skipped, 0);
+}
+
+// A norm-skewed table (hot band of full-scale rows, long tiny-norm tail)
+// is the shape pruning exists for: the sweep must actually skip panels
+// there and still match the prune-off server bit for bit.
+TEST(ScoreServerPruneTest, SkewedTableSkipsPanelsBitwiseIdentically) {
+  const int64_t n = 2048;
+  const int64_t hot = 96;
+  tensor::Tensor cand({n, kDim});
+  tensor::Tensor bias({n});
+  for (int64_t i = 0; i < n; ++i) {
+    const float scale = i < hot ? 1.0f : 0.01f;
+    for (int64_t j = 0; j < kDim; ++j) {
+      cand.data()[i * kDim + j] =
+          scale * HashVal(0xFEED + static_cast<uint64_t>(i),
+                          static_cast<uint64_t>(j));
+    }
+    bias.data()[i] = 0.001f * HashVal(0xB1A5, static_cast<uint64_t>(i));
+  }
+  const FusedEmbeddingTable table("skewed", cand, bias, tensor::Tensor());
+  ScoreServerConfig on_cfg;
+  on_cfg.panel_width = 128;
+  on_cfg.prune = true;
+  ScoreServerConfig off_cfg = on_cfg;
+  off_cfg.prune = false;
+  ScoreServer on(EncodeQueriesFixture, &table, on_cfg);
+  ScoreServer off(EncodeQueriesFixture, &table, off_cfg);
+  for (int64_t head = 0; head < 12; ++head) {
+    const TopKResult got = TopKOrDie(&on, head, head % kNumRels, 10);
+    const TopKResult want = TopKOrDie(&off, head, head % kNumRels, 10);
+    ASSERT_EQ(got.ids, want.ids) << "head " << head;
+    EXPECT_EQ(std::memcmp(got.scores.data(), want.scores.data(),
+                          got.scores.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(RankOfOrDie(&on, head, 0, head * 71 % n),
+              RankOfOrDie(&off, head, 0, head * 71 % n));
+  }
+  const ScoreServer::Stats stats = on.GetStats();
+  EXPECT_GT(stats.panels_skipped, 0);
+  EXPECT_GT(stats.bound_rejects, 0);
+  // Every panel of every batch is either scored or skipped outright
+  // (single-query batches, so the two partition the sweep).
+  EXPECT_EQ(stats.panels_scored + stats.panels_skipped,
+            stats.batches_executed * ((n + 127) / 128));
+}
+
+TEST(ScoreServerPruneTest, NanQueryMatchesUnprunedSweep) {
+  tensor::Tensor cand({kN, kDim});
+  for (int64_t i = 0; i < kN; ++i) {
+    for (int64_t j = 0; j < kDim; ++j) {
+      cand.data()[i * kDim + j] = HashVal(static_cast<uint64_t>(i),
+                                          static_cast<uint64_t>(j));
+    }
+  }
+  const FusedEmbeddingTable table("nanq", cand, tensor::Tensor(),
+                                  tensor::Tensor());
+  // Head 3 encodes to an all-NaN query row (a diverged encoder): every
+  // candidate scores NaN and the serving order falls back to ids.
+  QueryEncoder enc = [](const std::vector<int64_t>& heads,
+                        const std::vector<int64_t>& rels) {
+    tensor::Tensor q = EncodeQueriesFixture(heads, rels);
+    for (size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] != 3) continue;
+      for (int64_t j = 0; j < kDim; ++j) {
+        q.data()[static_cast<int64_t>(i) * kDim + j] =
+            std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+    return q;
+  };
+  ScoreServerConfig on_cfg;
+  on_cfg.panel_width = 64;
+  on_cfg.prune = true;
+  ScoreServerConfig off_cfg = on_cfg;
+  off_cfg.prune = false;
+  ScoreServer on(enc, &table, on_cfg);
+  ScoreServer off(enc, &table, off_cfg);
+  const TopKResult got = TopKOrDie(&on, 3, 0, 7);
+  const TopKResult want = TopKOrDie(&off, 3, 0, 7);
+  ASSERT_EQ(got.ids, want.ids);
+  ASSERT_EQ(got.ids, (std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6}));
+  for (float s : got.scores) EXPECT_TRUE(std::isnan(s));
+  EXPECT_EQ(RankOfOrDie(&on, 3, 0, 100), RankOfOrDie(&off, 3, 0, 100));
+}
+
+TEST_F(ScoreServerTest, RankOfNanTargetSkipsEveryPanel) {
+  if (!ScorePruneFromEnv()) GTEST_SKIP() << "pruning disabled via env";
+  const ScoreServer::Stats before = server_->GetStats();
+  // Row 5 is a NaN candidate, so the target score is NaN: the rank is
+  // computable from n and the filter alone and no panel needs scoring.
+  const std::vector<float> scores = FullScores(11, 0);
+  const double want =
+      eval::FilteredRank(scores.data(), kN, 5, std::span<const int64_t>());
+  EXPECT_EQ(RankOfOrDie(server_.get(), 11, 0, 5), want);
+  const ScoreServer::Stats after = server_->GetStats();
+  EXPECT_EQ(after.panels_scored, before.panels_scored);
+  EXPECT_EQ(after.panels_skipped - before.panels_skipped, (kN + 63) / 64);
+}
+
+// ---------------------------------------------------------------------------
+// Server-boundary validation: malformed requests are clean statuses, not
+// process-fatal CHECKs.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScoreServerTest, MalformedRequestsReturnInvalidArgument) {
+  EXPECT_EQ(server_->TopK(1, 1, 0).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server_->TopK(1, 1, -4).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server_->TopK(-1, 1, 3).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server_->TopK(kN, 1, 3).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server_->TopKBatch({1, 2}, {0}, 3).status().code(),
+            Status::Code::kInvalidArgument);
+  // One bad id anywhere in the batch rejects the whole batch.
+  EXPECT_EQ(server_->TopKBatch({1, kN + 5, 2}, {0, 0, 0}, 3).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server_->RankOf(1, 0, -1).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server_->RankOf(1, 0, kN).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(server_->RankOf(-7, 0, 3).status().code(),
+            Status::Code::kInvalidArgument);
+  // An empty batch is well-formed: no queries, no results.
+  const Result<std::vector<TopKResult>> empty =
+      server_->TopKBatch({}, {}, 3);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST_F(ScoreServerTest, RelationRangeEnforcedWhenConfigured) {
+  ScoreServerConfig cfg;
+  cfg.panel_width = 64;
+  cfg.num_relations = kNumRels;
+  ScoreServer s(EncodeQueriesFixture, &table_, cfg);
+  EXPECT_EQ(s.TopK(1, kNumRels, 3).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.TopK(1, -1, 3).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_TRUE(s.TopK(1, kNumRels - 1, 3).ok());
+  EXPECT_EQ(s.RankOf(1, kNumRels, 3).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST_F(ScoreServerTest, NonPositivePanelWidthClampsInsteadOfCrashing) {
+  for (int64_t width : {int64_t{0}, int64_t{-8}}) {
+    ScoreServerConfig cfg;
+    cfg.panel_width = width;
+    ScoreServer s(EncodeQueriesFixture, &table_, cfg);
+    ExpectSameResult(TopKOrDie(&s, 17, 2, 25),
+                     TopKOrDie(server_.get(), 17, 2, 25));
+  }
+}
+
+TEST(ScorePruneEnvTest, ParsesOnOffAndDefaultsToOn) {
+  const char* saved = std::getenv("CAME_SCORE_PRUNE");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+  for (const char* on : {"on", "1", "true", "ON", "True"}) {
+    ::setenv("CAME_SCORE_PRUNE", on, 1);
+    EXPECT_TRUE(ScorePruneFromEnv()) << on;
+  }
+  for (const char* off : {"off", "0", "false", "OFF", "False"}) {
+    ::setenv("CAME_SCORE_PRUNE", off, 1);
+    EXPECT_FALSE(ScorePruneFromEnv()) << off;
+  }
+  ::setenv("CAME_SCORE_PRUNE", "bogus", 1);
+  EXPECT_TRUE(ScorePruneFromEnv());  // warn + default on
+  ::unsetenv("CAME_SCORE_PRUNE");
+  EXPECT_TRUE(ScorePruneFromEnv());
+  if (saved != nullptr) ::setenv("CAME_SCORE_PRUNE", saved_copy.c_str(), 1);
 }
 
 TEST_F(ScoreServerTest, BatchingFrontEndMatchesDirectCalls) {
@@ -356,7 +595,7 @@ TEST_F(ScoreServerTest, BatchingFrontEndMatchesDirectCalls) {
       const auto [head, rel] = queries[static_cast<size_t>(c)]
                                       [static_cast<size_t>(i)];
       ExpectSameResult(got[static_cast<size_t>(c)][static_cast<size_t>(i)],
-                       server_->TopK(head, rel, 5));
+                       TopKOrDie(server_.get(), head, rel, 5));
     }
   }
 }
@@ -432,8 +671,10 @@ class ShardBackedServerTest : public ::testing::Test {
 TEST_F(ShardBackedServerTest, TopKMatchesInRamServerBitwise) {
   for (int64_t k : {int64_t{1}, int64_t{7}, int64_t{64}, kN + 10}) {
     for (int64_t head = 0; head < 6; ++head) {
-      const TopKResult want = ram_server_->TopK(head, head % kNumRels, k);
-      const TopKResult got = shard_server_->TopK(head, head % kNumRels, k);
+      const TopKResult want =
+          TopKOrDie(ram_server_.get(), head, head % kNumRels, k);
+      const TopKResult got =
+          TopKOrDie(shard_server_.get(), head, head % kNumRels, k);
       ASSERT_EQ(got.ids, want.ids) << "k=" << k << " head=" << head;
       ASSERT_EQ(got.scores.size(), want.scores.size());
       EXPECT_EQ(std::memcmp(got.scores.data(), want.scores.data(),
@@ -456,13 +697,13 @@ TEST_F(ShardBackedServerTest, FilteredRankAndOptionsMatchInRamServer) {
     for (int64_t rel = 0; rel < kNumRels; ++rel) {
       for (int64_t target : {0L, 40L, 42L, kN - 1}) {
         opts.keep = target;
-        EXPECT_EQ(ram_server_->RankOf(head, rel, target, opts),
-                  shard_server_->RankOf(head, rel, target, opts));
+        EXPECT_EQ(RankOfOrDie(ram_server_.get(), head, rel, target, opts),
+                  RankOfOrDie(shard_server_.get(), head, rel, target, opts));
       }
       opts.keep = -1;
       opts.restrict_to = &restrict_to;
-      const TopKResult want = ram_server_->TopK(head, rel, 5, opts);
-      const TopKResult got = shard_server_->TopK(head, rel, 5, opts);
+      const TopKResult want = TopKOrDie(ram_server_.get(), head, rel, 5, opts);
+      const TopKResult got = TopKOrDie(shard_server_.get(), head, rel, 5, opts);
       EXPECT_EQ(got.ids, want.ids);
       opts.restrict_to = nullptr;
     }

@@ -12,12 +12,20 @@ quantized-vs-fp32 quality floor on the int8 section:
     only by --min_throughput_ratio when explicitly requested: wall-clock
     numbers from shared CI runners are too noisy for a hard default gate).
 
+Also gates the exact panel-skip pruning section ("pruning"): the
+pruned-vs-unpruned bitwise parity grid must have run on the pinned
+kernel over every serving dtype with zero mismatches, and pruning must
+have actually skipped panels (a sweep that never prunes trivially
+passes parity and gates nothing). The prune-on/prune-off speedup is
+reported, and gated only by --min_prune_speedup when explicitly
+requested, for the same wall-clock-noise reason as above.
+
 Exit code 0 when every check passes, 1 with a per-check report otherwise.
 
 Usage:
   check_serving_parity.py --json BENCH_serving.json [--min_agreement 0.99]
       [--max_bytes_ratio 0.3] [--expect_kernel scalar]
-      [--min_throughput_ratio R]
+      [--min_throughput_ratio R] [--min_prune_speedup S]
   check_serving_parity.py --self-test
 """
 
@@ -27,16 +35,62 @@ import sys
 import tempfile
 
 
-def check(bench, min_agreement, max_bytes_ratio, expect_kernel,
-          min_throughput_ratio):
-    """Returns a list of failure strings (empty = gate passes)."""
+PRUNE_DTYPES = ("fp32", "int8", "bf16")
+
+
+def check_pruning(bench, expect_kernel, min_prune_speedup):
+    """Failure strings for the panel-skip pruning section."""
     failures = []
+    pruning = bench.get("pruning")
+    if pruning is None:
+        return ["BENCH_serving.json has no \"pruning\" section"]
+    parity = pruning.get("prune_parity")
+    if parity is None:
+        return ["\"pruning\" section has no \"prune_parity\" grid"]
+
+    kernel = parity.get("parity_kernel")
+    if kernel != expect_kernel:
+        failures.append(
+            f"prune parity kernel is {kernel!r}, expected {expect_kernel!r} "
+            "— the gated grid is not host-independent")
+    cases = parity.get("cases", 0)
+    if cases <= 0:
+        failures.append("prune parity grid ran zero cases")
+    mismatches = parity.get("mismatches", -1)
+    if mismatches != 0:
+        failures.append(
+            f"pruned sweep diverged from unpruned in {mismatches} of "
+            f"{cases} cases — pruning must be bitwise exact")
+    dtypes = parity.get("dtypes", [])
+    for dtype in PRUNE_DTYPES:
+        if dtype not in dtypes:
+            failures.append(f"prune parity grid did not cover {dtype}")
+    if parity.get("panels_skipped", 0) <= 0:
+        failures.append(
+            "prune parity grid skipped zero panels — parity is vacuous "
+            "when pruning never fires")
+    if pruning.get("panels_skipped_ratio", 0.0) <= 0.0:
+        failures.append(
+            "pruning benchmark skipped zero panels on the skewed table")
+    if min_prune_speedup is not None:
+        speedup = pruning.get("combined_speedup_at_4_clients", 0.0)
+        if speedup < min_prune_speedup:
+            failures.append(
+                f"prune-on speedup {speedup:.2f}x at 4 clients < "
+                f"floor {min_prune_speedup}x")
+    return failures
+
+
+def check(bench, min_agreement, max_bytes_ratio, expect_kernel,
+          min_throughput_ratio, min_prune_speedup=None):
+    """Returns a list of failure strings (empty = gate passes)."""
+    failures = check_pruning(bench, expect_kernel, min_prune_speedup)
     quant = bench.get("quantized")
     if quant is None:
-        return ["BENCH_serving.json has no \"quantized\" section"]
+        return failures + ["BENCH_serving.json has no \"quantized\" section"]
     int8 = quant.get("int8")
     if int8 is None:
-        return ["\"quantized\" section has no \"int8\" entry"]
+        return failures + ["\"quantized\" section has no \"int8\" entry"]
 
     kernel = int8.get("parity_kernel")
     if kernel != expect_kernel:
@@ -68,7 +122,8 @@ def run_gate(args):
     with open(args.json, "r", encoding="utf-8") as f:
         bench = json.load(f)
     failures = check(bench, args.min_agreement, args.max_bytes_ratio,
-                     args.expect_kernel, args.min_throughput_ratio)
+                     args.expect_kernel, args.min_throughput_ratio,
+                     args.min_prune_speedup)
     int8 = bench.get("quantized", {}).get("int8", {})
     print(f"quantized serving gate ({args.json}):")
     print(f"  parity kernel      {int8.get('parity_kernel')}")
@@ -77,6 +132,13 @@ def run_gate(args):
     print(f"  max |score err|    {int8.get('max_abs_score_err')}")
     print(f"  bytes vs fp32      {int8.get('bytes_ratio')}")
     print(f"  throughput vs fp32 {int8.get('throughput_vs_fp32')}")
+    pruning = bench.get("pruning", {})
+    parity = pruning.get("prune_parity", {})
+    print(f"  prune parity       {parity.get('mismatches')} mismatches / "
+          f"{parity.get('cases')} cases over {parity.get('dtypes')}")
+    print(f"  panels skipped     {pruning.get('panels_skipped')} "
+          f"(ratio {pruning.get('panels_skipped_ratio')})")
+    print(f"  prune speedup @4   {pruning.get('combined_speedup_at_4_clients')}")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
@@ -95,7 +157,19 @@ def self_test():
                 "bytes_ratio": 0.28,
                 "throughput_vs_fp32": 1.1,
             }
-        }
+        },
+        "pruning": {
+            "panels_skipped": 120,
+            "panels_skipped_ratio": 0.62,
+            "combined_speedup_at_4_clients": 2.1,
+            "prune_parity": {
+                "parity_kernel": "scalar",
+                "cases": 432,
+                "mismatches": 0,
+                "panels_skipped": 310,
+                "dtypes": ["fp32", "int8", "bf16"],
+            },
+        },
     }
     cases = []
 
@@ -104,12 +178,35 @@ def self_test():
         bench["quantized"]["int8"].update(overrides)
         return bench
 
+    def prune_variant(**overrides):
+        bench = json.loads(json.dumps(good))
+        parity_keys = {"parity_kernel", "cases", "mismatches",
+                       "panels_skipped", "dtypes"}
+        for key, val in overrides.items():
+            if key in parity_keys:
+                bench["pruning"]["prune_parity"][key] = val
+            else:
+                bench["pruning"][key] = val
+        return bench
+
     cases.append(("good", good, 0))
     cases.append(("low agreement", variant(agreement_at_k=0.98), 1))
     cases.append(("fat bytes", variant(bytes_ratio=0.5), 1))
     cases.append(("wrong kernel", variant(parity_kernel="vnni"), 1))
     cases.append(("missing section", {"bench": "serving"}, 1))
-    cases.append(("missing int8", {"quantized": {}}, 1))
+    cases.append(("missing int8",
+                  {"quantized": {}, "pruning": good["pruning"]}, 1))
+    cases.append(("prune mismatch", prune_variant(mismatches=3), 1))
+    cases.append(("prune zero cases", prune_variant(cases=0), 1))
+    cases.append(("prune missing dtype",
+                  prune_variant(dtypes=["fp32", "int8"]), 1))
+    cases.append(("prune never fired", prune_variant(panels_skipped=0), 1))
+    cases.append(("bench never pruned",
+                  prune_variant(panels_skipped_ratio=0.0), 1))
+    cases.append(("prune wrong kernel",
+                  prune_variant(parity_kernel="avx2"), 1))
+    no_pruning = {"quantized": good["quantized"]}
+    cases.append(("missing pruning section", no_pruning, 1))
 
     failed = []
     for name, bench, want in cases:
@@ -121,13 +218,20 @@ def self_test():
         failed.append("throughput gated without an explicit floor")
     if not check(variant(throughput_vs_fp32=0.5), 0.99, 0.3, "scalar", 1.0):
         failed.append("throughput floor not enforced when requested")
+    # Same opt-in contract for the prune speedup floor.
+    slow = prune_variant(combined_speedup_at_4_clients=1.1)
+    if check(slow, 0.99, 0.3, "scalar", None):
+        failed.append("prune speedup gated without an explicit floor")
+    if not check(slow, 0.99, 0.3, "scalar", None, min_prune_speedup=1.5):
+        failed.append("prune speedup floor not enforced when requested")
     # End to end through a real temp file.
     with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
         json.dump(good, f)
         path = f.name
     ns = argparse.Namespace(json=path, min_agreement=0.99,
                             max_bytes_ratio=0.3, expect_kernel="scalar",
-                            min_throughput_ratio=None)
+                            min_throughput_ratio=None,
+                            min_prune_speedup=None)
     if run_gate(ns) != 0:
         failed.append("end-to-end run on known-good JSON failed")
 
@@ -135,7 +239,7 @@ def self_test():
         for f in failed:
             print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
         return 1
-    print(f"self-test: {len(cases) + 3} cases OK")
+    print(f"self-test: {len(cases) + 5} cases OK")
     return 0
 
 
@@ -146,6 +250,7 @@ def main():
     parser.add_argument("--max_bytes_ratio", type=float, default=0.3)
     parser.add_argument("--expect_kernel", default="scalar")
     parser.add_argument("--min_throughput_ratio", type=float, default=None)
+    parser.add_argument("--min_prune_speedup", type=float, default=None)
     parser.add_argument("--self-test", action="store_true",
                         dest="self_test")
     args = parser.parse_args()
